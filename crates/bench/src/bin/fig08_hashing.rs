@@ -1,0 +1,14 @@
+//! Regenerates Figure 8: repair coverage of RelaxFault vs FreeFault with
+//! and without XOR-based LLC set-index hashing (1 repair way per set).
+
+use relaxfault_bench::{emit, fig08_hashing, work_arg};
+
+fn main() {
+    let trials = work_arg(60_000);
+    let t = fig08_hashing(trials);
+    emit(
+        "fig08_hashing",
+        &format!("Figure 8: coverage vs set-index hashing ({trials} node trials)"),
+        &t,
+    );
+}

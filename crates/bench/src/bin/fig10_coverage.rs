@@ -1,0 +1,14 @@
+//! Regenerates Figure 10: cumulative repair coverage vs required LLC
+//! capacity at baseline FIT rates.
+
+use relaxfault_bench::{coverage_curves, emit, work_arg};
+
+fn main() {
+    let trials = work_arg(60_000);
+    let t = coverage_curves(1.0, trials);
+    emit(
+        "fig10_coverage",
+        &format!("Figure 10: coverage vs LLC capacity, 1x FIT ({trials} node trials)"),
+        &t,
+    );
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 15: weighted speedup with LLC capacity dedicated to
+//! RelaxFault repair (none / 100 KiB of random lines / 1 way / 4 ways).
+
+use relaxfault_bench::perf::{fig15_table, performance_sweep};
+use relaxfault_bench::{emit, work_arg};
+
+fn main() {
+    let instr = work_arg(300_000);
+    let rows = performance_sweep(instr, 2016);
+    emit(
+        "fig15_performance",
+        &format!("Figure 15: weighted speedup vs LLC repair capacity ({instr} instr/core)"),
+        &fig15_table(&rows),
+    );
+}

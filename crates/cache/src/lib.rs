@@ -1,0 +1,32 @@
+//! Set-associative cache model with lockable lines and XOR set-index
+//! hashing.
+//!
+//! The last-level cache is RelaxFault's repair substrate: repaired DRAM data
+//! lives in *locked* LLC lines tagged with a one-bit RelaxFault indicator
+//! (paper Figure 4), found through either the normal physical-address
+//! mapping (Figure 7b) or the dedicated repair mapping (Figure 7c, built in
+//! `relaxfault-core`). This crate provides:
+//!
+//! * [`CacheConfig`] / [`Indexing`] — geometry plus the set-index function,
+//!   canonical or XOR-folded (González et al.), whose linear structure
+//!   decides whether a fault's repair lines collide in a set;
+//! * [`Cache`] — a metadata cache (valid/dirty/locked/repair/LRU) used by
+//!   the performance simulator and the repair data-path tests, including
+//!   way-locking to emulate capacity lost to repair.
+//!
+//! # Examples
+//!
+//! ```
+//! use relaxfault_cache::{Cache, CacheConfig};
+//!
+//! let mut llc = Cache::new(CacheConfig::isca16_llc());
+//! let a = 0x4000;
+//! assert!(!llc.access(a, false).hit);   // cold miss
+//! assert!(llc.access(a, false).hit);    // now resident
+//! ```
+
+pub mod config;
+pub mod model;
+
+pub use config::{CacheConfig, Indexing};
+pub use model::{Access, Cache, CacheStats, Evicted};

@@ -1,0 +1,568 @@
+//! The runtime cache model: LRU, dirty state, locked repair lines.
+
+use crate::config::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Whether the block was resident.
+    pub hit: bool,
+    /// On a miss that allocated over a valid dirty line, the evicted victim.
+    pub evicted: Option<Evicted>,
+    /// On a miss in a set whose ways are all locked, the access bypasses the
+    /// cache (no allocation).
+    pub bypassed: bool,
+}
+
+/// A victim written back on eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Byte address of the victim block (reconstructable because the model
+    /// stores full block addresses).
+    pub addr: u64,
+    /// Whether the victim was dirty (needs a writeback).
+    pub dirty: bool,
+}
+
+/// Aggregate access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Misses that could not allocate (fully locked set).
+    pub bypasses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all demand accesses (0 if none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    locked: bool,
+    /// RelaxFault-indicator bit (Figure 4): repair lines live in a separate
+    /// tag space and never match normal lookups.
+    repair: bool,
+    /// Full block address (so victims can be reported by address).
+    block_addr: u64,
+    lru: u64,
+}
+
+/// A set-associative cache with LRU replacement, way locking, and a
+/// RelaxFault tag space.
+///
+/// Normal accesses go through [`Cache::access`]; repair lines are installed
+/// with [`Cache::lock_repair_line`] and looked up with
+/// [`Cache::probe_repair`]. A repair line never hits a normal access and
+/// vice versa — the one-bit tag extension of the paper's Figure 4.
+///
+/// # Examples
+///
+/// ```
+/// use relaxfault_cache::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig::isca16_l1());
+/// c.access(0x80, true);
+/// let r = c.access(0x80, false);
+/// assert!(r.hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CacheConfig::validate`].
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate().expect("invalid CacheConfig");
+        Self {
+            cfg,
+            lines: vec![Line::default(); cfg.total_lines() as usize],
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g. after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_slice(&self, set: u64) -> std::ops::Range<usize> {
+        let base = set as usize * self.cfg.ways as usize;
+        base..base + self.cfg.ways as usize
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Demand access to a byte address; allocates on miss (LRU victim among
+    /// unlocked ways). Returns hit/miss, any dirty victim, and whether the
+    /// access had to bypass a fully locked set.
+    pub fn access(&mut self, addr: u64, write: bool) -> Access {
+        let (set, _tag) = self.cfg.set_and_tag(addr);
+        let block = addr >> self.cfg.offset_bits();
+        let range = self.set_slice(set);
+        let tick = self.next_tick();
+
+        // Hit path: match on block address with the repair bit clear.
+        for i in range.clone() {
+            let line = &mut self.lines[i];
+            if line.valid && !line.repair && line.block_addr == block {
+                line.lru = tick;
+                line.dirty |= write;
+                self.stats.hits += 1;
+                return Access { hit: true, evicted: None, bypassed: false };
+            }
+        }
+        self.stats.misses += 1;
+
+        // Victim: invalid first, else LRU among unlocked.
+        let mut victim: Option<usize> = None;
+        for i in range.clone() {
+            let line = &self.lines[i];
+            if line.locked {
+                continue;
+            }
+            if !line.valid {
+                victim = Some(i);
+                break;
+            }
+            match victim {
+                Some(v) if self.lines[v].lru <= line.lru => {}
+                _ => victim = Some(i),
+            }
+        }
+        let Some(v) = victim else {
+            self.stats.bypasses += 1;
+            return Access { hit: false, evicted: None, bypassed: true };
+        };
+        let old = self.lines[v];
+        let evicted = if old.valid && old.dirty {
+            self.stats.writebacks += 1;
+            Some(Evicted {
+                addr: old.block_addr << self.cfg.offset_bits(),
+                dirty: true,
+            })
+        } else {
+            None
+        };
+        self.lines[v] = Line {
+            valid: true,
+            dirty: write,
+            locked: false,
+            repair: false,
+            block_addr: block,
+            lru: tick,
+        };
+        Access { hit: false, evicted, bypassed: false }
+    }
+
+    /// Whether a normal block is resident (no state change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, _) = self.cfg.set_and_tag(addr);
+        let block = addr >> self.cfg.offset_bits();
+        self.set_slice(set)
+            .any(|i| {
+                let l = &self.lines[i];
+                l.valid && !l.repair && l.block_addr == block
+            })
+    }
+
+    /// Whether a repair-space line is resident (no state change).
+    ///
+    /// `repair_addr` is an address in the RelaxFault repair space (built by
+    /// `relaxfault-core`'s mapping); it is matched only against lines whose
+    /// RelaxFault indicator is set.
+    pub fn probe_repair(&self, repair_addr: u64) -> bool {
+        let (set, _) = self.cfg.set_and_tag(repair_addr);
+        let block = repair_addr >> self.cfg.offset_bits();
+        self.set_slice(set)
+            .any(|i| {
+                let l = &self.lines[i];
+                l.valid && l.repair && l.block_addr == block
+            })
+    }
+
+    /// Installs a locked repair line for `repair_addr`, evicting the LRU
+    /// unlocked way of its set if needed. Returns the dirty victim, if any.
+    ///
+    /// # Errors
+    ///
+    /// Fails if every way of the set is already locked, or the line is
+    /// already present.
+    pub fn lock_repair_line(&mut self, repair_addr: u64) -> Result<Option<Evicted>, String> {
+        if self.probe_repair(repair_addr) {
+            return Err(format!("repair line {repair_addr:#x} already locked"));
+        }
+        let (set, _) = self.cfg.set_and_tag(repair_addr);
+        let block = repair_addr >> self.cfg.offset_bits();
+        let range = self.set_slice(set);
+        let tick = self.next_tick();
+        let mut victim: Option<usize> = None;
+        for i in range {
+            let line = &self.lines[i];
+            if line.locked {
+                continue;
+            }
+            if !line.valid {
+                victim = Some(i);
+                break;
+            }
+            match victim {
+                Some(v) if self.lines[v].lru <= line.lru => {}
+                _ => victim = Some(i),
+            }
+        }
+        let Some(v) = victim else {
+            return Err(format!("set {set} fully locked"));
+        };
+        let old = self.lines[v];
+        let evicted = if old.valid && old.dirty {
+            self.stats.writebacks += 1;
+            Some(Evicted {
+                addr: old.block_addr << self.cfg.offset_bits(),
+                dirty: true,
+            })
+        } else {
+            None
+        };
+        self.lines[v] = Line {
+            valid: true,
+            dirty: false,
+            locked: true,
+            repair: true,
+            block_addr: block,
+            lru: tick,
+        };
+        Ok(evicted)
+    }
+
+    /// Locks `n` ways in every set (marks them unavailable for normal
+    /// allocation), emulating repair occupancy the way the paper's
+    /// performance study does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > ways`.
+    pub fn lock_ways_per_set(&mut self, n: u32) {
+        assert!(n <= self.cfg.ways, "cannot lock more ways than exist");
+        let sets = self.cfg.sets();
+        for set in 0..sets {
+            let mut locked = 0;
+            for i in self.set_slice(set) {
+                if locked >= n {
+                    break;
+                }
+                if !self.lines[i].locked {
+                    self.lines[i] = Line {
+                        valid: true,
+                        dirty: false,
+                        locked: true,
+                        repair: true,
+                        block_addr: u64::MAX - i as u64, // placeholder tag
+                        lru: 0,
+                    };
+                    locked += 1;
+                }
+            }
+        }
+    }
+
+    /// Locks one way in each of `line_count` distinct sets chosen by a
+    /// caller-supplied selector (the paper's "randomly assign 100 KiB"
+    /// experiment passes a random set sequence).
+    ///
+    /// Returns how many lines were actually locked (a set already saturated
+    /// with locks is skipped).
+    pub fn lock_lines_in_sets<I: IntoIterator<Item = u64>>(&mut self, sets: I) -> u64 {
+        let mut locked = 0;
+        for set in sets {
+            let set = set % self.cfg.sets();
+            let slot = self
+                .set_slice(set)
+                .find(|&i| !self.lines[i].locked);
+            if let Some(i) = slot {
+                self.lines[i] = Line {
+                    valid: true,
+                    dirty: false,
+                    locked: true,
+                    repair: true,
+                    block_addr: u64::MAX - i as u64,
+                    lru: 0,
+                };
+                locked += 1;
+            }
+        }
+        locked
+    }
+
+    /// Number of locked ways in `set`.
+    pub fn locked_ways_in_set(&self, set: u64) -> u32 {
+        self.set_slice(set)
+            .filter(|&i| self.lines[i].locked)
+            .count() as u32
+    }
+
+    /// Total locked lines in the cache.
+    pub fn total_locked(&self) -> u64 {
+        self.lines.iter().filter(|l| l.locked).count() as u64
+    }
+
+    /// Unlocks and invalidates every locked line (repair teardown).
+    pub fn unlock_all(&mut self) {
+        for line in &mut self.lines {
+            if line.locked {
+                *line = Line::default();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Indexing;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 4096, // 16 sets × 4 ways × 64 B
+            ways: 4,
+            line_bytes: 64,
+            indexing: Indexing::Canonical,
+        })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small();
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x1004, false).hit, "same line, different byte");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        // 5 conflicting blocks in a 4-way set (set 0: addresses k*16*64).
+        let addrs: Vec<u64> = (0..5).map(|k| k * 16 * 64).collect();
+        for &a in &addrs[..4] {
+            c.access(a, false);
+        }
+        c.access(addrs[0], false); // refresh block 0
+        c.access(addrs[4], false); // evicts block 1 (oldest)
+        assert!(c.probe(addrs[0]));
+        assert!(!c.probe(addrs[1]));
+        assert!(c.probe(addrs[4]));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        let addrs: Vec<u64> = (0..5).map(|k| k * 16 * 64).collect();
+        c.access(addrs[0], true); // dirty
+        for &a in &addrs[1..4] {
+            c.access(a, false);
+        }
+        let r = c.access(addrs[4], false);
+        assert_eq!(
+            r.evicted,
+            Some(Evicted { addr: addrs[0], dirty: true })
+        );
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn repair_lines_do_not_match_normal_lookups() {
+        let mut c = small();
+        c.lock_repair_line(0x2000).unwrap();
+        assert!(c.probe_repair(0x2000));
+        assert!(!c.probe(0x2000), "repair bit isolates the tag space");
+        assert!(!c.access(0x2000, false).hit);
+        // And the normal line now coexists with the repair line.
+        assert!(c.probe(0x2000));
+        assert!(c.probe_repair(0x2000));
+    }
+
+    #[test]
+    fn locked_lines_survive_pressure() {
+        let mut c = small();
+        c.lock_repair_line(0).unwrap();
+        // Hammer the same set with conflicting normal blocks.
+        for k in 0..64 {
+            c.access(k * 16 * 64, true);
+        }
+        assert!(c.probe_repair(0));
+        assert_eq!(c.locked_ways_in_set(0), 1);
+    }
+
+    #[test]
+    fn fully_locked_set_bypasses() {
+        let mut c = small();
+        for k in 0..4 {
+            // 4 distinct repair blocks landing in set 0.
+            c.lock_repair_line(k * 16 * 64).unwrap();
+        }
+        let r = c.access(0, false);
+        assert!(!r.hit);
+        assert!(r.bypassed);
+        assert_eq!(c.stats().bypasses, 1);
+        // A fifth lock in the same set must fail.
+        assert!(c.lock_repair_line(4 * 16 * 64).is_err());
+    }
+
+    #[test]
+    fn duplicate_repair_lock_fails() {
+        let mut c = small();
+        c.lock_repair_line(0x40).unwrap();
+        assert!(c.lock_repair_line(0x40).is_err());
+    }
+
+    #[test]
+    fn lock_ways_per_set_reduces_capacity() {
+        let mut c = small();
+        c.lock_ways_per_set(1);
+        assert_eq!(c.total_locked(), 16);
+        for set in 0..16 {
+            assert_eq!(c.locked_ways_in_set(set), 1);
+        }
+        // Still functions as a 3-way cache.
+        let addrs: Vec<u64> = (0..3).map(|k| k * 16 * 64).collect();
+        for &a in &addrs {
+            c.access(a, false);
+        }
+        assert!(addrs.iter().all(|&a| c.probe(a)));
+    }
+
+    #[test]
+    fn lock_lines_in_sets_counts() {
+        let mut c = small();
+        let n = c.lock_lines_in_sets([0u64, 1, 2, 0, 0, 0, 0]);
+        // Set 0 saturates at 4 ways; 3 extra requests are dropped.
+        assert_eq!(n, 6);
+        assert_eq!(c.locked_ways_in_set(0), 4);
+    }
+
+    #[test]
+    fn unlock_all_restores_capacity() {
+        let mut c = small();
+        c.lock_ways_per_set(4);
+        assert!(c.access(0, false).bypassed);
+        c.unlock_all();
+        assert_eq!(c.total_locked(), 0);
+        assert!(!c.access(0, false).bypassed);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(64 * 16, false);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+        c.reset_stats();
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::config::Indexing;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Whatever the access pattern, structural invariants hold: lines
+        /// per set never exceed associativity, stats balance, and locked
+        /// lines survive.
+        #[test]
+        fn structural_invariants(
+            addrs in proptest::collection::vec((0u64..(1 << 20), any::<bool>()), 1..400),
+            locked_sets in proptest::collection::vec(0u64..16, 0..8),
+        ) {
+            let cfg = CacheConfig {
+                size_bytes: 4096,
+                ways: 4,
+                line_bytes: 64,
+                indexing: Indexing::XorFold { rotation: 3 },
+            };
+            let mut c = Cache::new(cfg);
+            let locked = c.lock_lines_in_sets(locked_sets.iter().copied());
+            for &(a, w) in &addrs {
+                let r = c.access(a, w);
+                // A bypass can only happen in a fully locked set.
+                if r.bypassed {
+                    prop_assert_eq!(c.locked_ways_in_set(cfg.set_of(a)), cfg.ways);
+                }
+            }
+            prop_assert_eq!(c.total_locked(), locked);
+            let s = *c.stats();
+            prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
+            prop_assert!(s.bypasses <= s.misses);
+            // Re-access of the most recent address must hit unless its set
+            // is fully locked.
+            let (last, _) = addrs[addrs.len() - 1];
+            if c.locked_ways_in_set(cfg.set_of(last)) < cfg.ways {
+                prop_assert!(c.probe(last));
+            }
+        }
+
+        /// LRU is a permutation policy: filling a set with exactly `ways`
+        /// distinct blocks keeps them all resident.
+        #[test]
+        fn full_set_retention(base in 0u64..16) {
+            let cfg = CacheConfig {
+                size_bytes: 4096,
+                ways: 4,
+                line_bytes: 64,
+                indexing: Indexing::Canonical,
+            };
+            let mut c = Cache::new(cfg);
+            let addrs: Vec<u64> = (0..4).map(|k| (base + k * 16) * 64).collect();
+            for &a in &addrs {
+                c.access(a, false);
+            }
+            for &a in &addrs {
+                prop_assert!(c.probe(a));
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! RelaxFault: fine-grained DRAM repair in the last-level cache.
+//!
+//! This crate is the paper's primary contribution (Kim & Erez, ISCA 2016)
+//! plus the two baselines it is evaluated against:
+//!
+//! * [`mapping`] — the RelaxFault repair address mapping (paper Figure 7c):
+//!   a *device-space* line coordinate (rank, device, bank, row,
+//!   column-group) packed so that 16 consecutive device sub-blocks coalesce
+//!   into one 64-byte LLC line and common fault shapes spread across sets.
+//! * [`plan`] — repair planners. [`plan::RelaxFault`] coalesces;
+//!   [`plan::FreeFault`] locks one LLC line per faulty *physical* block
+//!   (HPCA'15 baseline); [`plan::Ppr`] models DDR4 post-package repair
+//!   (one spare row per bank group). All share the [`plan::RepairMechanism`]
+//!   trait and enforce per-set way limits exactly.
+//! * [`overhead`] — the storage/energy overhead arithmetic of Table 1 and
+//!   §3.3.
+//! * [`datapath`] — a functional model of the repair data path (Figures
+//!   4–6): faulty-bank table filter, coalescer strip/reconstruct masks, LLC
+//!   fills and writebacks, proven end-to-end against a bit-accurate faulty
+//!   DRAM model.
+//!
+//! # Examples
+//!
+//! ```
+//! use relaxfault_cache::CacheConfig;
+//! use relaxfault_core::plan::{RelaxFault, RepairMechanism};
+//! use relaxfault_dram::{DramConfig, RankId};
+//! use relaxfault_faults::{Extent, FaultRegion};
+//!
+//! let dram = DramConfig::isca16_reliability();
+//! let llc = CacheConfig::isca16_llc();
+//! let mut rf = RelaxFault::new(&dram, &llc, 1); // at most 1 way per set
+//! let fault = FaultRegion {
+//!     rank: RankId { channel: 0, dimm: 0, rank: 0 },
+//!     device: 3,
+//!     extent: Extent::Row { bank: 2, row: 4242 },
+//! };
+//! assert!(rf.try_repair(&[fault]));
+//! assert_eq!(rf.lines_used(), 16); // one device row coalesces into 16 lines
+//! ```
+
+pub mod datapath;
+pub mod mapping;
+pub mod overhead;
+pub mod plan;
+
+pub use mapping::{RelaxMap, RepairLine};
+pub use plan::{FreeFault, Ppr, RelaxFault, RepairMechanism};

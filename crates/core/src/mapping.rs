@@ -1,0 +1,334 @@
+//! The RelaxFault repair address mapping (paper Figure 7c).
+//!
+//! Normal physical-address mapping spreads one device's bits over many
+//! cache lines: each 64-byte line holds only `device_width × burst` bits
+//! (4 bytes) from any one device. RelaxFault's repair mode instead treats
+//! each column address as naming data *from a single device*, so one repair
+//! line holds `data_devices_per_rank` (16) consecutive sub-blocks of one
+//! device — a 16× density improvement for row-shaped faults.
+//!
+//! A repair line is identified by `(rank, device, bank, row, column-group)`
+//! where a column-group is `data_devices_per_rank` consecutive column
+//! blocks. The packed repair address places the column-group and low row
+//! bits in the LLC set-index field (so the lines of one fault spread across
+//! sets) and everything else — high row bits, bank, device ID, rank — in
+//! the tag, exactly the role split of Figure 7c. The device ID needs 5 bits
+//! for an 18-device ECC rank; the paper repurposes a spare tag state bit
+//! for the same reason.
+
+use relaxfault_cache::CacheConfig;
+use relaxfault_dram::{DramConfig, RankId};
+use relaxfault_util::bits::{bits_for, deposit};
+use serde::{Deserialize, Serialize};
+
+/// Coordinate of one RelaxFault repair line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RepairLine {
+    /// Rank holding the faulty device.
+    pub rank: RankId,
+    /// Device position within the rank (ECC devices included).
+    pub device: u32,
+    /// Bank within the device.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u32,
+    /// Column-group within the row (`colblock / data_devices_per_rank`).
+    pub colgroup: u32,
+}
+
+/// The Figure-7c mapping: repair-line coordinates ⇄ LLC repair-space
+/// addresses.
+///
+/// # Examples
+///
+/// ```
+/// use relaxfault_cache::CacheConfig;
+/// use relaxfault_core::mapping::{RelaxMap, RepairLine};
+/// use relaxfault_dram::{DramConfig, RankId};
+///
+/// let map = RelaxMap::new(&DramConfig::isca16_reliability(), &CacheConfig::isca16_llc());
+/// let line = RepairLine {
+///     rank: RankId { channel: 0, dimm: 0, rank: 0 },
+///     device: 17, bank: 7, row: 65535, colgroup: 15,
+/// };
+/// let addr = map.repair_addr(&line);
+/// assert!(map.set_of(&line) < 8192);
+/// assert_eq!(addr % 64, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelaxMap {
+    dram: DramConfig,
+    llc: CacheConfig,
+    colgroup_bits: u32,
+    row_bits: u32,
+    bank_bits: u32,
+    device_bits: u32,
+}
+
+impl RelaxMap {
+    /// Builds the mapping for a DRAM/LLC pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either config is invalid, or the LLC set index is narrower
+    /// than the column-group field (no real LLC is).
+    pub fn new(dram: &DramConfig, llc: &CacheConfig) -> Self {
+        dram.validate().expect("invalid DramConfig");
+        llc.validate().expect("invalid CacheConfig");
+        let colgroup_bits = bits_for(Self::colgroups_per_row_for(dram) as u64);
+        assert!(
+            llc.set_bits() >= colgroup_bits,
+            "LLC set index narrower than the column-group field"
+        );
+        Self {
+            dram: *dram,
+            llc: *llc,
+            colgroup_bits,
+            row_bits: bits_for(dram.rows as u64),
+            bank_bits: bits_for(dram.banks as u64),
+            device_bits: bits_for(dram.devices_per_rank() as u64),
+        }
+    }
+
+    /// Sub-blocks coalesced per repair line (= data devices per rank,
+    /// because the repair line is one full rank access wide).
+    pub fn coalesce_factor(&self) -> u32 {
+        self.dram.data_devices_per_rank
+    }
+
+    /// Column-groups per device row.
+    pub fn colgroups_per_row(&self) -> u32 {
+        Self::colgroups_per_row_for(&self.dram)
+    }
+
+    fn colgroups_per_row_for(dram: &DramConfig) -> u32 {
+        dram.blocks_per_row().div_ceil(dram.data_devices_per_rank)
+    }
+
+    /// Repair lines needed for one full device row.
+    pub fn lines_per_row(&self) -> u32 {
+        self.colgroups_per_row()
+    }
+
+    /// The column-group containing a column block.
+    pub fn colgroup_of_block(&self, colblock: u32) -> u32 {
+        colblock / self.coalesce_factor()
+    }
+
+    /// Which sub-block slot (byte range) of the repair line holds a given
+    /// column block's data: `(byte_offset, len)`.
+    pub fn subblock_slot(&self, colblock: u32) -> (u32, u32) {
+        let sub = self.dram.device_subblock_bytes();
+        ((colblock % self.coalesce_factor()) * sub, sub)
+    }
+
+    /// Packs a repair line coordinate into a repair-space byte address.
+    ///
+    /// Layout from LSB: line offset, column-group, low row bits (filling
+    /// the set-index field), high row bits, bank, device, flat rank index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range for the configuration.
+    pub fn repair_addr(&self, line: &RepairLine) -> u64 {
+        assert!(line.device < self.dram.devices_per_rank(), "device out of range");
+        assert!(line.bank < self.dram.banks, "bank out of range");
+        assert!(line.row < self.dram.rows, "row out of range");
+        assert!(line.colgroup < self.colgroups_per_row(), "column-group out of range");
+
+        let off = self.llc.offset_bits();
+        let set_bits = self.llc.set_bits();
+        let g = self.colgroup_bits;
+        let row_low_bits = (set_bits - g).min(self.row_bits);
+        let row_high_bits = self.row_bits - row_low_bits;
+
+        let mut addr = 0u64;
+        let mut lsb = off;
+        addr = deposit(addr, lsb, g, line.colgroup as u64);
+        lsb += g;
+        addr = deposit(addr, lsb, row_low_bits, (line.row as u64) & ((1 << row_low_bits) - 1));
+        lsb += row_low_bits;
+        if row_high_bits > 0 {
+            addr = deposit(addr, lsb, row_high_bits, (line.row as u64) >> row_low_bits);
+            lsb += row_high_bits;
+        }
+        addr = deposit(addr, lsb, self.bank_bits, line.bank as u64);
+        lsb += self.bank_bits;
+        addr = deposit(addr, lsb, self.device_bits, line.device as u64);
+        lsb += self.device_bits;
+        let rank_bits = bits_for(self.dram.total_rank_slots() as u64).max(1);
+        addr = deposit(addr, lsb, rank_bits, line.rank.flat_index(&self.dram) as u64);
+        addr
+    }
+
+    /// The LLC set a repair line occupies (through the LLC's own indexing,
+    /// hashed or not).
+    pub fn set_of(&self, line: &RepairLine) -> u64 {
+        self.llc.set_of(self.repair_addr(line))
+    }
+
+    /// A compact unique key for a repair line (for dedup bookkeeping).
+    pub fn key_of(&self, line: &RepairLine) -> u64 {
+        self.repair_addr(line) >> self.llc.offset_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn map() -> RelaxMap {
+        RelaxMap::new(&DramConfig::isca16_reliability(), &CacheConfig::isca16_llc())
+    }
+
+    fn rank0() -> RankId {
+        RankId { channel: 0, dimm: 0, rank: 0 }
+    }
+
+    #[test]
+    fn geometry_matches_paper_example() {
+        let m = map();
+        assert_eq!(m.coalesce_factor(), 16, "16 data devices per rank");
+        assert_eq!(m.colgroups_per_row(), 16);
+        assert_eq!(m.lines_per_row(), 16, "one device row → 16 repair lines (1 KiB)");
+    }
+
+    #[test]
+    fn subblock_slots_tile_the_line() {
+        let m = map();
+        let mut covered = [false; 64];
+        for cb in 0..16 {
+            let (off, len) = m.subblock_slot(cb);
+            assert_eq!(len, 4);
+            for b in off..off + len {
+                assert!(!covered[b as usize]);
+                covered[b as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+        // Slot depends only on colblock % 16.
+        assert_eq!(m.subblock_slot(3), m.subblock_slot(19));
+    }
+
+    #[test]
+    fn one_row_spreads_over_distinct_sets() {
+        let m = map();
+        let sets: HashSet<u64> = (0..16)
+            .map(|cg| {
+                m.set_of(&RepairLine {
+                    rank: rank0(),
+                    device: 3,
+                    bank: 2,
+                    row: 4242,
+                    colgroup: cg,
+                })
+            })
+            .collect();
+        assert_eq!(sets.len(), 16, "row-fault lines never collide in a set");
+    }
+
+    #[test]
+    fn one_column_spreads_over_distinct_sets() {
+        // A subarray column fault: 512 consecutive rows, one column-group.
+        let m = map();
+        let sets: HashSet<u64> = (0..512)
+            .map(|r| {
+                m.set_of(&RepairLine {
+                    rank: rank0(),
+                    device: 3,
+                    bank: 2,
+                    row: 1024 + r,
+                    colgroup: 7,
+                })
+            })
+            .collect();
+        assert_eq!(sets.len(), 512);
+    }
+
+    #[test]
+    fn bank_cluster_fills_sets_evenly() {
+        // 512 rows × 16 column-groups = 8192 lines = exactly one way of the
+        // whole LLC; the mapping must place exactly one line per set.
+        let m = map();
+        let mut per_set = vec![0u32; 8192];
+        for r in 0..512u32 {
+            for cg in 0..16u32 {
+                per_set[m.set_of(&RepairLine {
+                    rank: rank0(),
+                    device: 0,
+                    bank: 5,
+                    row: 8192 + r,
+                    colgroup: cg,
+                }) as usize] += 1;
+            }
+        }
+        assert!(per_set.iter().all(|&c| c == 1), "perfectly balanced occupancy");
+    }
+
+    #[test]
+    fn different_devices_get_different_lines() {
+        let m = map();
+        let mk = |device| RepairLine { rank: rank0(), device, bank: 0, row: 0, colgroup: 0 };
+        let keys: HashSet<u64> = (0..18).map(|d| m.key_of(&mk(d))).collect();
+        assert_eq!(keys.len(), 18, "device ID differentiates lines (5-bit field)");
+    }
+
+    #[test]
+    fn different_ranks_get_different_lines() {
+        let m = map();
+        let cfg = DramConfig::isca16_reliability();
+        let keys: HashSet<u64> = (0..cfg.total_rank_slots())
+            .map(|i| {
+                m.key_of(&RepairLine {
+                    rank: RankId::from_flat_index(&cfg, i),
+                    device: 0,
+                    bank: 0,
+                    row: 0,
+                    colgroup: 0,
+                })
+            })
+            .collect();
+        assert_eq!(keys.len(), 8);
+    }
+
+    #[test]
+    fn repair_addr_is_line_aligned() {
+        let m = map();
+        let a = m.repair_addr(&RepairLine {
+            rank: rank0(),
+            device: 9,
+            bank: 3,
+            row: 12345,
+            colgroup: 11,
+        });
+        assert_eq!(a % 64, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_coordinates() {
+        let m = map();
+        m.repair_addr(&RepairLine {
+            rank: rank0(),
+            device: 18,
+            bank: 0,
+            row: 0,
+            colgroup: 0,
+        });
+    }
+
+    proptest! {
+        #[test]
+        fn keys_are_unique(
+            d1 in 0u32..18, b1 in 0u32..8, r1 in 0u32..65536, g1 in 0u32..16,
+            d2 in 0u32..18, b2 in 0u32..8, r2 in 0u32..65536, g2 in 0u32..16,
+        ) {
+            let m = map();
+            let l1 = RepairLine { rank: rank0(), device: d1, bank: b1, row: r1, colgroup: g1 };
+            let l2 = RepairLine { rank: rank0(), device: d2, bank: b2, row: r2, colgroup: g2 };
+            prop_assert_eq!(l1 == l2, m.key_of(&l1) == m.key_of(&l2));
+        }
+    }
+}

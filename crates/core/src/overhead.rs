@@ -1,0 +1,102 @@
+//! Storage and energy overhead arithmetic (paper Table 1 and §3.3).
+
+use relaxfault_cache::CacheConfig;
+use relaxfault_dram::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// RelaxFault's dedicated storage, in bytes (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageOverhead {
+    /// Faulty-bank table: one bit per bank per DIMM in the node.
+    pub faulty_bank_table: u64,
+    /// Pre-computed coalescer bitmasks: one beat-wide (bus-width) mask per
+    /// data device.
+    pub data_coalescer: u64,
+    /// LLC tag extension: one RelaxFault-indicator bit per line.
+    pub llc_tag_extension: u64,
+}
+
+impl StorageOverhead {
+    /// Computes the overhead for a node configuration.
+    pub fn for_system(dram: &DramConfig, llc: &CacheConfig) -> Self {
+        let bus_bytes = (dram.data_devices_per_rank * dram.device_width).div_ceil(8) as u64;
+        Self {
+            faulty_bank_table: (dram.dimms_per_node() as u64 * dram.banks as u64).div_ceil(8),
+            data_coalescer: dram.data_devices_per_rank as u64 * bus_bytes,
+            llc_tag_extension: llc.total_lines().div_ceil(8),
+        }
+    }
+
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.faulty_bank_table + self.data_coalescer + self.llc_tag_extension
+    }
+}
+
+/// §3.3 energy figures, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyOverhead {
+    /// Augmented LLC tag lookup (CACTI, 1 MiB 16-way bank).
+    pub tag_lookup_nj: f64,
+    /// Full LLC data access, for scale.
+    pub llc_access_nj: f64,
+    /// Servicing a miss from DDR3 DRAM, for scale.
+    pub dram_miss_nj: f64,
+}
+
+impl EnergyOverhead {
+    /// The paper's §3.3 numbers.
+    pub fn isca16() -> Self {
+        Self {
+            tag_lookup_nj: 0.009,
+            llc_access_nj: 0.641,
+            dram_miss_nj: 36.0,
+        }
+    }
+
+    /// Worst-case metadata energy as a fraction of one LLC access
+    /// (paper: < 1.5%).
+    pub fn metadata_vs_llc_access(&self) -> f64 {
+        self.tag_lookup_nj / self.llc_access_nj
+    }
+
+    /// Worst-case metadata energy as a fraction of a DRAM miss
+    /// (paper: < 0.03%).
+    pub fn metadata_vs_dram_miss(&self) -> f64 {
+        self.tag_lookup_nj / self.dram_miss_nj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_numbers() {
+        let o = StorageOverhead::for_system(
+            &DramConfig::isca16_reliability(),
+            &CacheConfig::isca16_llc(),
+        );
+        assert_eq!(o.faulty_bank_table, 8, "1 byte per DIMM (8 banks)");
+        assert_eq!(o.data_coalescer, 128, "16 devices × 8-byte beat masks");
+        assert_eq!(o.llc_tag_extension, 16384, "1 bit per LLC line");
+        assert_eq!(o.total(), 16520, "Table 1 total");
+    }
+
+    #[test]
+    fn energy_fractions_match_paper_bounds() {
+        let e = EnergyOverhead::isca16();
+        assert!(e.metadata_vs_llc_access() < 0.015);
+        assert!(e.metadata_vs_dram_miss() < 0.0003);
+    }
+
+    #[test]
+    fn overhead_scales_with_dimms() {
+        // Footnote 3: a 2 TiB DDR4 node needs just 64 16-bit entries.
+        let mut big = DramConfig::isca16_reliability();
+        big.dimms_per_channel = 16; // 64 DIMMs
+        big.banks = 16;
+        let o = StorageOverhead::for_system(&big, &CacheConfig::isca16_llc());
+        assert_eq!(o.faulty_bank_table, 128, "64 DIMMs × 16 banks / 8");
+    }
+}

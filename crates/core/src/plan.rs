@@ -1,0 +1,742 @@
+//! Repair planners: RelaxFault, FreeFault, and post-package repair.
+//!
+//! A planner owns the repair state of one *node* (its LLC occupancy or
+//! spare-row budget) and is offered each permanent fault as it is
+//! discovered. [`RepairMechanism::try_repair`] is atomic: either the whole
+//! fault is repaired — every faulty bit covered, every constraint still
+//! satisfied — or the planner's state is unchanged and the fault stays
+//! exposed. That mirrors the hardware, which cannot half-repair a fault,
+//! and is what the paper's repair-coverage metric counts.
+
+use crate::mapping::{RelaxMap, RepairLine};
+use relaxfault_cache::CacheConfig;
+use relaxfault_dram::{AddressMap, DramConfig, DramLoc};
+use relaxfault_faults::{Extent, FaultRegion};
+use std::collections::{HashMap, HashSet};
+
+/// A fine-grained memory repair mechanism, driven one fault at a time.
+pub trait RepairMechanism {
+    /// Short mechanism name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Attempts to repair a fault (all of its regions). Returns whether the
+    /// repair succeeded; on failure the planner state is unchanged.
+    fn try_repair(&mut self, regions: &[FaultRegion]) -> bool;
+
+    /// LLC lines currently locked for repair (0 for PPR).
+    fn lines_used(&self) -> u64;
+
+    /// LLC bytes currently locked for repair.
+    fn bytes_used(&self) -> u64;
+
+    /// The largest number of repair lines in any one LLC set (0 for PPR).
+    fn max_ways_used(&self) -> u32;
+}
+
+/// Shared LLC-occupancy bookkeeping for the two cache-based mechanisms.
+#[derive(Debug, Clone)]
+struct LlcOccupancy {
+    max_ways: u32,
+    line_bytes: u64,
+    sets: u64,
+    lines: HashSet<u64>,
+    per_set: HashMap<u64, u32>,
+    max_used: u32,
+}
+
+impl LlcOccupancy {
+    fn new(llc: &CacheConfig, max_ways: u32) -> Self {
+        assert!(max_ways >= 1 && max_ways <= llc.ways, "way limit out of range");
+        Self {
+            max_ways,
+            line_bytes: llc.line_bytes as u64,
+            sets: llc.sets(),
+            lines: HashSet::new(),
+            per_set: HashMap::new(),
+            max_used: 0,
+        }
+    }
+
+    /// Absolute ceiling on additional lines; used to reject huge faults
+    /// before enumerating them.
+    fn budget_ceiling(&self) -> u64 {
+        self.sets * self.max_ways as u64
+    }
+
+    /// Tries to add the given (key, set) pairs atomically.
+    fn try_add(&mut self, candidates: &[(u64, u64)]) -> bool {
+        let mut new_lines: Vec<(u64, u64)> = Vec::new();
+        let mut seen = HashSet::new();
+        let mut increments: HashMap<u64, u32> = HashMap::new();
+        for &(key, set) in candidates {
+            if self.lines.contains(&key) || !seen.insert(key) {
+                continue; // already repaired by an earlier fault, or duplicate
+            }
+            let inc = increments.entry(set).or_insert(0);
+            *inc += 1;
+            if self.per_set.get(&set).copied().unwrap_or(0) + *inc > self.max_ways {
+                return false;
+            }
+            new_lines.push((key, set));
+        }
+        for (key, set) in new_lines {
+            self.lines.insert(key);
+            let e = self.per_set.entry(set).or_insert(0);
+            *e += 1;
+            self.max_used = self.max_used.max(*e);
+        }
+        true
+    }
+
+    fn lines_used(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.lines_used() * self.line_bytes
+    }
+}
+
+/// The paper's contribution: coalescing repair in the LLC (Figure 7c
+/// mapping). One repair line covers `data_devices_per_rank` consecutive
+/// sub-blocks of the faulty device, so a full device row needs only
+/// `blocks_per_row / data_devices` lines (16 in the evaluation system).
+#[derive(Debug, Clone)]
+pub struct RelaxFault {
+    map: RelaxMap,
+    dram: DramConfig,
+    occ: LlcOccupancy,
+}
+
+impl RelaxFault {
+    /// Creates a planner with at most `max_ways_per_set` lines per LLC set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configs are invalid or `max_ways_per_set` is 0 or
+    /// exceeds the LLC associativity.
+    pub fn new(dram: &DramConfig, llc: &CacheConfig, max_ways_per_set: u32) -> Self {
+        Self {
+            map: RelaxMap::new(dram, llc),
+            dram: *dram,
+            occ: LlcOccupancy::new(llc, max_ways_per_set),
+        }
+    }
+
+    /// The repair mapping in use.
+    pub fn mapping(&self) -> &RelaxMap {
+        &self.map
+    }
+
+    /// Analytic count of repair lines a fault would need in isolation.
+    pub fn lines_needed(&self, regions: &[FaultRegion]) -> u64 {
+        regions
+            .iter()
+            .flat_map(|r| r.footprint(&self.dram).rects)
+            .map(|rect| {
+                rect.banks.len() as u64
+                    * rect.rows.len()
+                    * rect.colblocks.divided(self.map.coalesce_factor()).len()
+            })
+            .sum()
+    }
+
+    /// Enumerates the repair lines of one fault.
+    pub fn repair_lines<'a>(
+        &'a self,
+        regions: &'a [FaultRegion],
+    ) -> impl Iterator<Item = RepairLine> + 'a {
+        regions.iter().flat_map(move |r| {
+            let rects = r.footprint(&self.dram).rects;
+            let rank = r.rank;
+            let device = r.device;
+            rects.into_iter().flat_map(move |rect| {
+                let groups = rect.colblocks.divided(self.map.coalesce_factor());
+                rect.banks.iter().flat_map(move |bank| {
+                    rect.rows.iter().flat_map(move |row| {
+                        groups.iter().map(move |colgroup| RepairLine {
+                            rank,
+                            device,
+                            bank,
+                            row,
+                            colgroup,
+                        })
+                    })
+                })
+            })
+        })
+    }
+}
+
+impl RepairMechanism for RelaxFault {
+    fn name(&self) -> &'static str {
+        "RelaxFault"
+    }
+
+    fn try_repair(&mut self, regions: &[FaultRegion]) -> bool {
+        if self.lines_needed(regions) > self.occ.budget_ceiling() {
+            return false; // whole-bank-scale fault: fail before enumerating
+        }
+        let candidates: Vec<(u64, u64)> = self
+            .repair_lines(regions)
+            .map(|l| (self.map.key_of(&l), self.map.set_of(&l)))
+            .collect();
+        self.occ.try_add(&candidates)
+    }
+
+    fn lines_used(&self) -> u64 {
+        self.occ.lines_used()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.occ.bytes_used()
+    }
+
+    fn max_ways_used(&self) -> u32 {
+        self.occ.max_used
+    }
+}
+
+/// The FreeFault baseline (Kim & Erez, HPCA'15): lock one LLC line for
+/// every faulty *physical* 64-byte block, found through the normal
+/// physical-address mapping. Fault-oblivious, so a one-device row fault
+/// costs `blocks_per_row` lines (256) instead of RelaxFault's 16.
+#[derive(Debug, Clone)]
+pub struct FreeFault {
+    dram: DramConfig,
+    dram_map: AddressMap,
+    llc: CacheConfig,
+    occ: LlcOccupancy,
+}
+
+impl FreeFault {
+    /// Creates a planner. `llc.indexing` decides whether the LLC hashes its
+    /// set index — the variable the paper's Figure 8 sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configs or way limits (see [`RelaxFault::new`]).
+    pub fn new(dram: &DramConfig, llc: &CacheConfig, max_ways_per_set: u32) -> Self {
+        Self {
+            dram: *dram,
+            dram_map: AddressMap::nehalem_like(dram, true),
+            llc: *llc,
+            occ: LlcOccupancy::new(llc, max_ways_per_set),
+        }
+    }
+
+    /// Analytic count of LLC lines a fault would need in isolation.
+    pub fn lines_needed(&self, regions: &[FaultRegion]) -> u64 {
+        regions
+            .iter()
+            .flat_map(|r| r.footprint(&self.dram).rects)
+            .map(|rect| rect.block_count())
+            .sum()
+    }
+
+    fn blocks(&self, regions: &[FaultRegion]) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for r in regions {
+            for rect in r.footprint(&self.dram).rects {
+                for bank in rect.banks.iter() {
+                    for row in rect.rows.iter() {
+                        for colblock in rect.colblocks.iter() {
+                            let loc = DramLoc {
+                                channel: r.rank.channel,
+                                dimm: r.rank.dimm,
+                                rank: r.rank.rank,
+                                bank,
+                                row,
+                                colblock,
+                            };
+                            let addr = self.dram_map.encode(loc, 0).0;
+                            out.push((addr >> 6, self.llc.set_of(addr)));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl RepairMechanism for FreeFault {
+    fn name(&self) -> &'static str {
+        "FreeFault"
+    }
+
+    fn try_repair(&mut self, regions: &[FaultRegion]) -> bool {
+        if self.lines_needed(regions) > self.occ.budget_ceiling() {
+            return false;
+        }
+        let candidates = self.blocks(regions);
+        self.occ.try_add(&candidates)
+    }
+
+    fn lines_used(&self) -> u64 {
+        self.occ.lines_used()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.occ.bytes_used()
+    }
+
+    fn max_ways_used(&self) -> u32 {
+        self.occ.max_used
+    }
+}
+
+/// DDR4-style post-package repair: each device owns one spare row per bank
+/// group; blowing an eFuse permanently substitutes the spare for one faulty
+/// row. Repairs are per-device and per-bank-group, so multi-row faults and
+/// column faults exceed its reach (paper §6 and Figure 10's PPR line).
+#[derive(Debug, Clone)]
+pub struct Ppr {
+    dram: DramConfig,
+    banks_per_group: u32,
+    spares_per_group: u32,
+    /// Spares consumed, keyed by (flat rank, device, bank group).
+    used: HashMap<(u32, u32, u32), u32>,
+    /// Rows already repaired, keyed by (flat rank, device, bank, row) —
+    /// a later fault inside a substituted row costs nothing.
+    repaired_rows: HashSet<(u32, u32, u32, u32)>,
+}
+
+impl Ppr {
+    /// Creates a PPR planner with the JEDEC defaults: one spare row per
+    /// bank group, two banks per group for the 8-bank devices modelled
+    /// here (DDR4 groups 4 of 16).
+    pub fn new(dram: &DramConfig) -> Self {
+        Self::with_spares(dram, dram.banks.div_ceil(4).max(1), 1)
+    }
+
+    /// Creates a PPR planner with custom grouping (for ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks_per_group` is 0 or exceeds the bank count.
+    pub fn with_spares(dram: &DramConfig, banks_per_group: u32, spares_per_group: u32) -> Self {
+        assert!(banks_per_group >= 1 && banks_per_group <= dram.banks);
+        Self {
+            dram: *dram,
+            banks_per_group,
+            spares_per_group,
+            used: HashMap::new(),
+            repaired_rows: HashSet::new(),
+        }
+    }
+
+    /// Spare rows consumed so far.
+    pub fn spares_used(&self) -> u64 {
+        self.used.values().map(|&v| v as u64).sum()
+    }
+
+    /// The faulty rows a fault needs substituted, or `None` if the fault is
+    /// not row-shaped (whole banks).
+    fn rows_needed(&self, regions: &[FaultRegion]) -> Option<Vec<(u32, u32, u32, u32)>> {
+        // Cap: a fault needing more rows than the device has spares in
+        // total can never be repaired; avoid enumerating huge clusters.
+        let total_spares =
+            (self.dram.banks / self.banks_per_group).max(1) as u64 * self.spares_per_group as u64;
+        let mut rows = Vec::new();
+        for r in regions {
+            let per_bank = r.extent.rows_per_bank(&self.dram)?;
+            if per_bank > total_spares {
+                return None;
+            }
+            let flat = r.rank.flat_index(&self.dram);
+            match r.extent {
+                Extent::Bit { bank, row, .. }
+                | Extent::Word { bank, row, .. }
+                | Extent::Row { bank, row } => rows.push((flat, r.device, bank, row)),
+                Extent::Column { bank, row_start, row_count, .. }
+                | Extent::RowCluster { bank, row_start, row_count } => {
+                    for row in row_start..row_start + row_count {
+                        rows.push((flat, r.device, bank, row));
+                    }
+                }
+                Extent::Banks { .. } => return None,
+            }
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        Some(rows)
+    }
+}
+
+impl RepairMechanism for Ppr {
+    fn name(&self) -> &'static str {
+        "PPR"
+    }
+
+    fn try_repair(&mut self, regions: &[FaultRegion]) -> bool {
+        let Some(rows) = self.rows_needed(regions) else {
+            return false;
+        };
+        // Count new spares needed per group.
+        let mut needed: HashMap<(u32, u32, u32), u32> = HashMap::new();
+        let mut new_rows = Vec::new();
+        for row_key in rows {
+            if self.repaired_rows.contains(&row_key) {
+                continue;
+            }
+            let (flat, device, bank, _row) = row_key;
+            let group = bank / self.banks_per_group;
+            let n = needed.entry((flat, device, group)).or_insert(0);
+            *n += 1;
+            if self.used.get(&(flat, device, group)).copied().unwrap_or(0) + *n
+                > self.spares_per_group
+            {
+                return false;
+            }
+            new_rows.push(row_key);
+        }
+        for row_key in new_rows {
+            let (flat, device, bank, _row) = row_key;
+            let group = bank / self.banks_per_group;
+            *self.used.entry((flat, device, group)).or_insert(0) += 1;
+            self.repaired_rows.insert(row_key);
+        }
+        true
+    }
+
+    fn lines_used(&self) -> u64 {
+        0
+    }
+
+    fn bytes_used(&self) -> u64 {
+        0
+    }
+
+    fn max_ways_used(&self) -> u32 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relaxfault_dram::RankId;
+    use relaxfault_faults::BankSet;
+
+    fn dram() -> DramConfig {
+        DramConfig::isca16_reliability()
+    }
+
+    fn llc() -> CacheConfig {
+        CacheConfig::isca16_llc()
+    }
+
+    fn rank0() -> RankId {
+        RankId { channel: 0, dimm: 0, rank: 0 }
+    }
+
+    fn region(extent: Extent) -> FaultRegion {
+        FaultRegion { rank: rank0(), device: 3, extent }
+    }
+
+    // --- RelaxFault ---
+
+    #[test]
+    fn relaxfault_costs_match_paper_arithmetic() {
+        let d = dram();
+        let mut rf = RelaxFault::new(&d, &llc(), 1);
+        assert!(rf.try_repair(&[region(Extent::Bit { bank: 0, row: 1, col: 2 })]));
+        assert_eq!(rf.lines_used(), 1);
+        assert!(rf.try_repair(&[region(Extent::Row { bank: 1, row: 7 })]));
+        assert_eq!(rf.lines_used(), 17, "a device row adds 16 lines (1 KiB)");
+        assert_eq!(rf.bytes_used(), 17 * 64);
+        assert_eq!(rf.max_ways_used(), 1);
+    }
+
+    #[test]
+    fn relaxfault_column_fault_fits_one_way() {
+        let mut rf = RelaxFault::new(&dram(), &llc(), 1);
+        let col = region(Extent::Column { bank: 2, col: 40, row_start: 512, row_count: 512 });
+        assert!(rf.try_repair(&[col]));
+        assert_eq!(rf.lines_used(), 512); // 32 KiB
+        assert_eq!(rf.max_ways_used(), 1);
+    }
+
+    #[test]
+    fn relaxfault_cluster_needs_more_ways_past_llc_fill() {
+        // 1024-row cluster = 16,384 lines: double the set count, so the
+        // 1-way planner must refuse and the 2-way planner must succeed
+        // with perfectly even occupancy.
+        let cluster = region(Extent::RowCluster { bank: 0, row_start: 0, row_count: 1024 });
+        let mut one = RelaxFault::new(&dram(), &llc(), 1);
+        assert!(!one.try_repair(&[cluster]));
+        assert_eq!(one.lines_used(), 0, "failed repair must not leak lines");
+        let mut two = RelaxFault::new(&dram(), &llc(), 2);
+        assert!(two.try_repair(&[cluster]));
+        assert_eq!(two.lines_used(), 16384);
+        assert_eq!(two.max_ways_used(), 2);
+    }
+
+    #[test]
+    fn relaxfault_rejects_whole_bank_fast() {
+        let mut rf = RelaxFault::new(&dram(), &llc(), 16);
+        let bank = region(Extent::Banks { banks: BankSet::one(0) });
+        assert!(!rf.try_repair(&[bank]));
+        assert_eq!(rf.lines_used(), 0);
+    }
+
+    #[test]
+    fn relaxfault_shares_lines_between_overlapping_faults() {
+        let mut rf = RelaxFault::new(&dram(), &llc(), 1);
+        assert!(rf.try_repair(&[region(Extent::Row { bank: 0, row: 9 })]));
+        // A later bit fault inside that row costs nothing new.
+        assert!(rf.try_repair(&[region(Extent::Bit { bank: 0, row: 9, col: 77 })]));
+        assert_eq!(rf.lines_used(), 16);
+    }
+
+    #[test]
+    fn relaxfault_way_limit_is_per_set() {
+        // Under canonical indexing the device ID is pure tag: identical-row
+        // faults on two devices collide set-for-set, so the 1-way planner
+        // must refuse the second and a 2-way planner must take it.
+        let unhashed = CacheConfig::isca16_llc_no_hash();
+        let mut rf = RelaxFault::new(&dram(), &unhashed, 1);
+        let a = FaultRegion { rank: rank0(), device: 3, extent: Extent::Row { bank: 0, row: 5 } };
+        let b = FaultRegion { rank: rank0(), device: 4, extent: Extent::Row { bank: 0, row: 5 } };
+        assert!(rf.try_repair(&[a]));
+        assert!(!rf.try_repair(&[b]));
+        assert_eq!(rf.lines_used(), 16, "refused repair leaves state intact");
+        let mut rf2 = RelaxFault::new(&dram(), &unhashed, 2);
+        assert!(rf2.try_repair(&[a]));
+        assert!(rf2.try_repair(&[b]));
+        assert_eq!(rf2.max_ways_used(), 2);
+        // With set-index hashing the device tag bits fold into the index,
+        // so the same pair spreads out and even 1 way suffices.
+        let mut hashed = RelaxFault::new(&dram(), &llc(), 1);
+        assert!(hashed.try_repair(&[a]));
+        assert!(hashed.try_repair(&[b]));
+        assert_eq!(hashed.max_ways_used(), 1);
+    }
+
+    #[test]
+    fn relaxfault_repairs_ecc_devices_too() {
+        let mut rf = RelaxFault::new(&dram(), &llc(), 1);
+        let ecc_dev = FaultRegion {
+            rank: rank0(),
+            device: 17,
+            extent: Extent::Row { bank: 0, row: 0 },
+        };
+        assert!(rf.try_repair(&[ecc_dev]));
+        assert_eq!(rf.lines_used(), 16);
+    }
+
+    // --- FreeFault ---
+
+    #[test]
+    fn freefault_row_fault_costs_16x_relaxfault() {
+        let mut ff = FreeFault::new(&dram(), &llc(), 1);
+        assert!(ff.try_repair(&[region(Extent::Row { bank: 1, row: 7 })]));
+        assert_eq!(ff.lines_used(), 256, "one block per physical line (16 KiB)");
+    }
+
+    #[test]
+    fn freefault_without_hash_cannot_repair_columns() {
+        // The Figure 8 effect: a subarray column fault maps to few sets
+        // under canonical indexing (row bits live in the tag).
+        let col = region(Extent::Column { bank: 2, col: 40, row_start: 0, row_count: 512 });
+        let mut plain = FreeFault::new(&dram(), &CacheConfig::isca16_llc_no_hash(), 16);
+        assert!(!plain.try_repair(&[col]));
+        let mut hashed = FreeFault::new(&dram(), &llc(), 1);
+        assert!(hashed.try_repair(&[col]));
+        assert_eq!(hashed.lines_used(), 512);
+    }
+
+    #[test]
+    fn freefault_rejects_clusters_relaxfault_accepts() {
+        let cluster = region(Extent::RowCluster { bank: 0, row_start: 0, row_count: 64 });
+        // 64 rows × 256 blocks = 16,384 lines for FreeFault (1 MiB), with
+        // 16 lines per set — beyond a 4-way budget.
+        let mut ff = FreeFault::new(&dram(), &llc(), 4);
+        assert!(!ff.try_repair(&[cluster]));
+        // RelaxFault coalesces to 1,024 lines spread one per set.
+        let mut rf = RelaxFault::new(&dram(), &llc(), 1);
+        assert!(rf.try_repair(&[cluster]));
+        assert_eq!(rf.lines_used(), 1024);
+    }
+
+    #[test]
+    fn freefault_bit_fault_is_one_line() {
+        let mut ff = FreeFault::new(&dram(), &llc(), 1);
+        assert!(ff.try_repair(&[region(Extent::Bit { bank: 0, row: 0, col: 0 })]));
+        assert_eq!(ff.lines_used(), 1);
+        // Another device, same block: the block is already locked.
+        let other = FaultRegion {
+            rank: rank0(),
+            device: 9,
+            extent: Extent::Bit { bank: 0, row: 0, col: 3 },
+        };
+        assert!(ff.try_repair(&[other]));
+        assert_eq!(ff.lines_used(), 1, "FreeFault repairs whole blocks");
+    }
+
+    // --- PPR ---
+
+    #[test]
+    fn ppr_repairs_rows_and_bits() {
+        let mut ppr = Ppr::new(&dram());
+        assert!(ppr.try_repair(&[region(Extent::Row { bank: 0, row: 1 })]));
+        assert!(ppr.try_repair(&[region(Extent::Bit { bank: 2, row: 3, col: 4 })]));
+        assert_eq!(ppr.spares_used(), 2);
+        assert_eq!(ppr.lines_used(), 0);
+    }
+
+    #[test]
+    fn ppr_exhausts_per_group_spares() {
+        let d = dram();
+        let mut ppr = Ppr::new(&d); // 8 banks → 4 groups of 2, 1 spare each
+        assert!(ppr.try_repair(&[region(Extent::Row { bank: 0, row: 1 })]));
+        // Bank 1 shares group 0 with bank 0: no spare left.
+        assert!(!ppr.try_repair(&[region(Extent::Row { bank: 1, row: 9 })]));
+        // Bank 2 is group 1: fine.
+        assert!(ppr.try_repair(&[region(Extent::Row { bank: 2, row: 9 })]));
+        // A different *device* has its own spares.
+        let other_dev = FaultRegion {
+            rank: rank0(),
+            device: 7,
+            extent: Extent::Row { bank: 0, row: 1 },
+        };
+        assert!(ppr.try_repair(&[other_dev]));
+    }
+
+    #[test]
+    fn ppr_cannot_repair_columns_or_banks() {
+        let mut ppr = Ppr::new(&dram());
+        let col = region(Extent::Column { bank: 0, col: 0, row_start: 0, row_count: 512 });
+        let bank = region(Extent::Banks { banks: BankSet::one(0) });
+        let cluster = region(Extent::RowCluster { bank: 0, row_start: 0, row_count: 16 });
+        assert!(!ppr.try_repair(&[col]));
+        assert!(!ppr.try_repair(&[bank]));
+        assert!(!ppr.try_repair(&[cluster]));
+        assert_eq!(ppr.spares_used(), 0);
+    }
+
+    #[test]
+    fn ppr_free_rides_on_substituted_rows() {
+        let mut ppr = Ppr::new(&dram());
+        assert!(ppr.try_repair(&[region(Extent::Row { bank: 0, row: 1 })]));
+        // New fault inside the already-substituted row: free.
+        assert!(ppr.try_repair(&[region(Extent::Bit { bank: 0, row: 1, col: 5 })]));
+        assert_eq!(ppr.spares_used(), 1);
+    }
+
+    #[test]
+    fn ppr_with_generous_spares_takes_small_clusters() {
+        let mut ppr = Ppr::with_spares(&dram(), 2, 8);
+        let cluster = region(Extent::RowCluster { bank: 0, row_start: 0, row_count: 8 });
+        assert!(ppr.try_repair(&[cluster]));
+        assert_eq!(ppr.spares_used(), 8);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use relaxfault_dram::RankId;
+
+    fn arb_extent() -> impl Strategy<Value = Extent> {
+        prop_oneof![
+            (0u32..8, 0u32..65536, 0u32..2048)
+                .prop_map(|(bank, row, col)| Extent::Bit { bank, row, col }),
+            (0u32..8, 0u32..65536).prop_map(|(bank, row)| Extent::Row { bank, row }),
+            (0u32..8, 0u32..2048, 0u32..127)
+                .prop_map(|(bank, col, sa)| Extent::Column {
+                    bank,
+                    col,
+                    row_start: sa * 512,
+                    row_count: 512,
+                }),
+            (0u32..8, 0u32..60000, 1u32..2048).prop_map(|(bank, start, rows)| {
+                Extent::RowCluster {
+                    bank,
+                    row_start: start.min(65536 - rows),
+                    row_count: rows,
+                }
+            }),
+            (0u32..8).prop_map(|b| Extent::Banks { banks: relaxfault_faults::BankSet::one(b) }),
+        ]
+    }
+
+    fn arb_region() -> impl Strategy<Value = FaultRegion> {
+        (0u32..4, 0u32..2, 0u32..18, arb_extent()).prop_map(|(ch, di, device, extent)| {
+            FaultRegion {
+                rank: RankId { channel: ch, dimm: di, rank: 0 },
+                device,
+                extent,
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// try_repair is atomic: on failure nothing changes; on success the
+        /// line count grows by at most the analytic need and the way limit
+        /// holds.
+        #[test]
+        fn relaxfault_try_repair_is_atomic(regions in proptest::collection::vec(arb_region(), 1..6)) {
+            let dram = DramConfig::isca16_reliability();
+            let llc = CacheConfig::isca16_llc();
+            let mut rf = RelaxFault::new(&dram, &llc, 1);
+            for r in &regions {
+                let before_lines = rf.lines_used();
+                let before_ways = rf.max_ways_used();
+                let need = rf.lines_needed(&[*r]);
+                let ok = rf.try_repair(&[*r]);
+                if ok {
+                    prop_assert!(rf.lines_used() <= before_lines + need);
+                    prop_assert!(rf.max_ways_used() <= 1);
+                } else {
+                    prop_assert_eq!(rf.lines_used(), before_lines, "failed repair leaked lines");
+                    prop_assert_eq!(rf.max_ways_used(), before_ways);
+                }
+                prop_assert_eq!(rf.bytes_used(), rf.lines_used() * 64);
+            }
+        }
+
+        /// FreeFault never uses fewer lines than RelaxFault for the same
+        /// fault (coalescing only helps), and both respect analytic counts.
+        #[test]
+        fn coalescing_never_loses(region in arb_region()) {
+            let dram = DramConfig::isca16_reliability();
+            let llc = CacheConfig::isca16_llc();
+            let mut rf = RelaxFault::new(&dram, &llc, 16);
+            let mut ff = FreeFault::new(&dram, &llc, 16);
+            prop_assert!(rf.lines_needed(&[region]) <= ff.lines_needed(&[region]));
+            let rf_ok = rf.try_repair(&[region]);
+            let ff_ok = ff.try_repair(&[region]);
+            if rf_ok && ff_ok {
+                prop_assert!(rf.lines_used() <= ff.lines_used());
+            }
+            // FreeFault never repairs something RelaxFault cannot: its
+            // footprint per fault is a superset in lines and sets.
+            if !rf_ok {
+                // RelaxFault refused only for budget reasons; FreeFault
+                // needs ≥ as many lines, so it must refuse too.
+                prop_assert!(!ff_ok);
+            }
+        }
+
+        /// PPR accounting: spares used never exceeds groups × devices ×
+        /// spares, and repairs are idempotent per row.
+        #[test]
+        fn ppr_spares_bounded(regions in proptest::collection::vec(arb_region(), 1..10)) {
+            let dram = DramConfig::isca16_reliability();
+            let mut ppr = Ppr::new(&dram);
+            for r in &regions {
+                let _ = ppr.try_repair(&[*r]);
+                let _ = ppr.try_repair(&[*r]); // idempotent second offer
+            }
+            let bound = dram.ranks_per_node() as u64
+                * dram.devices_per_rank() as u64
+                * (dram.banks / 2) as u64;
+            prop_assert!(ppr.spares_used() <= bound);
+        }
+    }
+}

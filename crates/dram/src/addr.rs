@@ -1,0 +1,476 @@
+//! Physical-address ⇄ DRAM-location mapping (paper Figure 7a).
+//!
+//! Memory controllers scatter the fields of a DRAM location across physical
+//! address bits to balance row locality against bank parallelism, and often
+//! XOR low row bits into the bank index (the permutation-based interleave of
+//! Zhang et al.) to break pathological bank conflicts. Both are modelled
+//! here as an explicit, invertible bit-field layout.
+//!
+//! The *structure* of this mapping is what RelaxFault exploits: a fault that
+//! is contiguous in DRAM coordinates (one device row, one device column) is
+//! scattered across many cache lines by this map, and the RelaxFault repair
+//! mapping (in `relaxfault-core`) undoes the scatter.
+
+use crate::config::{DramConfig, RankId};
+use relaxfault_util::bits::{bits_for, deposit, extract, mask};
+use serde::{Deserialize, Serialize};
+
+/// A byte-granularity physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct PhysAddr(pub u64);
+
+impl std::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#011x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+/// A block-granularity DRAM location: which 64-byte rank access an address
+/// names. `colblock` is the column address divided by the burst length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramLoc {
+    /// Channel index.
+    pub channel: u32,
+    /// DIMM index within the channel.
+    pub dimm: u32,
+    /// Rank index within the DIMM.
+    pub rank: u32,
+    /// Bank index within the rank (after bank hashing, the *physical* bank).
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Block-column index within the row (`col / burst_length`).
+    pub colblock: u32,
+}
+
+impl DramLoc {
+    /// The rank this block lives in.
+    pub fn rank_id(&self) -> RankId {
+        RankId {
+            channel: self.channel,
+            dimm: self.dimm,
+            rank: self.rank,
+        }
+    }
+}
+
+/// One logical field of the address layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Field {
+    /// Byte offset within the 64-byte block.
+    Offset,
+    /// Channel select.
+    Channel,
+    /// DIMM select within a channel.
+    Dimm,
+    /// Rank select within a DIMM.
+    Rank,
+    /// Bank select (pre-hash logical bank).
+    Bank,
+    /// Row index.
+    Row,
+    /// Block-column index.
+    ColBlock,
+}
+
+/// An invertible physical-address ⇄ DRAM-location mapping: an ordered list
+/// of `(field, width)` segments from LSB to MSB, plus an optional XOR bank
+/// hash folding the low `bank_xor_row_bits` row bits into the bank index.
+///
+/// Split fields are supported (and are the norm: the column field is
+/// scattered around the bank/rank bits in Figure 7a); segments of one field
+/// concatenate LSB-first.
+///
+/// # Examples
+///
+/// ```
+/// use relaxfault_dram::{AddressMap, DramConfig, PhysAddr};
+/// let cfg = DramConfig::isca16_reliability();
+/// let map = AddressMap::nehalem_like(&cfg, true);
+/// let (loc, off) = map.decode(PhysAddr(0x3FF));
+/// assert_eq!(off, 0x3F);
+/// assert_eq!(map.encode(loc, off), PhysAddr(0x3FF));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMap {
+    layout: Vec<(Field, u32)>,
+    bank_xor_row_bits: u32,
+    bank_bits: u32,
+}
+
+impl AddressMap {
+    /// Builds a mapping from an explicit layout.
+    ///
+    /// `bank_xor_row_bits` row bits (the low ones) are XORed into the bank
+    /// index after extraction; pass `0` to disable bank hashing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank_xor_row_bits` exceeds the total bank width.
+    pub fn new(layout: Vec<(Field, u32)>, bank_xor_row_bits: u32) -> Self {
+        let bank_bits: u32 = layout
+            .iter()
+            .filter(|(f, _)| *f == Field::Bank)
+            .map(|(_, w)| *w)
+            .sum();
+        assert!(
+            bank_xor_row_bits <= bank_bits,
+            "bank hash wider than bank field ({bank_xor_row_bits} > {bank_bits})"
+        );
+        Self {
+            layout,
+            bank_xor_row_bits,
+            bank_bits,
+        }
+    }
+
+    /// The conventional performance-oriented mapping used in the paper's
+    /// examples (modelled on Intel Nehalem, Figure 7a): from LSB —
+    /// block offset, low column bits (row-buffer locality for streams),
+    /// channel, bank, the remaining column bits, DIMM/rank selects, and rows
+    /// on top. With `bank_hash`, low row bits XOR-fold into the bank index
+    /// (Zhang et al. permutation interleave).
+    ///
+    /// Two placement properties of this layout carry the paper's Figure 8
+    /// result and are asserted by tests:
+    ///
+    /// * every column bit lies below the DIMM/row bits, i.e. inside the LLC
+    ///   set-index window of an 8 MiB LLC (bits 6..19) — so a one-device
+    ///   *row* fault spreads across sets even without set-index hashing;
+    /// * all row bits lie above that window — so a one-device *column*
+    ///   fault collapses into a single set unless the LLC hashes tag bits
+    ///   into the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`DramConfig::validate`].
+    pub fn nehalem_like(cfg: &DramConfig, bank_hash: bool) -> Self {
+        cfg.validate().expect("invalid DramConfig");
+        let off = bits_for(cfg.line_bytes() as u64);
+        let ch = bits_for(cfg.channels as u64);
+        let di = bits_for(cfg.dimms_per_channel as u64);
+        let rk = bits_for(cfg.ranks_per_dimm as u64);
+        let bk = bits_for(cfg.banks as u64);
+        let rw = bits_for(cfg.rows as u64);
+        let cb = bits_for(cfg.blocks_per_row() as u64);
+
+        let cb_low = cb.min(2);
+        let cb_high = cb - cb_low;
+
+        let mut layout = vec![(Field::Offset, off)];
+        if cb_low > 0 {
+            layout.push((Field::ColBlock, cb_low));
+        }
+        if ch > 0 {
+            layout.push((Field::Channel, ch));
+        }
+        if bk > 0 {
+            layout.push((Field::Bank, bk));
+        }
+        if cb_high > 0 {
+            layout.push((Field::ColBlock, cb_high));
+        }
+        if di > 0 {
+            layout.push((Field::Dimm, di));
+        }
+        if rk > 0 {
+            layout.push((Field::Rank, rk));
+        }
+        layout.push((Field::Row, rw));
+
+        let hash_bits = if bank_hash { bk.min(rw) } else { 0 };
+        Self::new(layout, hash_bits)
+    }
+
+    /// Total number of address bits the layout covers.
+    pub fn total_bits(&self) -> u32 {
+        self.layout.iter().map(|(_, w)| w).sum()
+    }
+
+    /// Whether bank hashing is enabled.
+    pub fn has_bank_hash(&self) -> bool {
+        self.bank_xor_row_bits > 0
+    }
+
+    /// The layout segments, LSB first.
+    pub fn layout(&self) -> &[(Field, u32)] {
+        &self.layout
+    }
+
+    /// Physical-address bit positions (LSB-first) occupied by `field`.
+    pub fn field_bit_positions(&self, field: Field) -> Vec<u32> {
+        let mut positions = Vec::new();
+        let mut lsb = 0;
+        for &(f, w) in &self.layout {
+            if f == field {
+                positions.extend(lsb..lsb + w);
+            }
+            lsb += w;
+        }
+        positions
+    }
+
+    /// Width of `field` in bits.
+    pub fn field_width(&self, field: Field) -> u32 {
+        self.layout
+            .iter()
+            .filter(|(f, _)| *f == field)
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
+    /// Decodes a physical address into a DRAM block location and the byte
+    /// offset within the block.
+    pub fn decode(&self, addr: PhysAddr) -> (DramLoc, u32) {
+        let mut vals = [0u64; 7];
+        let mut taken = [0u32; 7];
+        let mut lsb = 0;
+        for &(f, w) in &self.layout {
+            let idx = f as usize;
+            let seg = extract(addr.0, lsb, w);
+            vals[idx] |= seg << taken[idx];
+            taken[idx] += w;
+            lsb += w;
+        }
+        let row = vals[Field::Row as usize] as u32;
+        let mut bank = vals[Field::Bank as usize] as u32;
+        bank ^= row & mask(self.bank_xor_row_bits) as u32;
+        (
+            DramLoc {
+                channel: vals[Field::Channel as usize] as u32,
+                dimm: vals[Field::Dimm as usize] as u32,
+                rank: vals[Field::Rank as usize] as u32,
+                bank,
+                row,
+                colblock: vals[Field::ColBlock as usize] as u32,
+            },
+            vals[Field::Offset as usize] as u32,
+        )
+    }
+
+    /// Encodes a DRAM block location and byte offset back into a physical
+    /// address. Exact inverse of [`AddressMap::decode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate exceeds its field width.
+    pub fn encode(&self, loc: DramLoc, offset: u32) -> PhysAddr {
+        let logical_bank = loc.bank ^ (loc.row & mask(self.bank_xor_row_bits) as u32);
+        let mut vals = [0u64; 7];
+        vals[Field::Offset as usize] = offset as u64;
+        vals[Field::Channel as usize] = loc.channel as u64;
+        vals[Field::Dimm as usize] = loc.dimm as u64;
+        vals[Field::Rank as usize] = loc.rank as u64;
+        vals[Field::Bank as usize] = logical_bank as u64;
+        vals[Field::Row as usize] = loc.row as u64;
+        vals[Field::ColBlock as usize] = loc.colblock as u64;
+
+        let mut addr = 0u64;
+        let mut taken = [0u32; 7];
+        let mut lsb = 0;
+        for &(f, w) in &self.layout {
+            let idx = f as usize;
+            let seg = extract(vals[idx], taken[idx], w);
+            addr = deposit(addr, lsb, w, seg);
+            taken[idx] += w;
+            lsb += w;
+        }
+        // Verify nothing overflowed its field.
+        for (i, &v) in vals.iter().enumerate() {
+            assert!(
+                taken[i] == 64 || v < (1u64 << taken[i]) || (taken[i] == 0 && v == 0),
+                "coordinate {i} value {v:#x} exceeds field width {}",
+                taken[i]
+            );
+        }
+        PhysAddr(addr)
+    }
+
+    /// Verifies that this layout covers exactly the geometry of `cfg`
+    /// (every field as wide as the config requires, total bits equal to
+    /// `log2(node_bytes)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn validate_for(&self, cfg: &DramConfig) -> Result<(), String> {
+        let expect = [
+            (Field::Offset, bits_for(cfg.line_bytes() as u64)),
+            (Field::Channel, bits_for(cfg.channels as u64)),
+            (Field::Dimm, bits_for(cfg.dimms_per_channel as u64)),
+            (Field::Rank, bits_for(cfg.ranks_per_dimm as u64)),
+            (Field::Bank, bits_for(cfg.banks as u64)),
+            (Field::Row, bits_for(cfg.rows as u64)),
+            (Field::ColBlock, bits_for(cfg.blocks_per_row() as u64)),
+        ];
+        for (field, want) in expect {
+            let got = self.field_width(field);
+            if got != want {
+                return Err(format!("field {field:?}: layout has {got} bits, config needs {want}"));
+            }
+        }
+        let want_total = bits_for(cfg.node_bytes());
+        if self.total_bits() != want_total {
+            return Err(format!(
+                "layout covers {} bits, node needs {want_total}",
+                self.total_bits()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig::isca16_reliability()
+    }
+
+    #[test]
+    fn nehalem_layout_covers_config() {
+        for hash in [false, true] {
+            let map = AddressMap::nehalem_like(&cfg(), hash);
+            map.validate_for(&cfg()).unwrap();
+            assert_eq!(map.total_bits(), 36); // 64 GiB node
+        }
+    }
+
+    #[test]
+    fn decode_low_bits_are_offset() {
+        let map = AddressMap::nehalem_like(&cfg(), true);
+        let (_, off) = map.decode(PhysAddr(0x2A));
+        assert_eq!(off, 0x2A);
+    }
+
+    #[test]
+    fn consecutive_lines_change_channel_before_row() {
+        // Stream locality: adjacent blocks should spread across channels
+        // and low column bits, not rows.
+        let map = AddressMap::nehalem_like(&cfg(), false);
+        let (a, _) = map.decode(PhysAddr(0));
+        let (b, _) = map.decode(PhysAddr(64 * 4)); // 4 lines on
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank, b.bank);
+    }
+
+    #[test]
+    fn bank_hash_xors_low_row_bits() {
+        let cfg = cfg();
+        let plain = AddressMap::nehalem_like(&cfg, false);
+        let hashed = AddressMap::nehalem_like(&cfg, true);
+        // Find an address with a nonzero low row field.
+        let loc = DramLoc {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+            bank: 0,
+            row: 0b101,
+            colblock: 0,
+        };
+        let addr = plain.encode(loc, 0);
+        let (hloc, _) = hashed.decode(addr);
+        assert_eq!(hloc.row, 0b101);
+        assert_eq!(hloc.bank, 0b101); // logical bank 0 ^ row low bits
+    }
+
+    #[test]
+    fn field_positions_partition_address() {
+        let map = AddressMap::nehalem_like(&cfg(), true);
+        let mut all: Vec<u32> = Vec::new();
+        for f in [
+            Field::Offset,
+            Field::Channel,
+            Field::Dimm,
+            Field::Rank,
+            Field::Bank,
+            Field::Row,
+            Field::ColBlock,
+        ] {
+            all.extend(map.field_bit_positions(f));
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..map.total_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn column_bits_are_split_around_bank() {
+        let map = AddressMap::nehalem_like(&cfg(), false);
+        let col = map.field_bit_positions(Field::ColBlock);
+        assert_eq!(col.len(), 8);
+        // Not contiguous: the scatter is the point.
+        assert!(col.windows(2).any(|w| w[1] != w[0] + 1));
+    }
+
+    #[test]
+    fn column_bits_below_row_bits() {
+        // The placement properties that carry the paper's Figure 8 result:
+        // column bits inside an 8 MiB LLC's set-index window, rows above it.
+        let map = AddressMap::nehalem_like(&cfg(), true);
+        let col_max = *map.field_bit_positions(Field::ColBlock).iter().max().unwrap();
+        let row_min = *map.field_bit_positions(Field::Row).iter().min().unwrap();
+        assert!(col_max < 19, "column bits must stay in the set-index window");
+        assert!(row_min >= 19, "row bits must sit above the set-index window");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds field width")]
+    fn encode_rejects_out_of_range_coordinates() {
+        let map = AddressMap::nehalem_like(&cfg(), false);
+        let loc = DramLoc {
+            channel: 99, // only 4 channels
+            dimm: 0,
+            rank: 0,
+            bank: 0,
+            row: 0,
+            colblock: 0,
+        };
+        map.encode(loc, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_decode_encode(addr in 0u64..(1u64 << 36), hash in any::<bool>()) {
+            let map = AddressMap::nehalem_like(&cfg(), hash);
+            let (loc, off) = map.decode(PhysAddr(addr));
+            prop_assert_eq!(map.encode(loc, off), PhysAddr(addr));
+        }
+
+        #[test]
+        fn roundtrip_encode_decode(
+            channel in 0u32..4, dimm in 0u32..2, bank in 0u32..8,
+            row in 0u32..65536, colblock in 0u32..256, off in 0u32..64,
+            hash in any::<bool>()
+        ) {
+            let map = AddressMap::nehalem_like(&cfg(), hash);
+            let loc = DramLoc { channel, dimm, rank: 0, bank, row, colblock };
+            let addr = map.encode(loc, off);
+            let (loc2, off2) = map.decode(addr);
+            prop_assert_eq!(loc, loc2);
+            prop_assert_eq!(off, off2);
+        }
+
+        #[test]
+        fn distinct_addresses_distinct_locations(a in 0u64..(1u64 << 36), b in 0u64..(1u64 << 36)) {
+            prop_assume!(a != b);
+            let map = AddressMap::nehalem_like(&cfg(), true);
+            let da = map.decode(PhysAddr(a));
+            let db = map.decode(PhysAddr(b));
+            prop_assert_ne!(da, db);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Memory-system geometry: channels, DIMMs, ranks, devices, banks, subarrays.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one node's DRAM system (paper Figure 1).
+///
+/// All structural counts must be powers of two (the address mapping scatters
+/// bit fields), except the device counts per rank: an ECC DIMM has
+/// `data_devices_per_rank + ecc_devices_per_rank` devices (18 for chipkill
+/// with ×4 parts), and only the data devices appear in the 64-byte line.
+///
+/// # Examples
+///
+/// ```
+/// let cfg = relaxfault_dram::DramConfig::isca16_reliability();
+/// assert_eq!(cfg.line_bytes(), 64);
+/// assert_eq!(cfg.dimms_per_node(), 8);
+/// assert_eq!(cfg.node_bytes(), 64 << 30); // 8 × 8 GiB DIMMs
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Independent memory channels per node.
+    pub channels: u32,
+    /// DIMMs sharing each channel.
+    pub dimms_per_channel: u32,
+    /// Ranks per DIMM.
+    pub ranks_per_dimm: u32,
+    /// Devices per rank that carry data (16 for a 64-bit bus of ×4 parts).
+    pub data_devices_per_rank: u32,
+    /// Redundant devices per rank for ECC (2 for ×4 chipkill).
+    pub ecc_devices_per_rank: u32,
+    /// DQ width of each device in bits (×4 → 4).
+    pub device_width: u32,
+    /// Banks per device.
+    pub banks: u32,
+    /// Rows per bank.
+    pub rows: u32,
+    /// Column addresses per row (each selects `device_width` bits/device).
+    pub cols: u32,
+    /// Burst length (column addresses consumed per 64-byte access).
+    pub burst_length: u32,
+    /// Rows per subarray/tile (Figure 1 shows 512×512 tiles).
+    pub subarray_rows: u32,
+}
+
+impl DramConfig {
+    /// The reliability-evaluation system of Section 4.1: 8 × 8 GiB DDR3
+    /// DIMMs per node (4 channels × 2 DIMMs), each DIMM one rank of
+    /// 18 ×4 devices (16 data + 2 ECC) with 8 banks of 65536 × 2048.
+    pub fn isca16_reliability() -> Self {
+        Self {
+            channels: 4,
+            dimms_per_channel: 2,
+            ranks_per_dimm: 1,
+            data_devices_per_rank: 16,
+            ecc_devices_per_rank: 2,
+            device_width: 4,
+            banks: 8,
+            rows: 65536,
+            cols: 2048,
+            burst_length: 8,
+            subarray_rows: 512,
+        }
+    }
+
+    /// The performance-evaluation system of Table 3: 2 channels, 2 ranks per
+    /// channel, 8 banks per rank, DDR3-1600 parts.
+    pub fn isca16_performance() -> Self {
+        Self {
+            channels: 2,
+            dimms_per_channel: 2,
+            ranks_per_dimm: 1,
+            data_devices_per_rank: 16,
+            ecc_devices_per_rank: 2,
+            device_width: 4,
+            banks: 8,
+            rows: 65536,
+            cols: 2048,
+            burst_length: 8,
+            subarray_rows: 512,
+        }
+    }
+
+    /// Checks the structural power-of-two and sizing invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let pow2 = |name: &str, v: u32| {
+            if v == 0 || !v.is_power_of_two() {
+                Err(format!("{name} must be a nonzero power of two, got {v}"))
+            } else {
+                Ok(())
+            }
+        };
+        pow2("channels", self.channels)?;
+        pow2("dimms_per_channel", self.dimms_per_channel)?;
+        pow2("ranks_per_dimm", self.ranks_per_dimm)?;
+        pow2("data_devices_per_rank", self.data_devices_per_rank)?;
+        pow2("device_width", self.device_width)?;
+        pow2("banks", self.banks)?;
+        pow2("rows", self.rows)?;
+        pow2("cols", self.cols)?;
+        pow2("burst_length", self.burst_length)?;
+        pow2("subarray_rows", self.subarray_rows)?;
+        if self.cols < self.burst_length {
+            return Err(format!(
+                "cols ({}) must be at least burst_length ({})",
+                self.cols, self.burst_length
+            ));
+        }
+        if self.subarray_rows > self.rows {
+            return Err(format!(
+                "subarray_rows ({}) must not exceed rows ({})",
+                self.subarray_rows, self.rows
+            ));
+        }
+        if !self.line_bytes().is_multiple_of(self.data_devices_per_rank) {
+            return Err("line bytes must divide evenly across data devices".into());
+        }
+        Ok(())
+    }
+
+    /// Bytes per cache-line-sized rank access:
+    /// `data_devices × device_width × burst / 8`.
+    pub fn line_bytes(&self) -> u32 {
+        self.data_devices_per_rank * self.device_width * self.burst_length / 8
+    }
+
+    /// 64-byte blocks per row (`cols / burst_length`).
+    pub fn blocks_per_row(&self) -> u32 {
+        self.cols / self.burst_length
+    }
+
+    /// Bytes each device contributes to one line (`device_width × burst / 8`).
+    pub fn device_subblock_bytes(&self) -> u32 {
+        self.device_width * self.burst_length / 8
+    }
+
+    /// Total devices per rank including ECC devices.
+    pub fn devices_per_rank(&self) -> u32 {
+        self.data_devices_per_rank + self.ecc_devices_per_rank
+    }
+
+    /// Capacity of one device in bits.
+    pub fn device_bits(&self) -> u64 {
+        self.banks as u64 * self.rows as u64 * self.cols as u64 * self.device_width as u64
+    }
+
+    /// Data bytes per rank (excluding ECC devices).
+    pub fn rank_bytes(&self) -> u64 {
+        self.device_bits() * self.data_devices_per_rank as u64 / 8
+    }
+
+    /// Data bytes per DIMM.
+    pub fn dimm_bytes(&self) -> u64 {
+        self.rank_bytes() * self.ranks_per_dimm as u64
+    }
+
+    /// Data bytes per node.
+    pub fn node_bytes(&self) -> u64 {
+        self.dimm_bytes() * self.dimms_per_node() as u64
+    }
+
+    /// DIMMs per node.
+    pub fn dimms_per_node(&self) -> u32 {
+        self.channels * self.dimms_per_channel
+    }
+
+    /// Ranks per node.
+    pub fn ranks_per_node(&self) -> u32 {
+        self.dimms_per_node() * self.ranks_per_dimm
+    }
+
+    /// Devices per node (including ECC devices) — the population the fault
+    /// model injects into.
+    pub fn devices_per_node(&self) -> u32 {
+        self.ranks_per_node() * self.devices_per_rank()
+    }
+
+    /// Subarrays (tile rows) per bank.
+    pub fn subarrays_per_bank(&self) -> u32 {
+        self.rows / self.subarray_rows
+    }
+
+    /// Number of distinct ranks an address can name.
+    pub fn total_rank_slots(&self) -> u32 {
+        self.channels * self.dimms_per_channel * self.ranks_per_dimm
+    }
+}
+
+/// Identifies one rank within a node.
+///
+/// # Examples
+///
+/// ```
+/// use relaxfault_dram::{DramConfig, RankId};
+/// let cfg = DramConfig::isca16_reliability();
+/// let r = RankId { channel: 3, dimm: 1, rank: 0 };
+/// assert_eq!(r.flat_index(&cfg), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RankId {
+    /// Channel index within the node.
+    pub channel: u32,
+    /// DIMM index within the channel.
+    pub dimm: u32,
+    /// Rank index within the DIMM.
+    pub rank: u32,
+}
+
+impl RankId {
+    /// Dense index of this rank within the node
+    /// (`channel`-major, then `dimm`, then `rank`).
+    pub fn flat_index(&self, cfg: &DramConfig) -> u32 {
+        (self.channel * cfg.dimms_per_channel + self.dimm) * cfg.ranks_per_dimm + self.rank
+    }
+
+    /// Dense index of this rank's DIMM within the node.
+    pub fn dimm_index(&self, cfg: &DramConfig) -> u32 {
+        self.channel * cfg.dimms_per_channel + self.dimm
+    }
+
+    /// Inverse of [`RankId::flat_index`].
+    pub fn from_flat_index(cfg: &DramConfig, idx: u32) -> Self {
+        let rank = idx % cfg.ranks_per_dimm;
+        let dimm_flat = idx / cfg.ranks_per_dimm;
+        Self {
+            channel: dimm_flat / cfg.dimms_per_channel,
+            dimm: dimm_flat % cfg.dimms_per_channel,
+            rank,
+        }
+    }
+}
+
+impl std::fmt::Display for RankId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}/dimm{}/rk{}", self.channel, self.dimm, self.rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliability_config_matches_paper() {
+        let cfg = DramConfig::isca16_reliability();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.line_bytes(), 64);
+        assert_eq!(cfg.blocks_per_row(), 256);
+        assert_eq!(cfg.device_subblock_bytes(), 4);
+        assert_eq!(cfg.devices_per_rank(), 18);
+        assert_eq!(cfg.dimm_bytes(), 8 << 30); // 8 GiB DIMMs
+        assert_eq!(cfg.node_bytes(), 64 << 30); // 64 GiB node
+        assert_eq!(cfg.devices_per_node(), 144);
+        assert_eq!(cfg.subarrays_per_bank(), 128);
+        // One ×4 device is 4 Gb.
+        assert_eq!(cfg.device_bits(), 4 << 30);
+    }
+
+    #[test]
+    fn performance_config_is_valid() {
+        let cfg = DramConfig::isca16_performance();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.channels, 2);
+        assert_eq!(cfg.total_rank_slots(), 4);
+    }
+
+    #[test]
+    fn validate_rejects_non_pow2() {
+        let mut cfg = DramConfig::isca16_reliability();
+        cfg.banks = 6;
+        assert!(cfg.validate().unwrap_err().contains("banks"));
+    }
+
+    #[test]
+    fn validate_rejects_tiny_rows() {
+        let mut cfg = DramConfig::isca16_reliability();
+        cfg.subarray_rows = cfg.rows * 2;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rank_id_roundtrip() {
+        let cfg = DramConfig::isca16_reliability();
+        for idx in 0..cfg.ranks_per_node() {
+            let r = RankId::from_flat_index(&cfg, idx);
+            assert_eq!(r.flat_index(&cfg), idx);
+        }
+    }
+
+    #[test]
+    fn rank_display_is_informative() {
+        let r = RankId { channel: 1, dimm: 0, rank: 0 };
+        assert_eq!(r.to_string(), "ch1/dimm0/rk0");
+    }
+}

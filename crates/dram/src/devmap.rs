@@ -1,0 +1,191 @@
+//! How device bits interleave into a cache line — and how to un-interleave
+//! them.
+//!
+//! A 64-byte block read from a rank of 16 ×4 devices arrives as 8 burst
+//! beats of 64 bits; within each beat, device `d` drives bits
+//! `4d .. 4d+4`. Device `d`'s total contribution to the line — its
+//! *sub-block* — is therefore 32 bits scattered one nibble per beat.
+//!
+//! The RelaxFault coalescer (paper Figure 6) gathers exactly these bits when
+//! it strips a faulty device's data out of an incoming line and when it
+//! reconstructs an outgoing line from the remapped LLC copy. This module is
+//! that gather/scatter, plus the bitmask generator the hardware would keep
+//! pre-computed (Table 1 lists "data coalescer: 128 bytes of pre-computed
+//! bitmasks").
+
+use crate::config::DramConfig;
+
+/// Returns the bit positions (within the line, LSB-first per byte) driven by
+/// `device` in one burst access.
+///
+/// # Panics
+///
+/// Panics if `device >= cfg.data_devices_per_rank`.
+pub fn device_bit_positions(cfg: &DramConfig, device: u32) -> Vec<usize> {
+    assert!(
+        device < cfg.data_devices_per_rank,
+        "device {device} out of range (only data devices appear in the line)"
+    );
+    let w = cfg.device_width as usize;
+    let beat_bits = (cfg.data_devices_per_rank * cfg.device_width) as usize;
+    let mut positions = Vec::with_capacity((cfg.burst_length as usize) * w);
+    for beat in 0..cfg.burst_length as usize {
+        let base = beat * beat_bits + device as usize * w;
+        positions.extend(base..base + w);
+    }
+    positions
+}
+
+/// Builds the line-sized bitmask with 1s at `device`'s bit positions —
+/// the pre-computed coalescer mask of Table 1.
+pub fn device_mask(cfg: &DramConfig, device: u32) -> Vec<u8> {
+    let mut mask = vec![0u8; cfg.line_bytes() as usize];
+    for pos in device_bit_positions(cfg, device) {
+        mask[pos / 8] |= 1 << (pos % 8);
+    }
+    mask
+}
+
+/// Extracts `device`'s sub-block (its `device_width × burst` bits, packed
+/// beat-major) from a line.
+///
+/// # Panics
+///
+/// Panics if `line` is not exactly `cfg.line_bytes()` long or `device` is
+/// out of range.
+pub fn extract_subblock(cfg: &DramConfig, line: &[u8], device: u32) -> Vec<u8> {
+    assert_eq!(line.len(), cfg.line_bytes() as usize, "line size mismatch");
+    let positions = device_bit_positions(cfg, device);
+    let mut out = vec![0u8; cfg.device_subblock_bytes() as usize];
+    for (i, pos) in positions.into_iter().enumerate() {
+        let bit = (line[pos / 8] >> (pos % 8)) & 1;
+        out[i / 8] |= bit << (i % 8);
+    }
+    out
+}
+
+/// Writes `device`'s sub-block back into a line (inverse of
+/// [`extract_subblock`]).
+///
+/// # Panics
+///
+/// Panics if `line` / `subblock` sizes don't match the config or `device`
+/// is out of range.
+pub fn insert_subblock(cfg: &DramConfig, line: &mut [u8], device: u32, subblock: &[u8]) {
+    assert_eq!(line.len(), cfg.line_bytes() as usize, "line size mismatch");
+    assert_eq!(
+        subblock.len(),
+        cfg.device_subblock_bytes() as usize,
+        "sub-block size mismatch"
+    );
+    let positions = device_bit_positions(cfg, device);
+    for (i, pos) in positions.into_iter().enumerate() {
+        let bit = (subblock[i / 8] >> (i % 8)) & 1;
+        line[pos / 8] = (line[pos / 8] & !(1 << (pos % 8))) | (bit << (pos % 8));
+    }
+}
+
+/// Clears `device`'s bits in a line (the coalescer's "strip" step,
+/// Figure 6a: `line AND NOT mask`).
+pub fn clear_device_bits(cfg: &DramConfig, line: &mut [u8], device: u32) {
+    let mask = device_mask(cfg, device);
+    for (byte, m) in line.iter_mut().zip(mask) {
+        *byte &= !m;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig::isca16_reliability()
+    }
+
+    #[test]
+    fn positions_partition_the_line() {
+        let cfg = cfg();
+        let mut seen = vec![false; cfg.line_bytes() as usize * 8];
+        for d in 0..cfg.data_devices_per_rank {
+            for pos in device_bit_positions(&cfg, d) {
+                assert!(!seen[pos], "bit {pos} claimed twice");
+                seen[pos] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every line bit belongs to a device");
+    }
+
+    #[test]
+    fn nibbles_interleave_per_beat() {
+        let cfg = cfg();
+        let p0 = device_bit_positions(&cfg, 0);
+        let p1 = device_bit_positions(&cfg, 1);
+        // Device 0 drives bits 0..4 of beat 0; device 1 drives 4..8.
+        assert_eq!(&p0[..4], &[0, 1, 2, 3]);
+        assert_eq!(&p1[..4], &[4, 5, 6, 7]);
+        // Beat 1 starts 64 bits on.
+        assert_eq!(p0[4], 64);
+    }
+
+    #[test]
+    fn extract_insert_roundtrip_all_devices() {
+        let cfg = cfg();
+        let line: Vec<u8> = (0..64u32).map(|i| (i * 37 + 11) as u8).collect();
+        for d in 0..cfg.data_devices_per_rank {
+            let sub = extract_subblock(&cfg, &line, d);
+            assert_eq!(sub.len(), 4);
+            let mut rebuilt = line.clone();
+            insert_subblock(&cfg, &mut rebuilt, d, &sub);
+            assert_eq!(rebuilt, line, "reinserting the same data is a no-op");
+        }
+    }
+
+    #[test]
+    fn line_reconstructs_from_all_subblocks() {
+        let cfg = cfg();
+        let line: Vec<u8> = (0..64u32).map(|i| (i * 211 + 3) as u8).collect();
+        let mut rebuilt = vec![0u8; 64];
+        for d in 0..cfg.data_devices_per_rank {
+            let sub = extract_subblock(&cfg, &line, d);
+            insert_subblock(&cfg, &mut rebuilt, d, &sub);
+        }
+        assert_eq!(rebuilt, line);
+    }
+
+    #[test]
+    fn clear_then_insert_restores() {
+        let cfg = cfg();
+        let line: Vec<u8> = vec![0xFF; 64];
+        let mut work = line.clone();
+        clear_device_bits(&cfg, &mut work, 7);
+        let cleared = extract_subblock(&cfg, &work, 7);
+        assert!(cleared.iter().all(|&b| b == 0));
+        // Other devices untouched.
+        for d in (0..16).filter(|&d| d != 7) {
+            assert!(extract_subblock(&cfg, &work, d).iter().all(|&b| b == 0xFF));
+        }
+        insert_subblock(&cfg, &mut work, 7, &[0xFF; 4]);
+        assert_eq!(work, line);
+    }
+
+    #[test]
+    fn masks_are_disjoint_and_cover() {
+        let cfg = cfg();
+        let mut acc = [0u8; 64];
+        for d in 0..cfg.data_devices_per_rank {
+            let m = device_mask(&cfg, d);
+            for (a, b) in acc.iter_mut().zip(&m) {
+                assert_eq!(*a & b, 0, "mask overlap");
+                *a |= b;
+            }
+        }
+        assert!(acc.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_ecc_device_index() {
+        // ECC devices (16, 17) carry check bits, not line payload.
+        device_bit_positions(&cfg(), 16);
+    }
+}

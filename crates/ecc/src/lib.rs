@@ -1,0 +1,394 @@
+//! Chipkill-level ECC outcome model: corrected errors, detected
+//! uncorrectable errors (DUEs), and silent data corruptions (SDCs).
+//!
+//! The paper's reliability evaluation (§4.1.1, following Kim et al.'s
+//! Bamboo-ECC methodology) assumes chipkill ECC over the 18 ×4 devices of a
+//! rank: any single faulty *device* (symbol) in a 64-byte codeword is
+//! corrected; two faulty devices are detected (DUE); and error patterns
+//! beyond the detection guarantee can alias to a valid or correctable word
+//! and escape silently (SDC).
+//!
+//! We classify each fault *arrival* against the faults still live
+//! (unrepaired, unreplaced) on sibling devices of the same rank:
+//!
+//! * no codeword shared with another faulty device → errors stay
+//!   single-symbol, ECC corrects them ([`EccOutcome::Corrected`]);
+//! * some codeword contains exactly two faulty devices → a DUE occurs with
+//!   probability [`EccModel::p_due_pair_permanent`] (or the transient
+//!   variant; both faults must be *active* on the same access —
+//!   hard-intermittent faults fire rarely, which is why observed DUE rates
+//!   sit far below raw overlap rates);
+//! * some codeword contains three or more faulty devices → beyond the
+//!   double-symbol detection guarantee; when it manifests it is an SDC with
+//!   probability [`EccModel::p_sdc_given_triple`] (else a DUE).
+//!
+//! This reproduces the paper's observations that DUEs almost always involve
+//! at least one coarse-grained fault, that repair prevents roughly the half
+//! of DUEs whose fine-grained member arrived first (and was repaired before
+//! its partner appeared), and that SDCs concentrate in multi-fault devices
+//! that PPR cannot fully repair.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use relaxfault_dram::{DramConfig, RankId};
+//! use relaxfault_ecc::{EccModel, EccOutcome};
+//! use relaxfault_faults::{Extent, FaultRegion, BankSet};
+//!
+//! let cfg = DramConfig::isca16_reliability();
+//! let ecc = EccModel::isca16();
+//! let rank = RankId { channel: 0, dimm: 0, rank: 0 };
+//! let live = FaultRegion { rank, device: 3, extent: Extent::Banks { banks: BankSet::one(0) } };
+//! let new = FaultRegion { rank, device: 7, extent: Extent::Bit { bank: 0, row: 5, col: 9 } };
+//! assert!(ecc.pair_overlap_exists(&cfg, &[new], &[live]));
+//! ```
+
+use rand::Rng;
+use relaxfault_dram::DramConfig;
+use relaxfault_faults::{FaultRegion, Footprint};
+use serde::{Deserialize, Serialize};
+
+/// What the ECC does with the errors a fault arrival exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EccOutcome {
+    /// All codewords stay within single-symbol correction.
+    Corrected,
+    /// A detected uncorrectable error.
+    Due,
+    /// A silent data corruption (miscorrection).
+    Sdc,
+}
+
+/// Chipkill outcome probabilities.
+///
+/// The manifestation probabilities fold together (a) how often
+/// hard-intermittent faults actually fire and (b) how often the overlapping
+/// block is accessed while both are active. A permanent fault arriving over
+/// a live permanent fault has six years of shared exposure, so its
+/// manifestation probability is high; a transient fault is a single shot.
+/// Values are calibrated so the no-repair system of 16,384 nodes shows the
+/// paper's ~8 DUEs and ~0.02 SDCs over 6 years at Cielo rates (see
+/// EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EccModel {
+    /// P(a permanent fault arriving over a live overlap manifests a DUE
+    /// during the remaining lifetime).
+    pub p_due_pair_permanent: f64,
+    /// P(a transient fault landing on a live overlap manifests a DUE).
+    pub p_due_pair_transient: f64,
+    /// P(a manifested two-device event escapes as an SDC when the live
+    /// partner's device carries ≥ 2 unrepaired faults) — the paper's
+    /// observation that SDCs concentrate in multi-fault devices, which is
+    /// why PPR (which strands every fault past its one spare row) barely
+    /// reduces them.
+    pub p_sdc_given_multifault_pair: f64,
+    /// Residual aliasing for any manifested pair (miscorrection instead of
+    /// detection), keeping the SDC rate proportional to the DUE rate.
+    pub p_sdc_given_pair: f64,
+    /// P(detection + repair of the arriving fault outruns the first access
+    /// to the overlapping codeword). Only meaningful when a repair
+    /// mechanism actually repairs the fault; applied by the reliability
+    /// simulator.
+    pub p_repair_preempts_due: f64,
+    /// P(a three-or-more-device codeword overlap manifests).
+    pub p_event_given_triple: f64,
+    /// P(a manifested ≥3-device event is miscorrected silently).
+    pub p_sdc_given_triple: f64,
+}
+
+impl EccModel {
+    /// Calibrated default (see module docs).
+    pub fn isca16() -> Self {
+        Self {
+            p_due_pair_permanent: 0.85,
+            p_due_pair_transient: 0.08,
+            p_sdc_given_multifault_pair: 0.01,
+            p_sdc_given_pair: 0.002,
+            p_repair_preempts_due: 0.35,
+            p_event_given_triple: 0.02,
+            p_sdc_given_triple: 0.3,
+        }
+    }
+
+    /// A pessimistic model where every overlap manifests — useful for
+    /// deterministic tests.
+    pub fn always_manifest() -> Self {
+        Self {
+            p_due_pair_permanent: 1.0,
+            p_due_pair_transient: 1.0,
+            p_sdc_given_multifault_pair: 0.0,
+            p_sdc_given_pair: 0.0,
+            p_repair_preempts_due: 0.0,
+            p_event_given_triple: 1.0,
+            p_sdc_given_triple: 1.0,
+        }
+    }
+
+    /// Whether any codeword contains both a `new` region and a live region
+    /// on a *different* device of the same rank.
+    pub fn pair_overlap_exists(
+        &self,
+        cfg: &DramConfig,
+        new: &[FaultRegion],
+        live: &[FaultRegion],
+    ) -> bool {
+        new.iter()
+            .any(|n| live.iter().any(|l| n.shares_codeword_with(l, cfg)))
+    }
+
+    /// Whether any codeword contains a `new` region plus live regions on
+    /// two *other* distinct devices (three faulty symbols in one word).
+    pub fn triple_overlap_exists(
+        &self,
+        cfg: &DramConfig,
+        new: &[FaultRegion],
+        live: &[FaultRegion],
+    ) -> bool {
+        for n in new {
+            let nf = n.footprint(cfg);
+            // Collect live regions on other devices of the same rank that
+            // overlap the new fault, then look for a cross-device pair among
+            // them overlapping the *same* blocks.
+            let hits: Vec<(&FaultRegion, Footprint)> = live
+                .iter()
+                .filter(|l| l.rank == n.rank && l.device != n.device)
+                .filter_map(|l| {
+                    let inter = nf.intersect(&l.footprint(cfg));
+                    if inter.rects.is_empty() {
+                        None
+                    } else {
+                        Some((l, inter))
+                    }
+                })
+                .collect();
+            for (i, (li, fi)) in hits.iter().enumerate() {
+                for (lj, fj) in hits.iter().skip(i + 1) {
+                    if li.device != lj.device && fi.overlaps(fj) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether any live region overlapping `new` sits on a device with at
+    /// least two live regions (the SDC-prone population).
+    pub fn multifault_pair_exists(
+        &self,
+        cfg: &DramConfig,
+        new: &[FaultRegion],
+        live: &[FaultRegion],
+    ) -> bool {
+        new.iter().any(|n| {
+            live.iter()
+                .filter(|l| n.shares_codeword_with(l, cfg))
+                .any(|l| {
+                    live.iter()
+                        .filter(|o| o.rank == l.rank && o.device == l.device)
+                        .count()
+                        >= 2
+                })
+        })
+    }
+
+    /// Classifies a fault arrival against the live faults of its rank.
+    ///
+    /// `live` must contain only unrepaired, still-present regions; repaired
+    /// regions never contribute erroneous symbols (the repair data comes
+    /// from the LLC) and must be excluded by the caller.
+    /// `new_is_permanent` selects the pair manifestation probability.
+    pub fn classify_arrival<R: Rng + ?Sized>(
+        &self,
+        cfg: &DramConfig,
+        new: &[FaultRegion],
+        new_is_permanent: bool,
+        live: &[FaultRegion],
+        rng: &mut R,
+    ) -> EccOutcome {
+        if self.triple_overlap_exists(cfg, new, live)
+            && rng.gen_bool(self.p_event_given_triple) {
+                return if rng.gen_bool(self.p_sdc_given_triple) {
+                    EccOutcome::Sdc
+                } else {
+                    EccOutcome::Due
+                };
+            }
+            // Fall through: the triple never fired, but a pair still might.
+        if self.pair_overlap_exists(cfg, new, live) {
+            let p = if new_is_permanent {
+                self.p_due_pair_permanent
+            } else {
+                self.p_due_pair_transient
+            };
+            if rng.gen_bool(p) {
+                let multifault = self.multifault_pair_exists(cfg, new, live);
+                if multifault && rng.gen_bool(self.p_sdc_given_multifault_pair) {
+                    return EccOutcome::Sdc;
+                }
+                if self.p_sdc_given_pair > 0.0 && rng.gen_bool(self.p_sdc_given_pair) {
+                    return EccOutcome::Sdc;
+                }
+                return EccOutcome::Due;
+            }
+        }
+        EccOutcome::Corrected
+    }
+}
+
+/// Storage overhead of the chipkill code itself: check devices as a
+/// fraction of all devices (2/18 ≈ 11% for the paper's DIMMs).
+pub fn ecc_storage_overhead(cfg: &DramConfig) -> f64 {
+    cfg.ecc_devices_per_rank as f64 / cfg.devices_per_rank() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use relaxfault_dram::RankId;
+    use relaxfault_faults::{BankSet, Extent};
+
+    fn cfg() -> DramConfig {
+        DramConfig::isca16_reliability()
+    }
+
+    fn rank0() -> RankId {
+        RankId { channel: 0, dimm: 0, rank: 0 }
+    }
+
+    fn region(device: u32, extent: Extent) -> FaultRegion {
+        FaultRegion { rank: rank0(), device, extent }
+    }
+
+    #[test]
+    fn single_device_is_always_corrected() {
+        let ecc = EccModel::always_manifest();
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(1);
+        let new = [region(0, Extent::Banks { banks: BankSet::all(8) })];
+        let out = ecc.classify_arrival(&c, &new, true, &[], &mut rng);
+        assert_eq!(out, EccOutcome::Corrected);
+    }
+
+    #[test]
+    fn same_device_accumulation_is_one_symbol() {
+        let ecc = EccModel::always_manifest();
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(2);
+        let live = [region(4, Extent::Row { bank: 0, row: 10 })];
+        let new = [region(4, Extent::Bit { bank: 0, row: 10, col: 3 })];
+        assert_eq!(
+            ecc.classify_arrival(&c, &new, true, &live, &mut rng),
+            EccOutcome::Corrected
+        );
+    }
+
+    #[test]
+    fn two_device_overlap_is_a_due() {
+        let ecc = EccModel::always_manifest();
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(3);
+        let live = [region(4, Extent::Banks { banks: BankSet::one(2) })];
+        let new = [region(9, Extent::Bit { bank: 2, row: 1, col: 1 })];
+        assert_eq!(
+            ecc.classify_arrival(&c, &new, true, &live, &mut rng),
+            EccOutcome::Due
+        );
+    }
+
+    #[test]
+    fn disjoint_banks_never_collide() {
+        let ecc = EccModel::always_manifest();
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(4);
+        let live = [region(4, Extent::Banks { banks: BankSet::one(2) })];
+        let new = [region(9, Extent::Bit { bank: 3, row: 1, col: 1 })];
+        assert_eq!(
+            ecc.classify_arrival(&c, &new, true, &live, &mut rng),
+            EccOutcome::Corrected
+        );
+    }
+
+    #[test]
+    fn triple_overlap_is_an_sdc() {
+        let ecc = EccModel::always_manifest();
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(5);
+        // Two coarse live faults in bank 0 on different devices, new fine
+        // fault in the same bank.
+        let live = [
+            region(1, Extent::Banks { banks: BankSet::one(0) }),
+            region(2, Extent::RowCluster { bank: 0, row_start: 0, row_count: 100 }),
+        ];
+        let new = [region(3, Extent::Bit { bank: 0, row: 50, col: 0 })];
+        assert!(ecc.triple_overlap_exists(&c, &new, &live));
+        assert_eq!(
+            ecc.classify_arrival(&c, &new, true, &live, &mut rng),
+            EccOutcome::Sdc
+        );
+    }
+
+    #[test]
+    fn triple_requires_common_block() {
+        let ecc = EccModel::always_manifest();
+        let c = cfg();
+        // The two live faults overlap the new fault in *different* rows —
+        // no single codeword holds three bad symbols.
+        let live = [
+            region(1, Extent::Row { bank: 0, row: 10 }),
+            region(2, Extent::Row { bank: 0, row: 20 }),
+        ];
+        let new = [region(3, Extent::RowCluster { bank: 0, row_start: 0, row_count: 64 })];
+        assert!(ecc.pair_overlap_exists(&c, &new, &live));
+        assert!(!ecc.triple_overlap_exists(&c, &new, &live));
+    }
+
+    #[test]
+    fn triple_on_same_device_does_not_count() {
+        let ecc = EccModel::always_manifest();
+        let c = cfg();
+        let live = [
+            region(1, Extent::Row { bank: 0, row: 10 }),
+            region(1, Extent::Column { bank: 0, col: 0, row_start: 0, row_count: 512 }),
+        ];
+        let new = [region(3, Extent::Row { bank: 0, row: 10 })];
+        assert!(!ecc.triple_overlap_exists(&c, &new, &live));
+    }
+
+    #[test]
+    fn other_rank_is_isolated() {
+        let ecc = EccModel::always_manifest();
+        let c = cfg();
+        let live = [FaultRegion {
+            rank: RankId { channel: 1, dimm: 0, rank: 0 },
+            device: 4,
+            extent: Extent::Banks { banks: BankSet::all(8) },
+        }];
+        let new = [region(9, Extent::Banks { banks: BankSet::all(8) })];
+        assert!(!ecc.pair_overlap_exists(&c, &new, &live));
+    }
+
+    #[test]
+    fn activation_probability_thins_events() {
+        let ecc = EccModel { p_due_pair_permanent: 0.1, ..EccModel::always_manifest() };
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(77);
+        let live = [region(4, Extent::Banks { banks: BankSet::one(2) })];
+        let new = [region(9, Extent::Row { bank: 2, row: 1 })];
+        let dues = (0..5000)
+            .filter(|_| {
+                ecc.classify_arrival(&c, &new, true, &live, &mut rng) == EccOutcome::Due
+            })
+            .count();
+        let rate = dues as f64 / 5000.0;
+        assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn ecc_overhead_fraction() {
+        assert!((ecc_storage_overhead(&cfg()) - 2.0 / 18.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,258 @@
+//! Physical-extent assumptions for each fault mode.
+//!
+//! Field studies classify faults by *address pattern* (one row address, one
+//! column address, ...) but do not publish the physical extent inside the
+//! device. This module owns those assumptions; DESIGN.md §1 documents the
+//! calibration against the paper's published coverage anchors (PPR ≈ 73%,
+//! FreeFault-1way ≈ 74/84% no-hash/hash, RelaxFault-1way ≈ 90% at ≤ 82 KiB).
+
+use crate::modes::FaultMode;
+use crate::region::{BankSet, Extent};
+use rand::Rng;
+use relaxfault_dram::DramConfig;
+use relaxfault_util::dist::log_uniform;
+use serde::{Deserialize, Serialize};
+
+/// Extent-distribution knobs for every fault mode.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use relaxfault_dram::DramConfig;
+/// use relaxfault_faults::{FaultGeometry, FaultMode};
+///
+/// let g = FaultGeometry::default();
+/// let cfg = DramConfig::isca16_reliability();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let extent = g.sample_extent(&mut rng, FaultMode::SingleRow, &cfg);
+/// assert!(matches!(extent, relaxfault_faults::Extent::Row { .. }));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultGeometry {
+    /// Probability that a "single bit/word" fault affects a multi-bit word
+    /// rather than one bit (repair cost is identical; kept for fidelity).
+    pub p_word_given_bitword: f64,
+    /// Probability that a column fault is confined to one subarray's rows;
+    /// otherwise it spans `2..=max_column_subarrays` subarrays
+    /// (log-uniform).
+    pub p_column_single_subarray: f64,
+    /// Maximum subarrays a column fault can span.
+    pub max_column_subarrays: u32,
+    /// Probability that a "single bank" fault kills the entire bank
+    /// (unrepairable by fine-grained mechanisms); otherwise it is a row
+    /// cluster.
+    pub p_whole_bank: f64,
+    /// Row-cluster size bounds for repairable bank faults (log-uniform,
+    /// inclusive).
+    pub bank_cluster_rows: (u32, u32),
+    /// Bounds on how many whole banks a multi-bank fault kills
+    /// (log-uniform, inclusive; clamped to the device's bank count).
+    pub multi_bank_banks: (u32, u32),
+}
+
+impl Default for FaultGeometry {
+    fn default() -> Self {
+        Self {
+            p_word_given_bitword: 0.25,
+            p_column_single_subarray: 0.80,
+            max_column_subarrays: 4,
+            p_whole_bank: 0.02,
+            bank_cluster_rows: (16, 2048),
+            multi_bank_banks: (2, 8),
+        }
+    }
+}
+
+impl FaultGeometry {
+    /// Samples the physical extent of a new fault of `mode`.
+    ///
+    /// Multi-rank faults are modelled as whole-device faults (all banks):
+    /// the shared-I/O failures behind the multi-rank signature take the
+    /// whole device position out, which is the conservative choice for both
+    /// repair (unrepairable) and ECC analysis (maximal overlap).
+    pub fn sample_extent<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        mode: FaultMode,
+        cfg: &DramConfig,
+    ) -> Extent {
+        let bank = rng.gen_range(0..cfg.banks);
+        let row = rng.gen_range(0..cfg.rows);
+        let col = rng.gen_range(0..cfg.cols);
+        match mode {
+            FaultMode::SingleBitWord => {
+                if rng.gen_bool(self.p_word_given_bitword) {
+                    Extent::Word { bank, row, col: col & !(cfg.burst_length - 1) }
+                } else {
+                    Extent::Bit { bank, row, col }
+                }
+            }
+            FaultMode::SingleRow => Extent::Row { bank, row },
+            FaultMode::SingleColumn => {
+                let subarrays = if rng.gen_bool(self.p_column_single_subarray) {
+                    1
+                } else {
+                    let hi = self.max_column_subarrays.min(cfg.subarrays_per_bank()).max(2);
+                    log_uniform(rng, 2.0, hi as f64).round() as u32
+                };
+                let span = subarrays.min(cfg.subarrays_per_bank());
+                let first = rng.gen_range(0..=(cfg.subarrays_per_bank() - span));
+                Extent::Column {
+                    bank,
+                    col,
+                    row_start: first * cfg.subarray_rows,
+                    row_count: span * cfg.subarray_rows,
+                }
+            }
+            FaultMode::SingleBank => {
+                if rng.gen_bool(self.p_whole_bank) {
+                    Extent::Banks { banks: BankSet::one(bank) }
+                } else {
+                    let (lo, hi) = self.bank_cluster_rows;
+                    let hi = hi.min(cfg.rows);
+                    let rows = log_uniform(rng, lo as f64, hi as f64).round() as u32;
+                    let rows = rows.clamp(1, cfg.rows);
+                    let start = rng.gen_range(0..=(cfg.rows - rows));
+                    Extent::RowCluster { bank, row_start: start, row_count: rows }
+                }
+            }
+            FaultMode::MultiBank => {
+                let (lo, hi) = self.multi_bank_banks;
+                let hi = hi.min(cfg.banks);
+                let lo = lo.min(hi);
+                let n = log_uniform(rng, lo as f64, hi as f64).round() as u32;
+                let n = n.clamp(1, cfg.banks);
+                // Choose n distinct banks.
+                let mut mask = 0u32;
+                while mask.count_ones() < n {
+                    mask |= 1 << rng.gen_range(0..cfg.banks);
+                }
+                Extent::Banks { banks: BankSet(mask) }
+            }
+            FaultMode::MultiRank => Extent::Banks { banks: BankSet::all(cfg.banks) },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> DramConfig {
+        DramConfig::isca16_reliability()
+    }
+
+    #[test]
+    fn extents_match_modes() {
+        let g = FaultGeometry::default();
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            assert!(matches!(
+                g.sample_extent(&mut rng, FaultMode::SingleBitWord, &c),
+                Extent::Bit { .. } | Extent::Word { .. }
+            ));
+            assert!(matches!(
+                g.sample_extent(&mut rng, FaultMode::SingleRow, &c),
+                Extent::Row { .. }
+            ));
+            assert!(matches!(
+                g.sample_extent(&mut rng, FaultMode::SingleColumn, &c),
+                Extent::Column { .. }
+            ));
+            assert!(matches!(
+                g.sample_extent(&mut rng, FaultMode::SingleBank, &c),
+                Extent::RowCluster { .. } | Extent::Banks { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn column_faults_are_subarray_aligned() {
+        let g = FaultGeometry::default();
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..500 {
+            if let Extent::Column { row_start, row_count, .. } =
+                g.sample_extent(&mut rng, FaultMode::SingleColumn, &c)
+            {
+                assert_eq!(row_start % c.subarray_rows, 0);
+                assert_eq!(row_count % c.subarray_rows, 0);
+                assert!(row_start + row_count <= c.rows);
+            } else {
+                panic!("expected column extent");
+            }
+        }
+    }
+
+    #[test]
+    fn bank_clusters_stay_in_bounds() {
+        let g = FaultGeometry::default();
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut whole = 0;
+        let n = 2000;
+        for _ in 0..n {
+            match g.sample_extent(&mut rng, FaultMode::SingleBank, &c) {
+                Extent::RowCluster { row_start, row_count, bank } => {
+                    assert!(bank < c.banks);
+                    assert!(row_count >= 1);
+                    assert!(row_start + row_count <= c.rows);
+                }
+                Extent::Banks { banks } => {
+                    assert_eq!(banks.len(), 1);
+                    whole += 1;
+                }
+                other => panic!("unexpected extent {other:?}"),
+            }
+        }
+        let frac = whole as f64 / n as f64;
+        let expect = FaultGeometry::default().p_whole_bank;
+        assert!((frac - expect).abs() < 0.015, "whole-bank fraction {frac}");
+    }
+
+    #[test]
+    fn multibank_hits_multiple_banks() {
+        let g = FaultGeometry::default();
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..200 {
+            if let Extent::Banks { banks } = g.sample_extent(&mut rng, FaultMode::MultiBank, &c) {
+                assert!(banks.len() >= 2 && banks.len() <= c.banks);
+            } else {
+                panic!("expected banks extent");
+            }
+        }
+    }
+
+    #[test]
+    fn multirank_is_whole_device() {
+        let g = FaultGeometry::default();
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(31);
+        if let Extent::Banks { banks } = g.sample_extent(&mut rng, FaultMode::MultiRank, &c) {
+            assert_eq!(banks.len(), c.banks);
+        } else {
+            panic!("expected banks extent");
+        }
+    }
+
+    #[test]
+    fn word_faults_align_to_burst() {
+        let g = FaultGeometry { p_word_given_bitword: 1.0, ..Default::default() };
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(37);
+        for _ in 0..100 {
+            if let Extent::Word { col, .. } =
+                g.sample_extent(&mut rng, FaultMode::SingleBitWord, &c)
+            {
+                assert_eq!(col % c.burst_length, 0);
+            } else {
+                panic!("expected word extent");
+            }
+        }
+    }
+}

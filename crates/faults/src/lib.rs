@@ -1,0 +1,46 @@
+//! DRAM fault modes, field-study FIT rates, fault regions, and the refined
+//! Monte Carlo injection model of the RelaxFault paper (§4.1.2).
+//!
+//! * [`modes`] — the fault taxonomy of the field studies the paper builds
+//!   on (single bit/word, row, column, bank, multi-bank, multi-rank ×
+//!   transient/permanent) and the published FIT rates (Table 2 /
+//!   Figure 2).
+//! * [`region`] — *structured* fault footprints in device coordinates.
+//!   Every fault is a union of axis-aligned rectangles over
+//!   (bank, row, column-block), which keeps overlap tests (for DUE/SDC
+//!   analysis) and repair-line counting analytic instead of enumerating
+//!   millions of cells.
+//! * [`geometry`] — the physical-extent assumptions (how many rows a "bank
+//!   fault" really touches, how far a "column fault" reaches) that field
+//!   studies do not publish; every knob is explicit and documented.
+//! * [`inject`] — the paper's refined fault-injection methodology:
+//!   independent Poisson processes per (device, fault mode) with lognormal
+//!   device-to-device rate variation and node/DIMM FIT acceleration
+//!   (Equation 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use relaxfault_dram::DramConfig;
+//! use relaxfault_faults::{FaultModel, FitRates};
+//!
+//! let cfg = DramConfig::isca16_reliability();
+//! let model = FaultModel::isca16(FitRates::cielo(), 6.0);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let node = model.sample_node(&cfg, &mut rng);
+//! // Most nodes are fault-free over 6 years (~14% are faulty).
+//! assert!(node.events.len() < 100);
+//! ```
+
+pub mod geometry;
+pub mod inject;
+pub mod modes;
+pub mod region;
+pub mod sampler;
+
+pub use geometry::FaultGeometry;
+pub use inject::{FaultEvent, FaultModel, NodeFaults, VariationModel};
+pub use sampler::FaultSampler;
+pub use modes::{FaultMode, FitRates, Transience};
+pub use region::{BankSet, Extent, FaultRegion, Footprint, IdxSet, Rect};

@@ -1,0 +1,220 @@
+//! Fault taxonomy and field-study FIT rates (paper Table 2 / Figure 2).
+
+use serde::{Deserialize, Serialize};
+
+/// The fault modes reported by the DDR3 field studies the paper builds on
+/// (Sridharan et al., Cielo and Hopper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultMode {
+    /// One bit, or a few bits within one transfer word.
+    SingleBitWord,
+    /// One row address within one bank of one device.
+    SingleRow,
+    /// One column address within one bank of one device.
+    SingleColumn,
+    /// A region confined to one bank (from a row cluster up to the whole
+    /// bank).
+    SingleBank,
+    /// Multiple whole banks of one device.
+    MultiBank,
+    /// A fault visible across multiple ranks (modelled as a whole-device
+    /// fault; see `FaultGeometry`).
+    MultiRank,
+}
+
+impl FaultMode {
+    /// All modes, in the order the paper's Table 2 lists them.
+    pub const ALL: [FaultMode; 6] = [
+        FaultMode::SingleBitWord,
+        FaultMode::SingleRow,
+        FaultMode::SingleColumn,
+        FaultMode::SingleBank,
+        FaultMode::MultiBank,
+        FaultMode::MultiRank,
+    ];
+
+    /// Short label used in harness output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultMode::SingleBitWord => "single bit/word",
+            FaultMode::SingleRow => "single row",
+            FaultMode::SingleColumn => "single column",
+            FaultMode::SingleBank => "single bank",
+            FaultMode::MultiBank => "multiple banks",
+            FaultMode::MultiRank => "multiple ranks",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Whether a fault persists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transience {
+    /// Soft fault: active once, leaves no damage (scrub + ECC clears it).
+    Transient,
+    /// Hard fault (intermittent or permanent): persists until repaired or
+    /// the module is replaced.
+    Permanent,
+}
+
+/// Per-device FIT rates (failures per 10⁹ device-hours) by mode and
+/// transience.
+///
+/// # Examples
+///
+/// ```
+/// use relaxfault_faults::{FaultMode, FitRates, Transience};
+/// let r = FitRates::cielo();
+/// assert_eq!(r.rate(FaultMode::SingleBitWord, Transience::Permanent), 13.0);
+/// assert!((r.total_permanent() - 20.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitRates {
+    /// `[transient, permanent]` FIT for each mode in `FaultMode::ALL` order.
+    pub fit: [[f64; 2]; 6],
+}
+
+impl FitRates {
+    /// Table 2: the Cielo rates the paper evaluates with.
+    pub fn cielo() -> Self {
+        Self {
+            fit: [
+                [14.5, 13.0], // single bit/word
+                [2.3, 2.4],   // single row
+                [1.6, 1.9],   // single column
+                [1.6, 2.2],   // single bank
+                [0.1, 0.3],   // multiple banks
+                [0.2, 0.2],   // multiple ranks
+            ],
+        }
+    }
+
+    /// Figure 2's Hopper system (NERSC), read from the published chart;
+    /// the paper confirms its results are insensitive to which system's
+    /// rates are applied.
+    pub fn hopper() -> Self {
+        Self {
+            fit: [
+                [11.0, 10.5],
+                [1.4, 4.2],
+                [1.4, 2.6],
+                [1.2, 3.0],
+                [0.2, 0.9],
+                [0.1, 0.4],
+            ],
+        }
+    }
+
+    /// Uniformly scales every rate (the paper's 10× FIT experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0);
+        let mut fit = self.fit;
+        for row in &mut fit {
+            row[0] *= factor;
+            row[1] *= factor;
+        }
+        Self { fit }
+    }
+
+    /// FIT of one (mode, transience) process.
+    pub fn rate(&self, mode: FaultMode, transience: Transience) -> f64 {
+        let t = match transience {
+            Transience::Transient => 0,
+            Transience::Permanent => 1,
+        };
+        self.fit[mode as usize][t]
+    }
+
+    /// Sum of permanent-fault FITs.
+    pub fn total_permanent(&self) -> f64 {
+        self.fit.iter().map(|r| r[1]).sum()
+    }
+
+    /// Sum of transient-fault FITs.
+    pub fn total_transient(&self) -> f64 {
+        self.fit.iter().map(|r| r[0]).sum()
+    }
+
+    /// Sum over all processes.
+    pub fn total(&self) -> f64 {
+        self.total_permanent() + self.total_transient()
+    }
+
+    /// Iterates `(mode, transience, fit)` over all 12 processes.
+    pub fn processes(&self) -> impl Iterator<Item = (FaultMode, Transience, f64)> + '_ {
+        FaultMode::ALL.into_iter().flat_map(move |m| {
+            [
+                (m, Transience::Transient, self.rate(m, Transience::Transient)),
+                (m, Transience::Permanent, self.rate(m, Transience::Permanent)),
+            ]
+        })
+    }
+}
+
+/// Hours in one year (the paper's exposure unit is a 6-year lifetime).
+pub const HOURS_PER_YEAR: f64 = 8760.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cielo_totals_match_paper_background() {
+        // §2: hard faults ~13–20 FIT, soft faults ~10–20 FIT.
+        let r = FitRates::cielo();
+        assert!((r.total_permanent() - 20.0).abs() < 1e-9);
+        assert!((r.total_transient() - 20.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_new_hard_fault_every_5700_device_years() {
+        // §2's sanity arithmetic: 20 FIT ⇒ one hard fault per ~5,700 years
+        // of one device's operation.
+        let r = FitRates::cielo();
+        let years = 1e9 / (r.total_permanent() * HOURS_PER_YEAR);
+        assert!((years - 5700.0).abs() < 100.0, "got {years}");
+    }
+
+    #[test]
+    fn scaling_multiplies_everything() {
+        let r = FitRates::cielo().scaled(10.0);
+        assert!((r.total() - 403.0).abs() < 1e-9);
+        assert_eq!(r.rate(FaultMode::SingleRow, Transience::Permanent), 24.0);
+    }
+
+    #[test]
+    fn processes_cover_all_modes() {
+        let r = FitRates::cielo();
+        let v: Vec<_> = r.processes().collect();
+        assert_eq!(v.len(), 12);
+        let sum: f64 = v.iter().map(|(_, _, f)| f).sum();
+        assert!((sum - r.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permanent_coarse_faults_are_a_minority() {
+        // The repair-coverage asymptote depends on this: multi-bank and
+        // multi-rank faults are ~2.5% of permanent faults.
+        let r = FitRates::cielo();
+        let coarse = r.rate(FaultMode::MultiBank, Transience::Permanent)
+            + r.rate(FaultMode::MultiRank, Transience::Permanent);
+        assert!(coarse / r.total_permanent() < 0.03);
+    }
+
+    #[test]
+    fn mode_labels_are_unique() {
+        let mut labels: Vec<_> = FaultMode::ALL.iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+}

@@ -1,0 +1,351 @@
+//! Fast node-lifetime sampler.
+//!
+//! [`crate::FaultModel::sample_node`] draws one lognormal and one Poisson
+//! per (device, fault-process) pair — 1,728 heavy samples per node for the
+//! paper's geometry, nearly all of which return zero faults. This sampler
+//! short-circuits the zero case with a single uniform draw against a
+//! precomputed `P(N = 0)` gate:
+//!
+//! * `q₀ = E_m[exp(−λm)]` is evaluated once per (process, acceleration
+//!   class) by numeric quadrature over the lognormal mixing variable;
+//! * when the gate fails (probability ≈ λ), `m` is drawn from the
+//!   *size-biased* lognormal (the exact conditional in the λ→0 limit,
+//!   error `O(λ²)`), and the remaining count from `Poisson(λm)`;
+//! * processes with `λ > SLOW_PATH_THRESHOLD` (FIT-accelerated devices at
+//!   10× rates) fall back to the exact two-stage draw, so the
+//!   approximation only ever applies where it is provably negligible.
+//!
+//! `tests::matches_reference_sampler` checks the fast and reference
+//! samplers agree statistically.
+
+use crate::inject::{FaultEvent, FaultModel, NodeFaults};
+use crate::modes::{FaultMode, Transience, HOURS_PER_YEAR};
+use rand::Rng;
+use relaxfault_dram::{DramConfig, RankId};
+use relaxfault_util::dist::{poisson, LogNormal};
+
+/// Mean above which the gate approximation is abandoned for the exact
+/// two-stage draw.
+const SLOW_PATH_THRESHOLD: f64 = 0.02;
+
+#[derive(Debug, Clone, Copy)]
+struct ProcessGate {
+    mode: FaultMode,
+    transience: Transience,
+    lambda: f64,
+    /// P(N = 0) under the lognormal mixture.
+    q0: f64,
+    /// Whether to use the exact slow path.
+    slow: bool,
+}
+
+/// Precomputed sampler for one fault model and geometry.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use relaxfault_dram::DramConfig;
+/// use relaxfault_faults::{FaultModel, FitRates};
+/// use relaxfault_faults::sampler::FaultSampler;
+///
+/// let cfg = DramConfig::isca16_reliability();
+/// let model = FaultModel::isca16(FitRates::cielo(), 6.0);
+/// let sampler = FaultSampler::new(&model, &cfg);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let node = sampler.sample_node(&mut rng);
+/// assert!(node.events.len() < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultSampler {
+    model: FaultModel,
+    cfg: DramConfig,
+    hours: f64,
+    /// Gates for the acceleration factor (index 0) and the adjusted rest
+    /// factor (index 1).
+    gates: [Vec<ProcessGate>; 2],
+    factors: [f64; 2],
+    /// Lognormal of the rate multiplier, and its size-biased counterpart.
+    lognorm: Option<(LogNormal, LogNormal)>,
+}
+
+impl FaultSampler {
+    /// Precomputes the gates for a model/geometry pair.
+    pub fn new(model: &FaultModel, cfg: &DramConfig) -> Self {
+        let hours = model.years * HOURS_PER_YEAR;
+        let v = &model.variation;
+        let factors = [v.accel_factor, v.adjusted_rest_factor()];
+        let lognorm = if v.device_cv > 0.0 {
+            let base = LogNormal::from_mean_cv(1.0, v.device_cv);
+            // Size-biased lognormal: same sigma, mu shifted by sigma^2.
+            let sigma = base.sigma();
+            let biased_mean = (base.mu() + 1.5 * sigma * sigma).exp();
+            let biased = LogNormal::from_mean_cv(biased_mean, v.device_cv);
+            Some((base, biased))
+        } else {
+            None
+        };
+        let make_gates = |factor: f64| -> Vec<ProcessGate> {
+            model
+                .rates
+                .processes()
+                .map(|(mode, transience, fit)| {
+                    let lambda = fit * 1e-9 * hours * factor;
+                    let q0 = match &lognorm {
+                        None => (-lambda).exp(),
+                        Some((base, _)) => quad_q0(lambda, base),
+                    };
+                    ProcessGate {
+                        mode,
+                        transience,
+                        lambda,
+                        q0,
+                        slow: lambda > SLOW_PATH_THRESHOLD,
+                    }
+                })
+                .collect()
+        };
+        Self {
+            model: *model,
+            cfg: *cfg,
+            hours,
+            gates: [make_gates(factors[0]), make_gates(factors[1])],
+            factors,
+            lognorm,
+        }
+    }
+
+    /// Samples one node lifetime (drop-in replacement for
+    /// [`FaultModel::sample_node`]).
+    pub fn sample_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeFaults {
+        let v = &self.model.variation;
+        let cfg = &self.cfg;
+        let node_acc = v.accel_node_fraction > 0.0 && rng.gen_bool(v.accel_node_fraction);
+        let mut out = NodeFaults {
+            events: Vec::new(),
+            node_accelerated: node_acc,
+            accelerated_dimms: Vec::new(),
+        };
+        for dimm_flat in 0..cfg.dimms_per_node() {
+            let dimm_acc = v.accel_dimm_fraction > 0.0 && rng.gen_bool(v.accel_dimm_fraction);
+            if dimm_acc {
+                out.accelerated_dimms.push(dimm_flat);
+            }
+            let class = if node_acc || dimm_acc { 0 } else { 1 };
+            if self.factors[class] == 0.0 {
+                continue;
+            }
+            for rank_in_dimm in 0..cfg.ranks_per_dimm {
+                let rank = RankId {
+                    channel: dimm_flat / cfg.dimms_per_channel,
+                    dimm: dimm_flat % cfg.dimms_per_channel,
+                    rank: rank_in_dimm,
+                };
+                for device in 0..cfg.devices_per_rank() {
+                    for gate in &self.gates[class] {
+                        let count = self.sample_count(gate, rng);
+                        for _ in 0..count {
+                            let time_hours = rng.gen::<f64>() * self.hours;
+                            let extent =
+                                self.model.geometry.sample_extent(rng, gate.mode, cfg);
+                            out.events.push(FaultEvent {
+                                time_hours,
+                                mode: gate.mode,
+                                transience: gate.transience,
+                                regions: self.regions_for(rank, device, extent, gate.mode),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out.events
+            .sort_by(|a, b| a.time_hours.partial_cmp(&b.time_hours).expect("finite times"));
+        out
+    }
+
+    fn sample_count<R: Rng + ?Sized>(&self, gate: &ProcessGate, rng: &mut R) -> u64 {
+        if gate.lambda == 0.0 {
+            return 0;
+        }
+        if gate.slow {
+            // Exact two-stage draw for non-negligible means.
+            let m = match &self.lognorm {
+                None => 1.0,
+                Some((base, _)) => base.sample(rng),
+            };
+            return poisson(rng, gate.lambda * m);
+        }
+        if rng.gen::<f64>() < gate.q0 {
+            return 0;
+        }
+        // N >= 1: the conditional mixing variable is size-biased in the
+        // small-λ limit.
+        match &self.lognorm {
+            None => 1 + poisson(rng, gate.lambda),
+            Some((_, biased)) => {
+                let m = biased.sample(rng);
+                1 + poisson(rng, gate.lambda * m)
+            }
+        }
+    }
+
+    fn regions_for(
+        &self,
+        rank: RankId,
+        device: u32,
+        extent: crate::region::Extent,
+        mode: FaultMode,
+    ) -> Vec<crate::region::FaultRegion> {
+        if mode == FaultMode::MultiRank && self.cfg.ranks_per_dimm > 1 {
+            (0..self.cfg.ranks_per_dimm)
+                .map(|rk| crate::region::FaultRegion {
+                    rank: RankId { rank: rk, ..rank },
+                    device,
+                    extent,
+                })
+                .collect()
+        } else {
+            vec![crate::region::FaultRegion { rank, device, extent }]
+        }
+    }
+}
+
+/// `E[exp(-λ e^{μ+σZ})]` by trapezoid quadrature over the standard normal.
+fn quad_q0(lambda: f64, base: &LogNormal) -> f64 {
+    if lambda == 0.0 {
+        return 1.0;
+    }
+    let (mu, sigma) = (base.mu(), base.sigma());
+    let mut acc = 0.0;
+    let mut norm = 0.0;
+    let steps = 400;
+    let z_max = 8.0;
+    for i in 0..=steps {
+        let z = -z_max + 2.0 * z_max * i as f64 / steps as f64;
+        let w = (-0.5 * z * z).exp() * if i == 0 || i == steps { 0.5 } else { 1.0 };
+        let m = (mu + sigma * z).exp();
+        acc += w * (-lambda * m).exp();
+        norm += w;
+    }
+    acc / norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::FitRates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> DramConfig {
+        DramConfig::isca16_reliability()
+    }
+
+    #[test]
+    fn q0_matches_closed_form_without_variation() {
+        let model = FaultModel::uniform(FitRates::cielo(), 6.0);
+        let s = FaultSampler::new(&model, &cfg());
+        for gate in &s.gates[1] {
+            assert!((gate.q0 - (-gate.lambda).exp()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn q0_quadrature_sane() {
+        let base = LogNormal::from_mean_cv(1.0, 0.5);
+        // Small λ: q0 ≈ 1 − λ.
+        let q = quad_q0(1e-4, &base);
+        assert!((q - (1.0 - 1e-4)).abs() < 1e-6, "q0 {q}");
+        // Large λ: q0 well below exp(-λ·small)...
+        assert!(quad_q0(5.0, &base) < 0.1);
+        assert_eq!(quad_q0(0.0, &base), 1.0);
+    }
+
+    #[test]
+    fn matches_reference_sampler() {
+        let model = FaultModel::isca16(FitRates::cielo(), 6.0);
+        let c = cfg();
+        let fast = FaultSampler::new(&model, &c);
+        let n = 20_000;
+        let mut rng = StdRng::seed_from_u64(555);
+        let mut fast_faulty = 0usize;
+        let mut fast_events = 0usize;
+        for _ in 0..n {
+            let node = fast.sample_node(&mut rng);
+            fast_faulty += node.is_faulty() as usize;
+            fast_events += node.events.len();
+        }
+        let mut ref_faulty = 0usize;
+        let mut ref_events = 0usize;
+        for _ in 0..n {
+            let node = model.sample_node(&c, &mut rng);
+            ref_faulty += node.is_faulty() as usize;
+            ref_events += node.events.len();
+        }
+        let d_faulty = (fast_faulty as f64 - ref_faulty as f64).abs() / n as f64;
+        let d_events = (fast_events as f64 - ref_events as f64).abs() / ref_events as f64;
+        assert!(d_faulty < 0.01, "faulty-rate gap {d_faulty}");
+        assert!(d_events < 0.05, "event-count gap {d_events}");
+    }
+
+    #[test]
+    fn accelerated_class_uses_slow_path_at_10x() {
+        let model = FaultModel::isca16(FitRates::cielo().scaled(10.0), 6.0);
+        let s = FaultSampler::new(&model, &cfg());
+        // At 100× acceleration and 10× FIT, the bit/word process mean is
+        // ~0.76 — must be on the exact path.
+        assert!(s.gates[0].iter().any(|g| g.slow));
+        // The rest class stays on the gate path.
+        assert!(s.gates[1].iter().all(|g| !g.slow));
+    }
+
+    #[test]
+    fn events_remain_sorted() {
+        let model = FaultModel::isca16(FitRates::cielo().scaled(10.0), 6.0);
+        let s = FaultSampler::new(&model, &cfg());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let node = s.sample_node(&mut rng);
+            for w in node.events.windows(2) {
+                assert!(w[0].time_hours <= w[1].time_hours);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod multirank_tests {
+    use super::*;
+    use crate::modes::FitRates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// On DIMMs with several ranks, a multi-rank fault produces one region
+    /// per rank at the same device position.
+    #[test]
+    fn multirank_spans_ranks_on_multirank_dimms() {
+        let mut cfg = DramConfig::isca16_reliability();
+        cfg.ranks_per_dimm = 2;
+        cfg.rows = 32768; // keep per-DIMM capacity constant
+        cfg.validate().unwrap();
+        // Only the multi-rank process, cranked high.
+        let mut rates = FitRates { fit: [[0.0; 2]; 6] };
+        rates.fit[5][1] = 5000.0;
+        let model = FaultModel::isca16(rates, 6.0);
+        let sampler = FaultSampler::new(&model, &cfg);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut saw = false;
+        for _ in 0..200 {
+            let node = sampler.sample_node(&mut rng);
+            for e in node.permanent() {
+                assert_eq!(e.regions.len(), 2, "one region per rank");
+                assert_eq!(e.regions[0].device, e.regions[1].device);
+                assert_ne!(e.regions[0].rank.rank, e.regions[1].rank.rank);
+                assert_eq!(e.regions[0].rank.dimm_index(&cfg), e.regions[1].rank.dimm_index(&cfg));
+                saw = true;
+            }
+        }
+        assert!(saw, "expected at least one multi-rank fault");
+    }
+}

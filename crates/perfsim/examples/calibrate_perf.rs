@@ -1,0 +1,42 @@
+//! Scratch: weighted speedup sensitivity to LLC capacity loss.
+//! Run: cargo run --release -p relaxfault-perfsim --example calibrate_perf [instr]
+
+use relaxfault_perfsim::workload::catalog;
+use relaxfault_perfsim::{CapacityLoss, SimConfig, Simulation, WeightedSpeedup};
+
+fn main() {
+    let instr: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400_000);
+    let cfg = SimConfig { instructions_per_core: instr, ..SimConfig::isca16() };
+    let t0 = std::time::Instant::now();
+    for w in catalog::all() {
+        // Solo IPCs: each distinct spec alone on the machine.
+        let mut solo = Vec::new();
+        for spec in &w.cores {
+            let alone = relaxfault_perfsim::Workload {
+                name: format!("{}-solo", spec.name),
+                cores: vec![spec.clone()],
+            };
+            let r = Simulation::run(&cfg, &alone, CapacityLoss::None, 11);
+            solo.push(r.per_core[0].ipc);
+        }
+        let mut line = format!("{:8}", w.name);
+        let full = Simulation::run(&cfg, &w, CapacityLoss::None, 11);
+        let base_power = full.dram_dynamic_power_mw(&cfg.energy);
+        for loss in [
+            CapacityLoss::None,
+            CapacityLoss::RandomLines { bytes: 100 << 10 },
+            CapacityLoss::Ways(1),
+            CapacityLoss::Ways(4),
+        ] {
+            let r = Simulation::run(&cfg, &w, loss, 11);
+            let ws = WeightedSpeedup::compute(&solo, &r);
+            let p = r.dram_dynamic_power_mw(&cfg.energy) / base_power * 100.0;
+            line += &format!("  {}={:.2}/p{:.0}%", loss.label(), ws.0, p);
+        }
+        println!("{line}");
+    }
+    println!("elapsed {:?}", t0.elapsed());
+}

@@ -1,0 +1,143 @@
+//! The simulated system of the paper's Table 3.
+
+use relaxfault_cache::CacheConfig;
+use relaxfault_dram::{DdrTiming, DramConfig, DramEnergy};
+use serde::{Deserialize, Serialize};
+
+/// How much LLC capacity repair has taken (the paper's Figure 15 sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CapacityLoss {
+    /// Full LLC (no repair).
+    None,
+    /// `n` ways locked in every set (the paper's pessimistic methodology).
+    Ways(u32),
+    /// `bytes` of randomly placed locked lines, at most one way per set
+    /// (the paper's 100 KiB LULESH Monte Carlo experiment).
+    RandomLines {
+        /// Total locked bytes.
+        bytes: u64,
+    },
+}
+
+impl CapacityLoss {
+    /// Label used in the figure output.
+    pub fn label(&self) -> String {
+        match self {
+            CapacityLoss::None => "No repair".into(),
+            CapacityLoss::Ways(n) => format!("{n}-way"),
+            CapacityLoss::RandomLines { bytes } => format!("{}KiB(1-way)", bytes / 1024),
+        }
+    }
+}
+
+/// Table 3: simulated system parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Core count.
+    pub cores: u32,
+    /// Core clock in MHz (4 GHz).
+    pub core_mhz: u32,
+    /// Retired instructions per cycle when nothing stalls (4-way OOO).
+    pub base_ipc: f64,
+    /// Maximum in-flight long-latency accesses per core (MSHRs / MLP).
+    pub mlp: u32,
+    /// Instructions the OOO window can slide past a blocked oldest miss.
+    pub rob_span: u64,
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// L1 hit latency in core cycles.
+    pub l1_latency: u32,
+    /// Private L2.
+    pub l2: CacheConfig,
+    /// L2 hit latency in core cycles.
+    pub l2_latency: u32,
+    /// Shared LLC.
+    pub llc: CacheConfig,
+    /// LLC hit latency in core cycles.
+    pub llc_latency: u32,
+    /// DRAM organization (2 channels × 2 ranks × 8 banks).
+    pub dram: DramConfig,
+    /// DDR3 timing.
+    pub timing: DdrTiming,
+    /// Per-operation DRAM energy.
+    pub energy: DramEnergy,
+    /// Instructions each core must retire.
+    pub instructions_per_core: u64,
+}
+
+impl SimConfig {
+    /// The paper's Table 3 system.
+    pub fn isca16() -> Self {
+        Self {
+            cores: 8,
+            core_mhz: 4000,
+            base_ipc: 2.0,
+            mlp: 8,
+            rob_span: 192,
+            l1: CacheConfig::isca16_l1(),
+            l1_latency: 3,
+            l2: CacheConfig::isca16_l2(),
+            l2_latency: 8,
+            llc: CacheConfig::isca16_llc(),
+            llc_latency: 30,
+            dram: DramConfig::isca16_performance(),
+            timing: DdrTiming::ddr3_1600(),
+            energy: DramEnergy::ddr3_1600_x4_rank(),
+            instructions_per_core: 1_000_000,
+        }
+    }
+
+    /// Core cycles per DRAM command cycle (4 GHz / 800 MHz = 5).
+    pub fn core_cycles_per_dram_cycle(&self) -> u64 {
+        (self.core_mhz / self.timing.clock_mhz) as u64
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        self.l1.validate()?;
+        self.l2.validate()?;
+        self.llc.validate()?;
+        self.dram.validate()?;
+        self.timing.validate()?;
+        if self.cores == 0 || self.mlp == 0 || self.base_ipc <= 0.0 {
+            return Err("cores, mlp, and base_ipc must be positive".into());
+        }
+        if !self.core_mhz.is_multiple_of(self.timing.clock_mhz) {
+            return Err("core clock must be an integer multiple of the DRAM clock".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_system_is_valid() {
+        let c = SimConfig::isca16();
+        c.validate().unwrap();
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.core_cycles_per_dram_cycle(), 5);
+        assert_eq!(c.llc.size_bytes, 8 << 20);
+        assert_eq!(c.dram.channels, 2);
+    }
+
+    #[test]
+    fn validate_catches_clock_mismatch() {
+        let mut c = SimConfig::isca16();
+        c.core_mhz = 3900;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn loss_labels() {
+        assert_eq!(CapacityLoss::None.label(), "No repair");
+        assert_eq!(CapacityLoss::Ways(4).label(), "4-way");
+        assert_eq!(CapacityLoss::RandomLines { bytes: 102_400 }.label(), "100KiB(1-way)");
+    }
+}

@@ -1,0 +1,47 @@
+//! Cycle-approximate multicore performance and DRAM-power simulation
+//! (paper §4.2, Figures 15 and 16).
+//!
+//! The paper measures RelaxFault's performance impact by removing LLC
+//! capacity — whole ways per set, or 100 KiB of randomly placed lines —
+//! and running memory-intensive multi-threaded (NPB, LULESH) and
+//! multi-programmed (SPEC CPU2006) workloads on a simulated 8-core system
+//! (Table 3). What those experiments exercise is *LLC-capacity
+//! sensitivity*: how throughput (weighted speedup) and DRAM dynamic power
+//! respond when repair locks cache lines.
+//!
+//! MacSim, SPEC binaries, and SimPoint checkpoints are not reproducible
+//! offline, so this crate substitutes *synthetic workload models* named
+//! after Table 4's benchmarks (see `DESIGN.md` §1). Each model is a
+//! parameterized address-stream generator (hot reuse set, streaming scans,
+//! random pointer chasing) whose footprint and intensity are chosen to
+//! reproduce the qualitative property the paper reports — e.g. LULESH's
+//! shared hot working set barely exceeds the LLC when four ways are
+//! locked, so it is the one benchmark that degrades.
+//!
+//! The machine model is honest where it matters for these figures and
+//! simplified where it does not (documented in [`machine`]): private
+//! L1/L2, a shared hashed 16-way LLC with way/line locking, a per-channel
+//! open-page memory controller driving bit-exact DDR3-1600 bank timing
+//! from `relaxfault-dram`, limited-MLP out-of-order cores, and TN-41-01
+//! energy accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use relaxfault_perfsim::{CapacityLoss, SimConfig, Simulation};
+//! use relaxfault_perfsim::workload::catalog;
+//!
+//! let cfg = SimConfig { instructions_per_core: 20_000, ..SimConfig::isca16() };
+//! let full = Simulation::run(&cfg, &catalog::lulesh(), CapacityLoss::None, 1);
+//! assert!(full.throughput_ipc() > 0.0);
+//! ```
+
+pub mod config;
+pub mod machine;
+pub mod metrics;
+pub mod workload;
+
+pub use config::{CapacityLoss, SimConfig};
+pub use machine::Simulation;
+pub use metrics::{PowerReport, SimResult, WeightedSpeedup};
+pub use workload::{CoreSpec, Region, Workload};

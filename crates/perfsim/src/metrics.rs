@@ -1,0 +1,163 @@
+//! Simulation results: IPC, weighted speedup (Equation 2), DRAM power.
+
+use relaxfault_cache::CacheStats;
+use relaxfault_dram::{DramEnergy, OpCounts};
+use serde::{Deserialize, Serialize};
+
+/// Per-core outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Benchmark name the core ran.
+    pub name: String,
+    /// Instructions measured.
+    pub instructions: u64,
+    /// Core cycles to retire them (including drain).
+    pub cycles: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+}
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Per-core statistics.
+    pub per_core: Vec<CoreStats>,
+    /// DRAM operations across all channels.
+    pub op_counts: OpCounts,
+    /// Core cycles until the slowest core finished.
+    pub elapsed_cycles: f64,
+    /// Core clock, for time conversion.
+    pub core_mhz: u32,
+    /// Shared-LLC statistics.
+    pub llc_stats: CacheStats,
+}
+
+impl SimResult {
+    /// Total system IPC.
+    pub fn throughput_ipc(&self) -> f64 {
+        self.per_core.iter().map(|c| c.ipc).sum()
+    }
+
+    /// Wall-clock nanoseconds of the run.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.elapsed_cycles * 1000.0 / self.core_mhz as f64
+    }
+
+    /// DRAM dynamic power in milliwatts under an energy model.
+    pub fn dram_dynamic_power_mw(&self, energy: &DramEnergy) -> f64 {
+        let ns = self.elapsed_ns().max(1.0);
+        energy.dynamic_energy_nj(&self.op_counts) / ns * 1000.0
+    }
+}
+
+/// Equation 2: weighted speedup against solo IPCs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightedSpeedup(pub f64);
+
+impl WeightedSpeedup {
+    /// Computes `Σ IPC_shared / IPC_alone`, pairing cores positionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any solo IPC is non-positive.
+    pub fn compute(solo_ipc: &[f64], shared: &SimResult) -> Self {
+        assert_eq!(solo_ipc.len(), shared.per_core.len(), "core count mismatch");
+        let ws = shared
+            .per_core
+            .iter()
+            .zip(solo_ipc)
+            .map(|(c, &alone)| {
+                assert!(alone > 0.0, "solo IPC must be positive");
+                c.ipc / alone
+            })
+            .sum();
+        WeightedSpeedup(ws)
+    }
+}
+
+impl std::fmt::Display for WeightedSpeedup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}", self.0)
+    }
+}
+
+/// DRAM dynamic power of one configuration relative to a baseline run
+/// (the paper's Figure 16 y-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Absolute dynamic power of this run, mW.
+    pub power_mw: f64,
+    /// Power relative to the baseline, in percent.
+    pub relative_pct: f64,
+}
+
+impl PowerReport {
+    /// Builds the report for `run` against `baseline`.
+    pub fn relative(run: &SimResult, baseline: &SimResult, energy: &DramEnergy) -> Self {
+        let p = run.dram_dynamic_power_mw(energy);
+        let b = baseline.dram_dynamic_power_mw(energy).max(1e-9);
+        Self { power_mw: p, relative_pct: p / b * 100.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(ipcs: &[f64]) -> SimResult {
+        SimResult {
+            per_core: ipcs
+                .iter()
+                .enumerate()
+                .map(|(i, &ipc)| CoreStats {
+                    name: format!("c{i}"),
+                    instructions: 1000,
+                    cycles: 1000.0 / ipc,
+                    ipc,
+                })
+                .collect(),
+            op_counts: OpCounts { activates: 10, precharges: 10, reads: 100, writes: 20, refreshes: 0 },
+            elapsed_cycles: 4000.0,
+            core_mhz: 4000,
+            llc_stats: CacheStats::default(),
+        }
+    }
+
+    #[test]
+    fn weighted_speedup_identity() {
+        let r = result(&[1.0, 0.5]);
+        let ws = WeightedSpeedup::compute(&[1.0, 0.5], &r);
+        assert!((ws.0 - 2.0).abs() < 1e-12, "each core at its solo speed");
+    }
+
+    #[test]
+    fn weighted_speedup_degradation() {
+        let r = result(&[0.5, 0.25]);
+        let ws = WeightedSpeedup::compute(&[1.0, 0.5], &r);
+        assert!((ws.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn weighted_speedup_length_check() {
+        WeightedSpeedup::compute(&[1.0], &result(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn power_report_relative() {
+        let a = result(&[1.0]);
+        let mut b = result(&[1.0]);
+        b.op_counts.reads *= 2;
+        let e = DramEnergy::ddr3_1600_x4_rank();
+        let rep = PowerReport::relative(&b, &a, &e);
+        assert!(rep.relative_pct > 100.0);
+        let same = PowerReport::relative(&a, &a, &e);
+        assert!((same.relative_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elapsed_time_conversion() {
+        let r = result(&[1.0]);
+        assert!((r.elapsed_ns() - 1000.0).abs() < 1e-9, "4000 cycles @ 4 GHz = 1 µs");
+    }
+}

@@ -1,0 +1,519 @@
+//! Synthetic workload models standing in for the paper's Table 4
+//! benchmarks.
+//!
+//! Each core runs a [`CoreSpec`]: a memory intensity (memory operations per
+//! instruction) plus a mixture of access *regions*. Three region kinds
+//! cover the locality behaviours that matter for LLC-capacity studies:
+//!
+//! * a **hot** set reused heavily (lives in the LLC if it fits — this is
+//!   the knob that makes a workload capacity-sensitive),
+//! * **streaming** scans (sequential, no reuse, DRAM-bandwidth bound),
+//! * **random** pointer chasing over a large footprint (latency bound,
+//!   misses regardless of LLC size).
+//!
+//! Multi-threaded benchmarks share their regions across cores;
+//! multi-programmed mixes give each core private regions.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One component of a core's access mixture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Probability an access goes to this region (mixture weights must sum
+    /// to 1).
+    pub weight: f64,
+    /// Footprint in bytes.
+    pub bytes: u64,
+    /// Access pattern within the region.
+    pub pattern: Pattern,
+    /// Whether all cores address one copy (multi-threaded sharing) or each
+    /// core gets a private copy.
+    pub shared: bool,
+}
+
+/// Address pattern within a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Sequential 64-byte-stride scan, wrapping at the footprint.
+    Stream,
+    /// Uniform random lines.
+    Random,
+}
+
+/// Per-core workload description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreSpec {
+    /// Display name (the benchmark this stands in for).
+    pub name: String,
+    /// Memory operations per instruction.
+    pub mem_ratio: f64,
+    /// Fraction of memory operations that are stores.
+    pub write_frac: f64,
+    /// The access mixture.
+    pub regions: Vec<Region>,
+}
+
+impl CoreSpec {
+    /// Checks mixture weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let sum: f64 = self.regions.iter().map(|r| r.weight).sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(format!("{}: region weights sum to {sum}", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.mem_ratio) || !(0.0..=1.0).contains(&self.write_frac) {
+            return Err(format!("{}: ratios out of range", self.name));
+        }
+        if self.regions.iter().any(|r| r.bytes < 64) {
+            return Err(format!("{}: region smaller than one line", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// A full 8-core workload (one of the paper's Figure 15 bars).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Display name.
+    pub name: String,
+    /// One spec per core.
+    pub cores: Vec<CoreSpec>,
+}
+
+impl Workload {
+    /// A multi-threaded workload: every core runs `spec`.
+    pub fn threaded(name: &str, spec: CoreSpec, cores: u32) -> Self {
+        Self {
+            name: name.to_string(),
+            cores: (0..cores).map(|_| spec.clone()).collect(),
+        }
+    }
+
+    /// A multi-programmed mix cycling through `specs`.
+    pub fn mix(name: &str, specs: &[CoreSpec], cores: u32) -> Self {
+        Self {
+            name: name.to_string(),
+            cores: (0..cores as usize).map(|i| specs[i % specs.len()].clone()).collect(),
+        }
+    }
+
+    /// Checks every core spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        for c in &self.cores {
+            c.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Runtime address generator for one core.
+#[derive(Debug, Clone)]
+pub struct AddressStream {
+    regions: Vec<StreamRegion>,
+    write_frac: f64,
+    mem_ratio: f64,
+}
+
+#[derive(Debug, Clone)]
+struct StreamRegion {
+    weight: f64,
+    base: u64,
+    lines: u64,
+    pattern: Pattern,
+    cursor: u64,
+}
+
+impl AddressStream {
+    /// Lays out a spec's regions for `core`. Shared regions get one copy at
+    /// a workload-global base; private regions are replicated per core.
+    /// `addr_space` bounds the physical footprint (addresses wrap).
+    pub fn new(spec: &CoreSpec, core: u32, addr_space: u64) -> Self {
+        spec.validate().expect("invalid CoreSpec");
+        let mut regions = Vec::new();
+        // Simple deterministic layout: shared regions first at fixed bases,
+        // then private regions at per-core offsets in the upper half.
+        let mut shared_base = 0u64;
+        let mut private_base = addr_space / 2 + core as u64 * (addr_space / 64);
+        for r in &spec.regions {
+            let lines = (r.bytes / 64).max(1);
+            let base = if r.shared {
+                let b = shared_base;
+                shared_base += r.bytes.next_multiple_of(1 << 20);
+                b
+            } else {
+                let b = private_base;
+                private_base += r.bytes.next_multiple_of(1 << 20);
+                b
+            };
+            // Shared streams start staggered a cache-resident distance
+            // apart: the cores' sweeps convoy through the LLC (threads of
+            // one NPB loop touching the same arrays within an iteration).
+            regions.push(StreamRegion {
+                weight: r.weight,
+                base: base % addr_space,
+                lines,
+                pattern: r.pattern,
+                cursor: (core as u64 * 97) % lines,
+            });
+        }
+        Self {
+            regions,
+            write_frac: spec.write_frac,
+            mem_ratio: spec.mem_ratio,
+        }
+    }
+
+    /// Instructions between memory operations, on average.
+    pub fn gap_instructions(&self) -> f64 {
+        if self.mem_ratio <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.mem_ratio
+        }
+    }
+
+    /// Draws the next memory access: `(byte address, is_write)`.
+    pub fn next_access<R: Rng + ?Sized>(&mut self, rng: &mut R, addr_space: u64) -> (u64, bool) {
+        let mut pick: f64 = rng.gen();
+        let mut idx = self.regions.len() - 1;
+        for (i, r) in self.regions.iter().enumerate() {
+            if pick < r.weight {
+                idx = i;
+                break;
+            }
+            pick -= r.weight;
+        }
+        let r = &mut self.regions[idx];
+        let line = match r.pattern {
+            Pattern::Stream => {
+                r.cursor = (r.cursor + 1) % r.lines;
+                r.cursor
+            }
+            Pattern::Random => rng.gen_range(0..r.lines),
+        };
+        let addr = (r.base + line * 64) % addr_space;
+        (addr, rng.gen_bool(self.write_frac))
+    }
+}
+
+/// The Table 4 catalogue.
+pub mod catalog {
+    use super::*;
+
+    fn hot(weight: f64, bytes: u64, shared: bool) -> Region {
+        // A hot set is reused heavily; random access within it keeps every
+        // line warm without streaming eviction.
+        Region { weight, bytes, pattern: Pattern::Random, shared }
+    }
+
+    fn stream(weight: f64, bytes: u64, shared: bool) -> Region {
+        Region { weight, bytes, pattern: Pattern::Stream, shared }
+    }
+
+    fn rand(weight: f64, bytes: u64, shared: bool) -> Region {
+        Region { weight, bytes, pattern: Pattern::Random, shared }
+    }
+
+    /// NPB CG (class C): sparse matrix-vector — irregular gathers over a
+    /// large matrix with a hot multiplicand vector.
+    pub fn cg() -> Workload {
+        Workload::threaded(
+            "CG",
+            CoreSpec {
+                name: "CG".into(),
+                mem_ratio: 0.35,
+                write_frac: 0.15,
+                regions: vec![
+                    hot(0.45, 3 << 19, true),
+                    rand(0.40, 512 << 20, true),
+                    stream(0.15, 256 << 20, true),
+                ],
+            },
+            8,
+        )
+    }
+
+    /// NPB DC (class A): data cube — huge streaming aggregations, memory
+    /// intensive with a borderline-LLC hot index.
+    pub fn dc() -> Workload {
+        Workload::threaded(
+            "DC",
+            CoreSpec {
+                name: "DC".into(),
+                mem_ratio: 0.45,
+                write_frac: 0.30,
+                regions: vec![
+                    hot(0.30, 3 << 19, true),
+                    stream(0.45, 1 << 30, true),
+                    rand(0.25, 1 << 30, true),
+                ],
+            },
+            8,
+        )
+    }
+
+    /// NPB LU (class C): structured stencil sweeps with strong reuse.
+    pub fn lu() -> Workload {
+        Workload::threaded(
+            "LU",
+            CoreSpec {
+                name: "LU".into(),
+                mem_ratio: 0.30,
+                write_frac: 0.25,
+                regions: vec![
+                    hot(0.40, 3 << 19, true),
+                    stream(0.55, 512 << 20, true),
+                    rand(0.05, 64 << 20, true),
+                ],
+            },
+            8,
+        )
+    }
+
+    /// NPB SP (class C): penta-diagonal solver, similar structure to LU.
+    pub fn sp() -> Workload {
+        Workload::threaded(
+            "SP",
+            CoreSpec {
+                name: "SP".into(),
+                mem_ratio: 0.32,
+                write_frac: 0.28,
+                regions: vec![
+                    hot(0.35, 1 << 20, true),
+                    stream(0.60, 768 << 20, true),
+                    rand(0.05, 64 << 20, true),
+                ],
+            },
+            8,
+        )
+    }
+
+    /// NPB UA (class C): unstructured adaptive mesh — pointer-heavy.
+    pub fn ua() -> Workload {
+        Workload::threaded(
+            "UA",
+            CoreSpec {
+                name: "UA".into(),
+                mem_ratio: 0.35,
+                write_frac: 0.20,
+                regions: vec![
+                    hot(0.35, 3 << 19, true),
+                    rand(0.45, 96 << 20, true),
+                    stream(0.20, 128 << 20, true),
+                ],
+            },
+            8,
+        )
+    }
+
+    /// LULESH (size 303): shock hydrodynamics whose shared working set
+    /// barely exceeds the LLC once repair locks several ways — the one
+    /// benchmark the paper shows degrading (~7% at 4 locked ways).
+    pub fn lulesh() -> Workload {
+        Workload::threaded(
+            "LULESH",
+            CoreSpec {
+                name: "LULESH".into(),
+                mem_ratio: 0.40,
+                write_frac: 0.30,
+                regions: vec![
+                    hot(0.70, 7 << 19, true),
+                    stream(0.20, 256 << 20, true),
+                    rand(0.10, 128 << 20, true),
+                ],
+            },
+            8,
+        )
+    }
+
+    /// SPEC CPU2006 memory-intensive mix (mcf, milc, soplex, libquantum,
+    /// lbm, leslie3d, omnetpp stand-ins).
+    pub fn spec_mem() -> Workload {
+        let mcf = CoreSpec {
+            name: "429.mcf".into(),
+            mem_ratio: 0.40,
+            write_frac: 0.15,
+            regions: vec![rand(0.55, 1 << 30, false), hot(0.45, 1 << 18, false)],
+        };
+        let milc = CoreSpec {
+            name: "433.milc".into(),
+            mem_ratio: 0.35,
+            write_frac: 0.25,
+            regions: vec![stream(0.80, 512 << 20, false), hot(0.20, 1 << 19, false)],
+        };
+        let soplex = CoreSpec {
+            name: "450.soplex".into(),
+            mem_ratio: 0.30,
+            write_frac: 0.20,
+            regions: vec![
+                rand(0.40, 256 << 20, false),
+                stream(0.35, 256 << 20, false),
+                hot(0.25, 1 << 19, false),
+            ],
+        };
+        let libquantum = CoreSpec {
+            name: "462.libquantum".into(),
+            mem_ratio: 0.30,
+            write_frac: 0.30,
+            regions: vec![stream(0.95, 64 << 20, false), hot(0.05, 1 << 20, false)],
+        };
+        let lbm = CoreSpec {
+            name: "470.lbm".into(),
+            mem_ratio: 0.38,
+            write_frac: 0.45,
+            regions: vec![stream(0.90, 384 << 20, false), hot(0.10, 1 << 19, false)],
+        };
+        Workload::mix("MEM", &[mcf, milc, soplex, libquantum, lbm], 8)
+    }
+
+    /// SPEC CPU2006 mixed compute/memory workload (bzip2, sjeng join the
+    /// memory-intensive apps).
+    pub fn spec_comp() -> Workload {
+        let bzip2 = CoreSpec {
+            name: "401.bzip2".into(),
+            mem_ratio: 0.12,
+            write_frac: 0.30,
+            regions: vec![hot(0.80, 1 << 19, false), stream(0.20, 64 << 20, false)],
+        };
+        let sjeng = CoreSpec {
+            name: "458.sjeng".into(),
+            mem_ratio: 0.08,
+            write_frac: 0.20,
+            regions: vec![hot(0.70, 1 << 18, false), rand(0.30, 96 << 20, false)],
+        };
+        let mem = spec_mem();
+        Workload::mix(
+            "COMP",
+            &[
+                mem.cores[0].clone(),
+                bzip2.clone(),
+                mem.cores[1].clone(),
+                sjeng.clone(),
+                mem.cores[2].clone(),
+                bzip2,
+                mem.cores[4].clone(),
+                sjeng,
+            ],
+            8,
+        )
+    }
+
+    /// Every Figure 15 workload, in the paper's order.
+    pub fn all() -> Vec<Workload> {
+        vec![cg(), dc(), lu(), sp(), ua(), lulesh(), spec_mem(), spec_comp()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn catalogue_validates() {
+        for w in catalog::all() {
+            w.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_eq!(w.cores.len(), 8);
+        }
+    }
+
+    #[test]
+    fn stream_region_is_sequential() {
+        let spec = CoreSpec {
+            name: "s".into(),
+            mem_ratio: 1.0,
+            write_frac: 0.0,
+            regions: vec![Region {
+                weight: 1.0,
+                bytes: 4096,
+                pattern: Pattern::Stream,
+                shared: true,
+            }],
+        };
+        let mut s = AddressStream::new(&spec, 0, 1 << 30);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (a1, _) = s.next_access(&mut rng, 1 << 30);
+        let (a2, _) = s.next_access(&mut rng, 1 << 30);
+        assert_eq!(a2, a1 + 64);
+    }
+
+    #[test]
+    fn random_region_stays_in_footprint() {
+        let spec = CoreSpec {
+            name: "r".into(),
+            mem_ratio: 0.5,
+            write_frac: 0.5,
+            regions: vec![Region {
+                weight: 1.0,
+                bytes: 1 << 20,
+                pattern: Pattern::Random,
+                shared: false,
+            }],
+        };
+        let mut s = AddressStream::new(&spec, 3, 1 << 30);
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = {
+            let (a, _) = s.next_access(&mut rng, 1 << 30);
+            a & !((1u64 << 20) - 1)
+        };
+        for _ in 0..1000 {
+            let (a, _) = s.next_access(&mut rng, 1 << 30);
+            assert!(a >= base && a < base + (2 << 20), "addr {a:#x} vs base {base:#x}");
+        }
+    }
+
+    #[test]
+    fn shared_regions_coincide_across_cores() {
+        let w = catalog::lulesh();
+        let mut s0 = AddressStream::new(&w.cores[0], 0, 32 << 30);
+        let mut s1 = AddressStream::new(&w.cores[1], 1, 32 << 30);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a0: Vec<u64> = (0..2000).map(|_| s0.next_access(&mut rng, 32 << 30).0).collect();
+        let mut a1: Vec<u64> = (0..2000).map(|_| s1.next_access(&mut rng, 32 << 30).0).collect();
+        a0.sort_unstable();
+        a1.sort_unstable();
+        // Shared hot set: substantial overlap in the address ranges hit.
+        let overlap = a0
+            .iter()
+            .filter(|a| a1.binary_search(a).is_ok())
+            .count();
+        assert!(overlap > 0, "threaded workloads must share addresses");
+    }
+
+    #[test]
+    fn private_regions_differ_across_cores() {
+        let w = catalog::spec_mem();
+        let s0 = AddressStream::new(&w.cores[0], 0, 32 << 30);
+        let s1 = AddressStream::new(&w.cores[1], 1, 32 << 30);
+        // Private bases must differ (different cores, different layout).
+        assert_ne!(s0.regions[0].base, s1.regions[0].base);
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let w = catalog::dc();
+        let mut s = AddressStream::new(&w.cores[0], 0, 32 << 30);
+        let mut rng = StdRng::seed_from_u64(4);
+        let writes = (0..20_000)
+            .filter(|_| s.next_access(&mut rng, 32 << 30).1)
+            .count();
+        let frac = writes as f64 / 20_000.0;
+        assert!((frac - 0.30).abs() < 0.02, "write frac {frac}");
+    }
+
+    #[test]
+    fn gap_matches_mem_ratio() {
+        let w = catalog::cg();
+        let s = AddressStream::new(&w.cores[0], 0, 32 << 30);
+        assert!((s.gap_instructions() - 1.0 / 0.35).abs() < 1e-9);
+    }
+}

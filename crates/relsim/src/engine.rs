@@ -1,0 +1,408 @@
+//! Parallel Monte Carlo runner.
+//!
+//! Samples node lifetimes once per trial and evaluates every scenario arm
+//! that shares the same fault model on the *same* fault population — the
+//! paper compares mechanisms this way, and it slashes comparison variance.
+//! Trials are deterministic in `(seed, trial index)` regardless of thread
+//! count.
+
+use crate::node::evaluate_node;
+use crate::scenario::Scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use relaxfault_dram::DramConfig;
+use relaxfault_faults::{FaultModel, FaultSampler};
+use relaxfault_util::stats::{Ecdf, wilson_interval};
+
+/// Execution parameters for a Monte Carlo run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Node lifetimes to simulate per arm.
+    pub trials: u64,
+    /// Base RNG seed (trials are derived deterministically).
+    pub seed: u64,
+    /// Worker threads (0 or 1 = single-threaded).
+    pub threads: usize,
+}
+
+impl RunConfig {
+    /// A quick configuration for tests.
+    pub fn quick(trials: u64) -> Self {
+        Self { trials, seed: 0x5EED, threads: 4 }
+    }
+}
+
+/// Accumulated metrics of one scenario arm.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The arm's mechanism label.
+    pub label: String,
+    /// Node lifetimes simulated.
+    pub trials: u64,
+    /// Nodes with at least one permanent fault.
+    pub faulty_nodes: u64,
+    /// Faulty nodes whose every permanent fault was repaired.
+    pub fully_repaired_nodes: u64,
+    /// Repair bytes of each fully repaired faulty node.
+    pub repair_bytes: Ecdf,
+    /// Total DUEs across trials.
+    pub dues: u64,
+    /// DUEs triggered by transient faults.
+    pub transient_dues: u64,
+    /// Total SDCs across trials.
+    pub sdcs: u64,
+    /// Total DIMM replacements across trials.
+    pub replacements: u64,
+    /// Permanent faults that stayed unrepaired.
+    pub unrepaired_faults: u64,
+    /// Permanent faults observed.
+    pub permanent_faults: u64,
+    /// Worst per-set repair occupancy seen in any node.
+    pub max_ways_seen: u32,
+    /// Unrepaired permanent faults by `FaultMode` index.
+    pub unrepaired_by_mode: [u64; 6],
+}
+
+impl ScenarioResult {
+    fn new(label: String) -> Self {
+        Self {
+            label,
+            trials: 0,
+            faulty_nodes: 0,
+            fully_repaired_nodes: 0,
+            repair_bytes: Ecdf::new(),
+            dues: 0,
+            transient_dues: 0,
+            sdcs: 0,
+            replacements: 0,
+            unrepaired_faults: 0,
+            permanent_faults: 0,
+            max_ways_seen: 0,
+            unrepaired_by_mode: [0; 6],
+        }
+    }
+
+    fn merge(&mut self, other: &ScenarioResult) {
+        self.trials += other.trials;
+        self.faulty_nodes += other.faulty_nodes;
+        self.fully_repaired_nodes += other.fully_repaired_nodes;
+        self.repair_bytes.merge(&other.repair_bytes);
+        self.dues += other.dues;
+        self.transient_dues += other.transient_dues;
+        self.sdcs += other.sdcs;
+        self.replacements += other.replacements;
+        self.unrepaired_faults += other.unrepaired_faults;
+        self.permanent_faults += other.permanent_faults;
+        self.max_ways_seen = self.max_ways_seen.max(other.max_ways_seen);
+        for (a, b) in self.unrepaired_by_mode.iter_mut().zip(other.unrepaired_by_mode) {
+            *a += b;
+        }
+    }
+
+    /// Repair coverage: fraction of faulty nodes fully repaired
+    /// (unbounded LLC budget beyond the way limit).
+    pub fn coverage(&self) -> f64 {
+        if self.faulty_nodes == 0 {
+            0.0
+        } else {
+            self.fully_repaired_nodes as f64 / self.faulty_nodes as f64
+        }
+    }
+
+    /// 95% confidence interval on [`ScenarioResult::coverage`].
+    pub fn coverage_interval(&self) -> (f64, f64) {
+        wilson_interval(self.fully_repaired_nodes, self.faulty_nodes)
+    }
+
+    /// Coverage if the LLC budget is additionally capped at `bytes`
+    /// (the y-value of Figures 10/11 at one x).
+    pub fn coverage_at_bytes(&mut self, bytes: u64) -> f64 {
+        if self.faulty_nodes == 0 {
+            return 0.0;
+        }
+        let within = self.repair_bytes.fraction_at_most(bytes as f64)
+            * self.repair_bytes.len() as f64;
+        within / self.faulty_nodes as f64
+    }
+
+    /// The LLC budget needed to reach a given fraction of the faulty nodes
+    /// (e.g. the paper's "90% of nodes with at most 82 KiB").
+    pub fn bytes_for_coverage(&mut self, target: f64) -> Option<u64> {
+        if self.coverage() < target || self.repair_bytes.is_empty() {
+            return None;
+        }
+        let p = (target * self.faulty_nodes as f64) / self.repair_bytes.len() as f64;
+        if p > 1.0 {
+            return None;
+        }
+        Some(self.repair_bytes.percentile(p * 100.0) as u64)
+    }
+
+    /// Scales a per-trial expectation to a system of `nodes` nodes.
+    pub fn per_system(&self, count: u64, nodes: u64) -> f64 {
+        count as f64 / self.trials as f64 * nodes as f64
+    }
+
+    /// Expected DUEs in a system of `nodes` nodes.
+    pub fn dues_per_system(&self, nodes: u64) -> f64 {
+        self.per_system(self.dues, nodes)
+    }
+
+    /// Expected SDCs in a system of `nodes` nodes.
+    pub fn sdcs_per_system(&self, nodes: u64) -> f64 {
+        self.per_system(self.sdcs, nodes)
+    }
+
+    /// Expected DIMM replacements in a system of `nodes` nodes.
+    pub fn replacements_per_system(&self, nodes: u64) -> f64 {
+        self.per_system(self.replacements, nodes)
+    }
+}
+
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    // splitmix64 over the tuple.
+    let mut z = seed ^ a.wrapping_mul(0x9E3779B97F4A7C15) ^ b.wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Runs every scenario arm over `run.trials` node lifetimes.
+///
+/// Arms with identical fault models see identical fault populations.
+///
+/// # Panics
+///
+/// Panics if `scenarios` is empty or arms disagree on the DRAM config.
+pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioResult> {
+    assert!(!scenarios.is_empty(), "no scenarios given");
+    let cfg = scenarios[0].dram;
+    assert!(
+        scenarios.iter().all(|s| s.dram == cfg),
+        "all arms must share one DRAM geometry"
+    );
+    // Group arms by fault model so each group shares samples.
+    let mut groups: Vec<(FaultModel, Vec<usize>)> = Vec::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        if let Some((_, idxs)) = groups.iter_mut().find(|(m, _)| *m == s.fault_model) {
+            idxs.push(i);
+        } else {
+            groups.push((s.fault_model, vec![i]));
+        }
+    }
+
+    let threads = run.threads.max(1);
+    let chunk = run.trials.div_ceil(threads as u64);
+    let mut partials: Vec<Vec<ScenarioResult>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t as u64 * chunk;
+            let hi = (lo + chunk).min(run.trials);
+            if lo >= hi {
+                continue;
+            }
+            let groups = &groups;
+            let seed = run.seed;
+            handles.push(scope.spawn(move |_| {
+                let mut local: Vec<ScenarioResult> = scenarios
+                    .iter()
+                    .map(|s| ScenarioResult::new(s.mechanism.label()))
+                    .collect();
+                let samplers: Vec<FaultSampler> = groups
+                    .iter()
+                    .map(|(model, _)| FaultSampler::new(model, &cfg))
+                    .collect();
+                for trial in lo..hi {
+                    for (gi, (_, members)) in groups.iter().enumerate() {
+                        let mut sample_rng =
+                            StdRng::seed_from_u64(mix(seed, trial, gi as u64));
+                        let node = samplers[gi].sample_node(&mut sample_rng);
+                        for &si in members {
+                            let mut eval_rng =
+                                StdRng::seed_from_u64(mix(seed ^ 0xECC, trial, 0));
+                            let out = evaluate_node(&scenarios[si], &node, &mut eval_rng);
+                            let r = &mut local[si];
+                            r.trials += 1;
+                            r.faulty_nodes += out.faulty as u64;
+                            r.fully_repaired_nodes += out.fully_repaired as u64;
+                            if out.fully_repaired {
+                                r.repair_bytes.add(out.repair_bytes as f64);
+                            }
+                            r.dues += out.dues as u64;
+                            r.transient_dues += out.transient_dues as u64;
+                            r.sdcs += out.sdcs as u64;
+                            r.replacements += out.replacements as u64;
+                            r.unrepaired_faults += out.unrepaired_faults as u64;
+                            r.permanent_faults += out.permanent_faults as u64;
+                            r.max_ways_seen = r.max_ways_seen.max(out.max_ways);
+                            for (a, b) in
+                                r.unrepaired_by_mode.iter_mut().zip(out.unrepaired_by_mode)
+                            {
+                                *a += b as u64;
+                            }
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut results: Vec<ScenarioResult> = scenarios
+        .iter()
+        .map(|s| ScenarioResult::new(s.mechanism.label()))
+        .collect();
+    for partial in &partials {
+        for (r, p) in results.iter_mut().zip(partial) {
+            r.merge(p);
+        }
+    }
+    results
+}
+
+/// Raw fault-population statistics (no mechanism), for the paper's
+/// Figure 9 sensitivity study.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PopulationStats {
+    /// Node lifetimes sampled.
+    pub trials: u64,
+    /// Nodes with ≥ 1 permanent fault.
+    pub faulty_nodes: u64,
+    /// DIMMs with ≥ 1 permanent fault.
+    pub faulty_dimms: u64,
+    /// DIMMs with permanent faults on ≥ 2 devices (the DUE/SDC-capable
+    /// population).
+    pub multi_device_dimms: u64,
+}
+
+impl PopulationStats {
+    /// Scales a count to a system of `nodes` nodes.
+    pub fn per_system(&self, count: u64, nodes: u64) -> f64 {
+        count as f64 / self.trials as f64 * nodes as f64
+    }
+}
+
+/// Samples `trials` node lifetimes and reports population statistics.
+pub fn fault_population(
+    model: &FaultModel,
+    cfg: &DramConfig,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> PopulationStats {
+    let threads = threads.max(1);
+    let chunk = trials.div_ceil(threads as u64);
+    let mut totals = PopulationStats::default();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t as u64 * chunk;
+            let hi = (lo + chunk).min(trials);
+            if lo >= hi {
+                continue;
+            }
+            handles.push(scope.spawn(move |_| {
+                let mut stats = PopulationStats::default();
+                let sampler = FaultSampler::new(model, cfg);
+                for trial in lo..hi {
+                    let mut rng = StdRng::seed_from_u64(mix(seed, trial, 0));
+                    let node = sampler.sample_node(&mut rng);
+                    stats.trials += 1;
+                    if !node.is_faulty() {
+                        continue;
+                    }
+                    stats.faulty_nodes += 1;
+                    let mut per_dimm: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
+                        Default::default();
+                    for e in node.permanent() {
+                        for r in &e.regions {
+                            per_dimm.entry(r.rank.dimm_index(cfg)).or_default().insert(r.device);
+                        }
+                    }
+                    stats.faulty_dimms += per_dimm.len() as u64;
+                    stats.multi_device_dimms +=
+                        per_dimm.values().filter(|d| d.len() >= 2).count() as u64;
+                }
+                stats
+            }));
+        }
+        for h in handles {
+            let s = h.join().expect("worker thread panicked");
+            totals.trials += s.trials;
+            totals.faulty_nodes += s.faulty_nodes;
+            totals.faulty_dimms += s.faulty_dimms;
+            totals.multi_device_dimms += s.multi_device_dimms;
+        }
+    })
+    .expect("crossbeam scope failed");
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Mechanism, ReplacementPolicy};
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let arms = vec![Scenario::isca16_baseline()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 1 })
+            .with_replacement(ReplacementPolicy::None)];
+        let a = run_scenarios(&arms, &RunConfig { trials: 300, seed: 42, threads: 1 });
+        let b = run_scenarios(&arms, &RunConfig { trials: 300, seed: 42, threads: 7 });
+        assert_eq!(a[0].faulty_nodes, b[0].faulty_nodes);
+        assert_eq!(a[0].dues, b[0].dues);
+        assert_eq!(a[0].fully_repaired_nodes, b[0].fully_repaired_nodes);
+    }
+
+    #[test]
+    fn shared_population_between_arms() {
+        let base = Scenario::isca16_baseline().with_replacement(ReplacementPolicy::None);
+        let arms = vec![
+            base.clone().with_mechanism(Mechanism::None),
+            base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
+            base.with_mechanism(Mechanism::Ppr),
+        ];
+        let r = run_scenarios(&arms, &RunConfig::quick(400));
+        // Same fault model ⇒ identical fault populations.
+        assert_eq!(r[0].faulty_nodes, r[1].faulty_nodes);
+        assert_eq!(r[0].permanent_faults, r[2].permanent_faults);
+        // And repair orders as the paper's Figure 10: RF ≥ PPR ≥ none.
+        assert!(r[1].fully_repaired_nodes >= r[2].fully_repaired_nodes);
+        assert_eq!(r[0].fully_repaired_nodes, 0);
+    }
+
+    #[test]
+    fn coverage_math() {
+        let mut r = ScenarioResult::new("x".into());
+        r.trials = 10;
+        r.faulty_nodes = 4;
+        r.fully_repaired_nodes = 3;
+        for b in [64.0, 128.0, 4096.0] {
+            r.repair_bytes.add(b);
+        }
+        assert!((r.coverage() - 0.75).abs() < 1e-12);
+        assert!((r.coverage_at_bytes(128) - 0.5).abs() < 1e-12);
+        assert_eq!(r.bytes_for_coverage(0.5), Some(128));
+        assert_eq!(r.bytes_for_coverage(0.9), None);
+        assert!((r.per_system(2, 100) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn population_stats_reasonable() {
+        use relaxfault_faults::{FaultModel, FitRates};
+        let cfg = relaxfault_dram::DramConfig::isca16_reliability();
+        let model = FaultModel::isca16(FitRates::cielo(), 6.0);
+        let p = fault_population(&model, &cfg, 4000, 99, 4);
+        assert_eq!(p.trials, 4000);
+        let frac = p.faulty_nodes as f64 / p.trials as f64;
+        assert!((0.08..0.17).contains(&frac), "faulty fraction {frac}");
+        assert!(p.faulty_dimms >= p.faulty_nodes);
+        assert!(p.multi_device_dimms < p.faulty_dimms);
+    }
+}

@@ -1,0 +1,392 @@
+//! Replays one node's fault timeline against a scenario.
+
+use crate::scenario::{Mechanism, ReplacementPolicy, Scenario};
+use rand::Rng;
+use relaxfault_core::plan::{FreeFault, Ppr, RelaxFault, RepairMechanism};
+use relaxfault_ecc::EccOutcome;
+use relaxfault_faults::{FaultRegion, NodeFaults};
+
+/// Everything one node-lifetime contributes to the system metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodeOutcome {
+    /// The node saw at least one permanent fault.
+    pub faulty: bool,
+    /// Every permanent fault was repaired by the mechanism.
+    pub fully_repaired: bool,
+    /// LLC bytes locked for repair at end of life.
+    pub repair_bytes: u64,
+    /// Worst per-set repair occupancy.
+    pub max_ways: u32,
+    /// Detected uncorrectable errors, total.
+    pub dues: u32,
+    /// DUEs whose triggering fault was transient (no replacement under
+    /// ReplA).
+    pub transient_dues: u32,
+    /// Silent data corruptions.
+    pub sdcs: u32,
+    /// DIMMs replaced.
+    pub replacements: u32,
+    /// Permanent faults the mechanism could not repair.
+    pub unrepaired_faults: u32,
+    /// Permanent faults observed.
+    pub permanent_faults: u32,
+    /// Unrepaired permanent faults by [`relaxfault_faults::FaultMode`]
+    /// index (the coverage-gap fingerprint).
+    pub unrepaired_by_mode: [u32; 6],
+}
+
+enum Planner {
+    None,
+    Relax(RelaxFault),
+    Free(FreeFault),
+    Ppr(Ppr),
+}
+
+impl Planner {
+    fn new(s: &Scenario) -> Self {
+        match s.mechanism {
+            Mechanism::None => Planner::None,
+            Mechanism::RelaxFault { max_ways } => {
+                Planner::Relax(RelaxFault::new(&s.dram, &s.llc, max_ways))
+            }
+            Mechanism::FreeFault { max_ways } => {
+                Planner::Free(FreeFault::new(&s.dram, &s.llc, max_ways))
+            }
+            Mechanism::Ppr => Planner::Ppr(Ppr::new(&s.dram)),
+            Mechanism::PprCustom { banks_per_group, spares_per_group } => {
+                Planner::Ppr(Ppr::with_spares(&s.dram, banks_per_group, spares_per_group))
+            }
+        }
+    }
+
+    fn try_repair(&mut self, regions: &[FaultRegion]) -> bool {
+        match self {
+            Planner::None => false,
+            Planner::Relax(p) => p.try_repair(regions),
+            Planner::Free(p) => p.try_repair(regions),
+            Planner::Ppr(p) => p.try_repair(regions),
+        }
+    }
+
+    fn bytes_used(&self) -> u64 {
+        match self {
+            Planner::None => 0,
+            Planner::Relax(p) => p.bytes_used(),
+            Planner::Free(p) => p.bytes_used(),
+            Planner::Ppr(p) => p.bytes_used(),
+        }
+    }
+
+    fn max_ways_used(&self) -> u32 {
+        match self {
+            Planner::None => 0,
+            Planner::Relax(p) => p.max_ways_used(),
+            Planner::Free(p) => p.max_ways_used(),
+            Planner::Ppr(p) => p.max_ways_used(),
+        }
+    }
+}
+
+/// Replays `node`'s timeline under `scenario`.
+///
+/// For each fault arrival, in time order:
+/// 1. classify the arrival against *live* (unrepaired, unreplaced)
+///    permanent faults on sibling devices of the same rank — this is where
+///    DUEs and SDCs happen, *before* any repair can react (the ordering
+///    effect behind the paper's ~50% DUE reduction);
+/// 2. under ReplA, a DUE triggered by a permanent fault replaces the DIMM
+///    (clearing its live faults);
+/// 3. a permanent fault is then offered to the repair mechanism; failures
+///    leave it live;
+/// 4. under ReplB, an unrepaired permanent fault trips the corrected-error
+///    threshold with the policy's probability and replaces the DIMM.
+pub fn evaluate_node<R: Rng + ?Sized>(
+    scenario: &Scenario,
+    node: &NodeFaults,
+    rng: &mut R,
+) -> NodeOutcome {
+    let cfg = &scenario.dram;
+    let mut out = NodeOutcome::default();
+    if node.events.is_empty() {
+        return out;
+    }
+    // Constructed lazily: ~86% of nodes never see a permanent fault.
+    let mut planner: Option<Planner> = None;
+    // Live (unrepaired) permanent regions, tagged with their DIMM index.
+    let mut live: Vec<(u32, FaultRegion)> = Vec::new();
+
+    for event in &node.events {
+        let permanent = event.is_permanent();
+        if permanent {
+            out.faulty = true;
+            out.permanent_faults += 1;
+        }
+
+        // 1. ECC classification against live faults of the same ranks.
+        let live_regions: Vec<FaultRegion> = live.iter().map(|(_, r)| *r).collect();
+        let mut outcome = scenario.ecc.classify_arrival(
+            cfg,
+            &event.regions,
+            permanent,
+            &live_regions,
+            rng,
+        );
+        let event_dimms: Vec<u32> =
+            event.regions.iter().map(|r| r.rank.dimm_index(cfg)).collect();
+
+        // 2. Repair attempt (permanent faults only; transient faults leave
+        //    nothing to repair).
+        let repaired = permanent && {
+            let planner = planner.get_or_insert_with(|| Planner::new(scenario));
+            planner.try_repair(&event.regions)
+        };
+
+        // A fault that got repaired sometimes wins the race: detection via
+        // corrected errors elsewhere in the fault triggers repair before
+        // anything touches the doubly faulty codeword.
+        if outcome == EccOutcome::Due
+            && repaired
+            && scenario.ecc.p_repair_preempts_due > 0.0
+            && rng.gen_bool(scenario.ecc.p_repair_preempts_due)
+        {
+            outcome = EccOutcome::Corrected;
+        }
+
+        match outcome {
+            EccOutcome::Corrected => {}
+            EccOutcome::Due => {
+                out.dues += 1;
+                if permanent {
+                    if scenario.replacement == ReplacementPolicy::AfterDue {
+                        for &dimm in &event_dimms {
+                            out.replacements += 1;
+                            live.retain(|(d, _)| *d != dimm);
+                        }
+                        // The faulty DIMM is gone; nothing of this event
+                        // survives (any repair lines it claimed are simply
+                        // stale).
+                        continue;
+                    }
+                } else {
+                    out.transient_dues += 1;
+                }
+            }
+            EccOutcome::Sdc => {
+                out.sdcs += 1;
+                // An SDC is silent: nothing reacts to it.
+            }
+        }
+
+        if !permanent || repaired {
+            continue;
+        }
+        out.unrepaired_faults += 1;
+        out.unrepaired_by_mode[event.mode as usize] += 1;
+        for r in &event.regions {
+            live.push((r.rank.dimm_index(cfg), *r));
+        }
+
+        // 3. ReplB: the unrepaired fault may trip the corrected-error
+        //    threshold.
+        if let ReplacementPolicy::AfterErrors { trigger_prob } = scenario.replacement {
+            if rng.gen_bool(trigger_prob) {
+                for &dimm in &event_dimms {
+                    out.replacements += 1;
+                    live.retain(|(d, _)| *d != dimm);
+                }
+            }
+        }
+    }
+
+    out.fully_repaired = out.faulty && out.unrepaired_faults == 0;
+    if let Some(p) = &planner {
+        out.repair_bytes = p.bytes_used();
+        out.max_ways = p.max_ways_used();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use relaxfault_dram::RankId;
+    use relaxfault_ecc::EccModel;
+    use relaxfault_faults::{BankSet, Extent, FaultEvent, FaultMode, Transience};
+
+    fn rank0() -> RankId {
+        RankId { channel: 0, dimm: 0, rank: 0 }
+    }
+
+    fn event(time: f64, transience: Transience, device: u32, extent: Extent) -> FaultEvent {
+        FaultEvent {
+            time_hours: time,
+            mode: FaultMode::SingleBitWord,
+            transience,
+            regions: vec![FaultRegion { rank: rank0(), device, extent }],
+        }
+    }
+
+    fn deterministic_scenario(mechanism: Mechanism) -> Scenario {
+        Scenario {
+            ecc: EccModel::always_manifest(),
+            ..Scenario::isca16_baseline()
+        }
+        .with_mechanism(mechanism)
+    }
+
+    #[test]
+    fn clean_node_is_clean() {
+        let s = deterministic_scenario(Mechanism::None);
+        let node = NodeFaults::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = evaluate_node(&s, &node, &mut rng);
+        assert!(!out.faulty);
+        assert_eq!(out.dues, 0);
+        assert_eq!(out.replacements, 0);
+        assert!(!out.fully_repaired, "a clean node is not counted as repaired");
+    }
+
+    #[test]
+    fn repair_prevents_due_when_fine_fault_comes_first() {
+        // Bit fault at t=1 (repaired), whole-bank fault at t=2 overlapping
+        // it: with repair, no DUE; without repair, DUE.
+        let node = NodeFaults {
+            events: vec![
+                event(1.0, Transience::Permanent, 3, Extent::Bit { bank: 0, row: 5, col: 9 }),
+                event(2.0, Transience::Permanent, 7, Extent::Banks { banks: BankSet::one(0) }),
+            ],
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let with = evaluate_node(
+            &deterministic_scenario(Mechanism::RelaxFault { max_ways: 1 }),
+            &node,
+            &mut rng,
+        );
+        assert_eq!(with.dues, 0, "fine fault was repaired before the partner arrived");
+        let without = evaluate_node(&deterministic_scenario(Mechanism::None), &node, &mut rng);
+        assert_eq!(without.dues, 1);
+    }
+
+    #[test]
+    fn due_still_happens_when_coarse_fault_comes_first() {
+        // Whole-bank fault first (unrepairable), bit fault second: the DUE
+        // fires at the bit fault's arrival regardless of repair.
+        let node = NodeFaults {
+            events: vec![
+                event(1.0, Transience::Permanent, 7, Extent::Banks { banks: BankSet::one(0) }),
+                event(2.0, Transience::Permanent, 3, Extent::Bit { bank: 0, row: 5, col: 9 }),
+            ],
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = deterministic_scenario(Mechanism::RelaxFault { max_ways: 4 })
+            .with_replacement(ReplacementPolicy::None);
+        let out = evaluate_node(&s, &node, &mut rng);
+        assert_eq!(out.dues, 1, "ordering effect: repair cannot preempt this DUE");
+        assert_eq!(out.unrepaired_faults, 1, "the bank fault stays live");
+    }
+
+    #[test]
+    fn transient_due_does_not_replace() {
+        let node = NodeFaults {
+            events: vec![
+                event(1.0, Transience::Permanent, 7, Extent::Banks { banks: BankSet::one(0) }),
+                event(2.0, Transience::Transient, 3, Extent::Bit { bank: 0, row: 5, col: 9 }),
+            ],
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = deterministic_scenario(Mechanism::None); // ReplA default
+        let out = evaluate_node(&s, &node, &mut rng);
+        assert_eq!(out.dues, 1);
+        assert_eq!(out.transient_dues, 1);
+        assert_eq!(out.replacements, 0, "ReplA ignores transient DUEs");
+    }
+
+    #[test]
+    fn repla_replaces_and_clears_live_faults() {
+        let node = NodeFaults {
+            events: vec![
+                event(1.0, Transience::Permanent, 7, Extent::Banks { banks: BankSet::one(0) }),
+                event(2.0, Transience::Permanent, 3, Extent::Bit { bank: 0, row: 5, col: 9 }),
+                // After replacement the DIMM is fresh: this fault overlaps
+                // nothing and produces no further DUE.
+                event(3.0, Transience::Permanent, 4, Extent::Bit { bank: 0, row: 6, col: 9 }),
+            ],
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = deterministic_scenario(Mechanism::None);
+        let out = evaluate_node(&s, &node, &mut rng);
+        assert_eq!(out.dues, 1);
+        assert_eq!(out.replacements, 1);
+    }
+
+    #[test]
+    fn replb_replaces_on_unrepaired_faults() {
+        let node = NodeFaults {
+            events: vec![event(
+                1.0,
+                Transience::Permanent,
+                7,
+                Extent::Banks { banks: BankSet::one(0) },
+            )],
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = deterministic_scenario(Mechanism::None)
+            .with_replacement(ReplacementPolicy::AfterErrors { trigger_prob: 1.0 });
+        let out = evaluate_node(&s, &node, &mut rng);
+        assert_eq!(out.replacements, 1, "ReplB replaces without waiting for a DUE");
+        // With working repair the same node keeps its DIMM.
+        let mut rng = StdRng::seed_from_u64(6);
+        let node2 = NodeFaults {
+            events: vec![event(
+                1.0,
+                Transience::Permanent,
+                7,
+                Extent::Bit { bank: 0, row: 1, col: 1 },
+            )],
+            ..Default::default()
+        };
+        let s2 = deterministic_scenario(Mechanism::RelaxFault { max_ways: 1 })
+            .with_replacement(ReplacementPolicy::AfterErrors { trigger_prob: 1.0 });
+        let out2 = evaluate_node(&s2, &node2, &mut rng);
+        assert_eq!(out2.replacements, 0);
+        assert!(out2.fully_repaired);
+    }
+
+    #[test]
+    fn coverage_accounting() {
+        let node = NodeFaults {
+            events: vec![
+                event(1.0, Transience::Permanent, 3, Extent::Row { bank: 0, row: 5 }),
+                event(2.0, Transience::Permanent, 4, Extent::Bit { bank: 1, row: 6, col: 0 }),
+            ],
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = deterministic_scenario(Mechanism::RelaxFault { max_ways: 1 })
+            .with_replacement(ReplacementPolicy::None);
+        let out = evaluate_node(&s, &node, &mut rng);
+        assert!(out.fully_repaired);
+        assert_eq!(out.repair_bytes, 17 * 64);
+        assert_eq!(out.max_ways, 1);
+        assert_eq!(out.permanent_faults, 2);
+    }
+
+    #[test]
+    fn ppr_node_uses_no_llc() {
+        let node = NodeFaults {
+            events: vec![event(1.0, Transience::Permanent, 3, Extent::Row { bank: 0, row: 5 })],
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = evaluate_node(&deterministic_scenario(Mechanism::Ppr), &node, &mut rng);
+        assert!(out.fully_repaired);
+        assert_eq!(out.repair_bytes, 0);
+    }
+}

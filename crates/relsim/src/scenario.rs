@@ -1,0 +1,159 @@
+//! Experimental arms: geometry + fault model + ECC + mechanism + policy.
+
+use relaxfault_cache::CacheConfig;
+use relaxfault_dram::DramConfig;
+use relaxfault_ecc::EccModel;
+use relaxfault_faults::{FaultModel, FitRates};
+use serde::{Deserialize, Serialize};
+
+/// Which repair mechanism a scenario applies to each newly discovered
+/// permanent fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// No fine-grained repair (the baseline policy).
+    None,
+    /// RelaxFault with a per-set way limit.
+    RelaxFault {
+        /// Maximum LLC ways any set may devote to repair.
+        max_ways: u32,
+    },
+    /// FreeFault with a per-set way limit.
+    FreeFault {
+        /// Maximum LLC ways any set may devote to repair.
+        max_ways: u32,
+    },
+    /// DDR4-style post-package repair.
+    Ppr,
+    /// PPR with non-standard sparing (ablations).
+    PprCustom {
+        /// Banks per bank group.
+        banks_per_group: u32,
+        /// Spare rows per bank group.
+        spares_per_group: u32,
+    },
+}
+
+impl Mechanism {
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            Mechanism::None => "No repair".to_string(),
+            Mechanism::RelaxFault { max_ways } => format!("RelaxFault-{max_ways}way"),
+            Mechanism::FreeFault { max_ways } => format!("FreeFault-{max_ways}way"),
+            Mechanism::Ppr => "PPR".to_string(),
+            Mechanism::PprCustom { banks_per_group, spares_per_group } => {
+                format!("PPR-{spares_per_group}x{banks_per_group}b")
+            }
+        }
+    }
+}
+
+/// When a DIMM gets replaced (paper §5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Never replace (used for pure coverage studies).
+    None,
+    /// ReplA: replace immediately after a non-transient DUE.
+    AfterDue,
+    /// ReplB: replace once an unrepaired permanent fault generates enough
+    /// corrected errors (threshold crossing modelled as a per-fault trigger
+    /// probability — faults in rarely touched regions never cross it).
+    AfterErrors {
+        /// Probability an unrepaired permanent fault trips the threshold.
+        trigger_prob: f64,
+    },
+}
+
+/// One experimental arm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Node memory geometry.
+    pub dram: DramConfig,
+    /// LLC geometry and indexing.
+    pub llc: CacheConfig,
+    /// Fault injection model.
+    pub fault_model: FaultModel,
+    /// ECC outcome model.
+    pub ecc: EccModel,
+    /// Repair mechanism under test.
+    pub mechanism: Mechanism,
+    /// Maintenance policy.
+    pub replacement: ReplacementPolicy,
+}
+
+impl Scenario {
+    /// The paper's default evaluation arm: 8×8 GiB DIMM node, hashed
+    /// 8 MiB LLC, Cielo rates with the refined variation model over
+    /// 6 years, chipkill ECC, no repair, ReplA maintenance.
+    pub fn isca16_baseline() -> Self {
+        Self {
+            dram: DramConfig::isca16_reliability(),
+            llc: CacheConfig::isca16_llc(),
+            fault_model: FaultModel::isca16(FitRates::cielo(), 6.0),
+            ecc: EccModel::isca16(),
+            mechanism: Mechanism::None,
+            replacement: ReplacementPolicy::AfterDue,
+        }
+    }
+
+    /// ReplB's default trigger probability: nearly every unrepaired
+    /// permanent fault in active memory crosses an error threshold within
+    /// the window.
+    pub const REPLB_TRIGGER: f64 = 0.95;
+
+    /// Returns the arm with a different mechanism.
+    pub fn with_mechanism(mut self, mechanism: Mechanism) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// Returns the arm with a different replacement policy.
+    pub fn with_replacement(mut self, replacement: ReplacementPolicy) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Returns the arm with FIT rates scaled by `factor` (the 10× studies).
+    pub fn with_fit_scale(mut self, factor: f64) -> Self {
+        self.fault_model.rates = self.fault_model.rates.scaled(factor);
+        self
+    }
+
+    /// Returns the arm with an unhashed LLC (Figure 8's comparison).
+    pub fn without_set_hashing(mut self) -> Self {
+        self.llc = CacheConfig::isca16_llc_no_hash();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_consistent() {
+        let s = Scenario::isca16_baseline();
+        s.dram.validate().unwrap();
+        s.llc.validate().unwrap();
+        assert_eq!(s.mechanism, Mechanism::None);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let s = Scenario::isca16_baseline()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 4 })
+            .with_fit_scale(10.0)
+            .with_replacement(ReplacementPolicy::AfterErrors { trigger_prob: 0.9 });
+        assert_eq!(s.mechanism, Mechanism::RelaxFault { max_ways: 4 });
+        assert!((s.fault_model.rates.total_permanent() - 200.0).abs() < 1e-9);
+        assert!(matches!(s.replacement, ReplacementPolicy::AfterErrors { .. }));
+    }
+
+    #[test]
+    fn labels_match_figure_legends() {
+        assert_eq!(Mechanism::RelaxFault { max_ways: 1 }.label(), "RelaxFault-1way");
+        assert_eq!(Mechanism::FreeFault { max_ways: 16 }.label(), "FreeFault-16way");
+        assert_eq!(Mechanism::Ppr.label(), "PPR");
+        assert_eq!(Mechanism::None.label(), "No repair");
+    }
+}

@@ -1,0 +1,280 @@
+//! Random distributions for the Monte Carlo fault model.
+//!
+//! Implemented directly on [`rand::Rng`] so that the numeric recipe is
+//! visible and stable: Knuth multiplication for small-mean Poisson with a
+//! normal approximation above a documented cutoff, Box–Muller for normals,
+//! and the usual transforms for lognormal / log-uniform.
+
+use rand::Rng;
+
+/// Mean above which [`poisson`] switches from Knuth's multiplication method
+/// to a rounded normal approximation. The DRAM fault processes modelled in
+/// this workspace have means far below this, so the approximation only
+/// matters for stress tests.
+pub const POISSON_NORMAL_CUTOFF: f64 = 256.0;
+
+/// Samples a Poisson-distributed count with the given mean.
+///
+/// Uses Knuth's multiplication method for `mean <= POISSON_NORMAL_CUTOFF`
+/// (exact, O(mean) uniforms) and a continuity-corrected normal approximation
+/// above it.
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or not finite.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let n = relaxfault_util::dist::poisson(&mut rng, 0.5);
+/// assert!(n < 20);
+/// ```
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean.is_finite() && mean >= 0.0, "poisson mean must be finite and >= 0");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean <= POISSON_NORMAL_CUTOFF {
+        let limit = (-mean).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        let sample = mean + mean.sqrt() * standard_normal(rng) + 0.5;
+        if sample < 0.0 {
+            0
+        } else {
+            sample as u64
+        }
+    }
+}
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0): map the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A lognormal distribution parameterized by its *arithmetic* mean and
+/// coefficient of variation (std/mean), which is how the paper specifies the
+/// device-to-device FIT variation ("a variance that is 1/4 of the mean").
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use relaxfault_util::dist::LogNormal;
+///
+/// let ln = LogNormal::from_mean_cv(2.0, 0.5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut sum = 0.0;
+/// for _ in 0..20_000 { sum += ln.sample(&mut rng); }
+/// assert!((sum / 20_000.0 - 2.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Builds the distribution whose arithmetic mean is `mean` and whose
+    /// coefficient of variation is `cv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0` or `cv < 0`, or either is not finite.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        assert!(cv.is_finite() && cv >= 0.0, "cv must be >= 0");
+        let sigma2 = (1.0 + cv * cv).ln();
+        Self {
+            mu: mean.ln() - sigma2 / 2.0,
+            sigma: sigma2.sqrt(),
+        }
+    }
+
+    /// Underlying normal location parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Underlying normal scale parameter.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Samples log-uniformly from `[lo, hi]`: `exp(U(ln lo, ln hi))`.
+///
+/// Used for the size distribution of bank-level fault clusters, where field
+/// studies only constrain the order of magnitude.
+///
+/// # Panics
+///
+/// Panics if `lo <= 0`, `hi < lo`, or either is not finite.
+pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo.is_finite() && hi.is_finite() && lo > 0.0 && hi >= lo);
+    if lo == hi {
+        return lo;
+    }
+    (rng.gen::<f64>() * (hi.ln() - lo.ln()) + lo.ln()).exp()
+}
+
+/// Draws `count` event times uniformly over `[0, horizon)` and returns them
+/// sorted ascending — the standard order-statistics construction for a
+/// homogeneous Poisson process conditioned on its count.
+pub fn sorted_event_times<R: Rng + ?Sized>(rng: &mut R, count: usize, horizon: f64) -> Vec<f64> {
+    let mut times: Vec<f64> = (0..count).map(|_| rng.gen::<f64>() * horizon).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(poisson(&mut rng, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn poisson_small_mean_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mean = 0.8;
+        let n = 200_000;
+        let mut sum = 0u64;
+        let mut sumsq = 0u64;
+        for _ in 0..n {
+            let k = poisson(&mut rng, mean);
+            sum += k;
+            sumsq += k * k;
+        }
+        let m = sum as f64 / n as f64;
+        let var = sumsq as f64 / n as f64 - m * m;
+        assert!((m - mean).abs() < 0.01, "mean {m}");
+        assert!((var - mean).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn poisson_rare_events_hit_expected_rate() {
+        // The regime the fault model lives in: P(k >= 1) ~= mean.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean = 1e-3;
+        let n = 2_000_000;
+        let hits = (0..n).filter(|_| poisson(&mut rng, mean) > 0).count();
+        let p = hits as f64 / n as f64;
+        assert!((p - mean).abs() < 2e-4, "p={p}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx_sanely() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mean = 10_000.0;
+        let n = 2_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += poisson(&mut rng, mean) as f64;
+        }
+        let m = sum / n as f64;
+        assert!((m - mean).abs() < 20.0, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_mean_and_cv() {
+        let ln = LogNormal::from_mean_cv(5.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 300_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = ln.sample(&mut rng);
+            assert!(x > 0.0);
+            sum += x;
+            sumsq += x * x;
+        }
+        let m = sum / n as f64;
+        let var = sumsq / n as f64 - m * m;
+        let cv = var.sqrt() / m;
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+        assert!((cv - 0.5).abs() < 0.02, "cv {cv}");
+    }
+
+    #[test]
+    fn lognormal_zero_cv_is_constant() {
+        let ln = LogNormal::from_mean_cv(3.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert!((ln.sample(&mut rng) - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..10_000 {
+            let x = log_uniform(&mut rng, 4.0, 4096.0);
+            assert!((4.0..=4096.0).contains(&x));
+        }
+        assert_eq!(log_uniform(&mut rng, 7.0, 7.0), 7.0);
+    }
+
+    #[test]
+    fn log_uniform_median_is_geometric_mean() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 100_000;
+        let gm = (4.0f64 * 4096.0).sqrt();
+        let below = (0..n)
+            .filter(|_| log_uniform(&mut rng, 4.0, 4096.0) < gm)
+            .count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn event_times_sorted_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let times = sorted_event_times(&mut rng, 100, 6.0);
+        assert_eq!(times.len(), 100);
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(times.iter().all(|&t| (0.0..6.0).contains(&t)));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sumsq += x * x;
+        }
+        let m = sum / n as f64;
+        let var = sumsq / n as f64 - m * m;
+        assert!(m.abs() < 0.01, "mean {m}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+}

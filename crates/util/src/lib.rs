@@ -1,0 +1,32 @@
+//! Shared utilities for the RelaxFault reproduction workspace.
+//!
+//! This crate deliberately stays small and dependency-light. It provides the
+//! three ingredients every other crate needs:
+//!
+//! * [`bits`] — bit-field scatter/gather and linear maps over GF(2). DRAM and
+//!   cache address mappings (including XOR set-index hashing) are linear
+//!   transforms of address bits, so we model them as such and can *prove*
+//!   properties (bijectivity, rank) instead of hoping.
+//! * [`dist`] — the random distributions the Monte Carlo fault model needs
+//!   (Poisson, lognormal, log-uniform), implemented directly on top of
+//!   [`rand`] so numeric behaviour is documented and reproducible.
+//! * [`stats`] — streaming summaries, empirical CDFs, and binomial confidence
+//!   intervals used by every experiment harness.
+//! * [`table`] — minimal fixed-width table/CSV rendering for the
+//!   figure-regeneration binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use relaxfault_util::bits::BitMatrix;
+//!
+//! // A 2-bit swap is a bijective linear map.
+//! let swap = BitMatrix::from_rows(2, &[0b10, 0b01]);
+//! assert_eq!(swap.apply(0b01), 0b10);
+//! assert!(swap.is_invertible());
+//! ```
+
+pub mod bits;
+pub mod dist;
+pub mod stats;
+pub mod table;

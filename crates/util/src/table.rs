@@ -1,0 +1,209 @@
+//! Minimal fixed-width table rendering for the figure-regeneration binaries.
+//!
+//! The paper's evaluation is a set of tables and line series; each harness
+//! binary prints one of them. This module keeps that output aligned and
+//! machine-recoverable (CSV) without pulling in a rendering dependency.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+///
+/// # Examples
+///
+/// ```
+/// use relaxfault_util::table::Table;
+/// let mut t = Table::new(&["mechanism", "coverage"]);
+/// t.row(&["RelaxFault", "90.3%"]);
+/// let text = t.render();
+/// assert!(text.contains("RelaxFault"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: AsRef<str>>(headers: &[S]) -> Self {
+        Self {
+            headers: headers.iter().map(|h| h.as_ref().to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Appends a row of mixed displayable values.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) -> &mut Self {
+        let strings: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&strings)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with space-aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+            }
+            // Trim trailing padding on the last column.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no quoting; callers must avoid commas in
+    /// cells, which all harnesses in this workspace do).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a byte count the way the paper reports LLC budgets
+/// (`64B`, `82KiB`, `1.5MiB`).
+///
+/// # Examples
+///
+/// ```
+/// use relaxfault_util::table::format_bytes;
+/// assert_eq!(format_bytes(64), "64B");
+/// assert_eq!(format_bytes(83_968), "82KiB");
+/// assert_eq!(format_bytes(1_572_864), "1.5MiB");
+/// ```
+pub fn format_bytes(bytes: u64) -> String {
+    const KIB: u64 = 1024;
+    const MIB: u64 = 1024 * 1024;
+    if bytes >= MIB {
+        let m = bytes as f64 / MIB as f64;
+        if (m - m.round()).abs() < 1e-9 {
+            format!("{}MiB", m.round() as u64)
+        } else {
+            format!("{m:.1}MiB")
+        }
+    } else if bytes >= KIB {
+        let k = bytes as f64 / KIB as f64;
+        if (k - k.round()).abs() < 1e-9 {
+            format!("{}KiB", k.round() as u64)
+        } else {
+            format!("{k:.1}KiB")
+        }
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal (`0.903` → `90.3%`).
+pub fn format_pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["wide-cell-value", "1"]);
+        t.row(&["x", "22"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Column 2 starts at the same offset on each data line.
+        let off1 = lines[2].find('1').unwrap();
+        let off2 = lines[3].find("22").unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row(&["1", "2"]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn row_display_converts() {
+        let mut t = Table::new(&["n", "f"]);
+        t.row_display(&[&42u32, &1.5f64]);
+        assert!(t.render().contains("42"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(0), "0B");
+        assert_eq!(format_bytes(1023), "1023B");
+        assert_eq!(format_bytes(1024), "1KiB");
+        assert_eq!(format_bytes(1024 * 1024), "1MiB");
+        assert_eq!(format_bytes(96 * 1024 + 512), "96.5KiB");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(format_pct(0.903), "90.3%");
+        assert_eq!(format_pct(1.0), "100.0%");
+    }
+}

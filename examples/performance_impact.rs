@@ -1,0 +1,61 @@
+//! Performance impact: what does locking LLC capacity for repair cost a
+//! running application?
+//!
+//! Runs the LULESH stand-in (the paper's most capacity-sensitive
+//! workload) and the compute-heavy SPEC mix across the Figure 15 capacity
+//! sweep, reporting weighted speedup and relative DRAM dynamic power.
+//!
+//! ```bash
+//! cargo run --release --example performance_impact -- 400000
+//! ```
+
+use relaxfault::perfsim::workload::catalog;
+use relaxfault::prelude::*;
+use relaxfault::util::table::Table;
+
+fn main() {
+    let instr: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300_000);
+    let cfg = SimConfig { instructions_per_core: instr, ..SimConfig::isca16() };
+    let losses = [
+        CapacityLoss::None,
+        CapacityLoss::RandomLines { bytes: 100 << 10 },
+        CapacityLoss::Ways(1),
+        CapacityLoss::Ways(4),
+    ];
+
+    for workload in [catalog::lulesh(), catalog::spec_comp()] {
+        // Solo IPCs for the weighted-speedup denominator.
+        let mut solo = Vec::new();
+        for spec in &workload.cores {
+            let alone = relaxfault::perfsim::Workload {
+                name: format!("{}-solo", spec.name),
+                cores: vec![spec.clone()],
+            };
+            solo.push(Simulation::run(&cfg, &alone, CapacityLoss::None, 5).per_core[0].ipc);
+        }
+
+        let mut t = Table::new(&["LLC repair budget", "weighted speedup", "rel. DRAM power"]);
+        let mut base_power = 0.0;
+        for (i, loss) in losses.iter().enumerate() {
+            let r = Simulation::run(&cfg, &workload, *loss, 5);
+            let ws = WeightedSpeedup::compute(&solo, &r);
+            let p = r.dram_dynamic_power_mw(&cfg.energy);
+            if i == 0 {
+                base_power = p.max(1e-12);
+            }
+            t.row(&[
+                loss.label(),
+                format!("{ws}"),
+                format!("{:.1}%", p / base_power * 100.0),
+            ]);
+        }
+        println!("== {} ({instr} instructions/core) ==", workload.name);
+        print!("{}", t.render());
+        println!();
+    }
+    println!("reading: realistic repair footprints (100 KiB, ≤1 way/set) are free;");
+    println!("even the pessimistic 4-way lock only dents the capacity-hungry workload.");
+}

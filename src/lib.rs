@@ -1,0 +1,97 @@
+//! **relaxfault** — LLC-based fine-grained DRAM repair, reproducing
+//! *RelaxFault Memory Repair* (Kim & Erez, ISCA 2016).
+//!
+//! RelaxFault repairs permanently faulty DRAM by remapping the faulty
+//! device's data into a handful of locked last-level-cache lines, using a
+//! repair-only address mapping that *coalesces* a fault's scattered bits
+//! (16 device sub-blocks per line). With less than 100 KiB of LLC and
+//! 16 KiB of metadata it repairs ~90% of faulty nodes, halves detected
+//! uncorrectable errors, and avoids the vast majority of DIMM
+//! replacements.
+//!
+//! This workspace contains the mechanism and everything needed to evaluate
+//! it the way the paper does:
+//!
+//! | Crate | Re-export | Contents |
+//! |---|---|---|
+//! | `relaxfault-core` | [`repair`] | RelaxFault / FreeFault / PPR planners, Figure-7c mapping, repair data path, Table-1 overheads |
+//! | `relaxfault-dram` | [`dram`] | DRAM geometry, physical-address mapping, DDR3 timing & power |
+//! | `relaxfault-cache` | [`cache`] | Lockable set-associative LLC with XOR set-index hashing |
+//! | `relaxfault-faults` | [`faults`] | Fault modes, field-study FIT rates, refined variation model, Monte Carlo sampling |
+//! | `relaxfault-ecc` | [`ecc`] | Chipkill outcome model (corrected / DUE / SDC) |
+//! | `relaxfault-relsim` | [`relsim`] | Reliability & availability Monte Carlo engine (Figures 8–14) |
+//! | `relaxfault-perfsim` | [`perfsim`] | 8-core performance & DRAM-power simulator (Figures 15–16) |
+//!
+//! # Quick start
+//!
+//! Plan a repair and check its cost:
+//!
+//! ```
+//! use relaxfault::prelude::*;
+//!
+//! let dram = DramConfig::isca16_reliability();
+//! let llc = CacheConfig::isca16_llc();
+//! let mut planner = RelaxFault::new(&dram, &llc, 1); // ≤1 way per set
+//!
+//! // A whole device row has failed.
+//! let fault = FaultRegion {
+//!     rank: RankId { channel: 0, dimm: 0, rank: 0 },
+//!     device: 3,
+//!     extent: Extent::Row { bank: 2, row: 4242 },
+//! };
+//! assert!(planner.try_repair(&[fault]));
+//! assert_eq!(planner.bytes_used(), 1024, "16 coalesced lines");
+//! ```
+//!
+//! Estimate fleet reliability:
+//!
+//! ```
+//! use relaxfault::prelude::*;
+//!
+//! let arms = vec![
+//!     Scenario::isca16_baseline(),
+//!     Scenario::isca16_baseline().with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
+//! ];
+//! let results = run_scenarios(&arms, &RunConfig { trials: 500, seed: 1, threads: 2 });
+//! assert!(results[1].fully_repaired_nodes > 0 || results[1].faulty_nodes == 0);
+//! ```
+//!
+//! The `relaxfault-bench` crate regenerates every table and figure of the
+//! paper's evaluation; see `EXPERIMENTS.md` at the repository root.
+
+pub use relaxfault_cache as cache;
+pub use relaxfault_core as repair;
+pub use relaxfault_dram as dram;
+pub use relaxfault_ecc as ecc;
+pub use relaxfault_faults as faults;
+pub use relaxfault_perfsim as perfsim;
+pub use relaxfault_relsim as relsim;
+pub use relaxfault_util as util;
+
+/// The names most applications need.
+pub mod prelude {
+    pub use crate::cache::{Cache, CacheConfig, Indexing};
+    pub use crate::dram::{AddressMap, DdrTiming, DramConfig, DramLoc, PhysAddr, RankId};
+    pub use crate::ecc::{EccModel, EccOutcome};
+    pub use crate::faults::{
+        Extent, FaultGeometry, FaultModel, FaultRegion, FaultSampler, FitRates, NodeFaults,
+    };
+    pub use crate::perfsim::{CapacityLoss, SimConfig, Simulation, WeightedSpeedup};
+    pub use crate::repair::datapath::{FaultyDram, RepairController};
+    pub use crate::repair::overhead::StorageOverhead;
+    pub use crate::repair::plan::{FreeFault, Ppr, RelaxFault, RepairMechanism};
+    pub use crate::repair::{RelaxMap, RepairLine};
+    pub use crate::relsim::engine::{run_scenarios, RunConfig, ScenarioResult};
+    pub use crate::relsim::scenario::{Mechanism, ReplacementPolicy, Scenario};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let cfg = DramConfig::isca16_reliability();
+        assert_eq!(CacheConfig::isca16_llc().sets(), 8192);
+        assert_eq!(cfg.devices_per_node(), 144);
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-crate integration: sampled faults flow through planning, the
+//! repair data path, and the reliability engine coherently.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use relaxfault::prelude::*;
+
+/// Faults sampled by the Monte Carlo model are repaired by the same
+/// planner the reliability engine uses, and the data path then serves
+/// bit-exact data for every repairable fine-grained fault.
+#[test]
+fn sampled_faults_repair_and_serve_data() {
+    let dram_cfg = DramConfig::isca16_reliability();
+    let llc_cfg = CacheConfig::isca16_llc();
+    // Crank the rates so a sampled node definitely has faults.
+    let model = FaultModel::isca16(FitRates::cielo().scaled(300.0), 6.0);
+    let mut rng = StdRng::seed_from_u64(2016);
+
+    let mut repaired_faults = 0;
+    let mut nodes = 0;
+    while repaired_faults < 8 && nodes < 200 {
+        nodes += 1;
+        let node = model.sample_node(&dram_cfg, &mut rng);
+        let mut dram = FaultyDram::new(&dram_cfg);
+        // Write a recognizable pattern into a block of each fault region.
+        let mut probes = Vec::new();
+        for (i, event) in node.permanent().enumerate() {
+            for region in &event.regions {
+                // ECC devices carry check bits, not payload: their faults
+                // never corrupt the 64-byte line, so probe data devices.
+                if region.device >= dram_cfg.data_devices_per_rank {
+                    continue;
+                }
+                if let Extent::Row { bank, row } = region.extent {
+                    let loc = DramLoc {
+                        channel: region.rank.channel,
+                        dimm: region.rank.dimm,
+                        rank: region.rank.rank,
+                        bank,
+                        row,
+                        colblock: (i as u32 * 13) % 256,
+                    };
+                    let addr = dram.address_map().encode(loc, 0).0;
+                    let data: Vec<u8> = (0..64u8).map(|b| b.wrapping_mul(i as u8 + 3)).collect();
+                    dram.write_block(addr, &data);
+                    probes.push((addr, data, *region));
+                }
+            }
+        }
+        for (_, _, region) in &probes {
+            dram.inject(*region);
+        }
+        let mut controller = RepairController::new(dram, &llc_cfg, 4);
+        for (addr, data, region) in probes {
+            if controller.repair(&[region]).is_ok() {
+                assert_eq!(
+                    controller.read_block(addr),
+                    data,
+                    "repaired row must serve original data"
+                );
+                assert_ne!(
+                    controller.dram().read_raw(addr),
+                    data,
+                    "the DRAM underneath stays faulty"
+                );
+                repaired_faults += 1;
+            }
+        }
+    }
+    assert!(repaired_faults >= 8, "found only {repaired_faults} repairable row faults");
+}
+
+/// The planner the data-path controller embeds agrees with the standalone
+/// planner on cost and feasibility.
+#[test]
+fn controller_and_planner_agree() {
+    let dram_cfg = DramConfig::isca16_reliability();
+    let llc_cfg = CacheConfig::isca16_llc();
+    let rank = RankId { channel: 1, dimm: 0, rank: 0 };
+    let faults = [
+        FaultRegion { rank, device: 0, extent: Extent::Bit { bank: 0, row: 0, col: 0 } },
+        FaultRegion { rank, device: 5, extent: Extent::Row { bank: 3, row: 1000 } },
+        FaultRegion {
+            rank,
+            device: 9,
+            extent: Extent::Column { bank: 7, col: 88, row_start: 512, row_count: 512 },
+        },
+    ];
+    // Two ways: independent faults can legitimately collide in a set.
+    let mut planner = RelaxFault::new(&dram_cfg, &llc_cfg, 2);
+    let mut controller = RepairController::new(FaultyDram::new(&dram_cfg), &llc_cfg, 2);
+    for f in &faults {
+        controller.dram_mut().inject(*f);
+        assert!(planner.try_repair(&[*f]));
+        controller.repair(&[*f]).unwrap();
+        assert_eq!(planner.bytes_used(), controller.repair_bytes());
+    }
+    assert_eq!(planner.bytes_used(), (1 + 16 + 512) * 64);
+}
+
+/// Repair planning, ECC classification, and the fault model compose into
+/// the reliability engine without losing faults: every permanent fault is
+/// either repaired or counted unrepaired.
+#[test]
+fn engine_accounts_for_every_fault() {
+    let arms = vec![
+        Scenario::isca16_baseline()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 4 })
+            .with_replacement(ReplacementPolicy::None),
+        Scenario::isca16_baseline().with_replacement(ReplacementPolicy::None),
+    ];
+    let results = run_scenarios(&arms, &RunConfig { trials: 1500, seed: 99, threads: 2 });
+    // Same population.
+    assert_eq!(results[0].permanent_faults, results[1].permanent_faults);
+    // No-repair leaves everything unrepaired.
+    assert_eq!(results[1].unrepaired_faults, results[1].permanent_faults);
+    // The repair arm splits the same total.
+    assert!(results[0].unrepaired_faults < results[0].permanent_faults);
+    let repaired_nodes = results[0].fully_repaired_nodes;
+    assert!(repaired_nodes <= results[0].faulty_nodes);
+}

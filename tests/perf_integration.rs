@@ -1,0 +1,77 @@
+//! Integration of the performance simulator with the cache and DRAM
+//! substrates: the qualitative Figure 15/16 story holds end to end.
+
+use relaxfault::perfsim::workload::catalog;
+use relaxfault::prelude::*;
+
+fn cfg(instr: u64) -> SimConfig {
+    SimConfig { instructions_per_core: instr, ..SimConfig::isca16() }
+}
+
+/// 100 KiB of scattered repair lines — the paper's realistic repair
+/// footprint — costs every workload essentially nothing.
+#[test]
+fn realistic_repair_footprint_is_free() {
+    let cfg = cfg(60_000);
+    for w in [catalog::lulesh(), catalog::cg(), catalog::spec_mem()] {
+        let full = Simulation::run(&cfg, &w, CapacityLoss::None, 3);
+        let repaired =
+            Simulation::run(&cfg, &w, CapacityLoss::RandomLines { bytes: 100 << 10 }, 3);
+        let ratio = repaired.throughput_ipc() / full.throughput_ipc();
+        assert!(
+            ratio > 0.95,
+            "{}: 100 KiB cost ratio {ratio:.3} should be ~1",
+            w.name
+        );
+    }
+}
+
+/// The capacity-sensitive workload is hurt more by 4 locked ways than the
+/// compute-bound mix (Figure 15's one visible bar drop).
+#[test]
+fn lulesh_is_the_sensitive_one() {
+    // Long enough to warm LULESH's multi-MiB hot set (~10 reuses/line).
+    let cfg = cfg(300_000);
+    let drop = |w: &relaxfault::perfsim::Workload| {
+        let full = Simulation::run(&cfg, w, CapacityLoss::None, 3).throughput_ipc();
+        let cut = Simulation::run(&cfg, w, CapacityLoss::Ways(4), 3).throughput_ipc();
+        1.0 - cut / full
+    };
+    let lulesh_drop = drop(&catalog::lulesh());
+    let cg_drop = drop(&catalog::cg());
+    assert!(
+        lulesh_drop > cg_drop,
+        "LULESH ({lulesh_drop:.3}) must be more sensitive than CG ({cg_drop:.3})"
+    );
+    assert!(lulesh_drop > 0.03, "LULESH must show a perceptible drop");
+}
+
+/// DRAM op counting feeds the power model: more misses, more energy.
+#[test]
+fn power_tracks_misses() {
+    let cfg = cfg(120_000);
+    let w = catalog::lulesh();
+    let full = Simulation::run(&cfg, &w, CapacityLoss::None, 3);
+    let cut = Simulation::run(&cfg, &w, CapacityLoss::Ways(4), 3);
+    assert!(cut.op_counts.reads > full.op_counts.reads);
+    let e = SimConfig::isca16().energy;
+    assert!(e.dynamic_energy_nj(&cut.op_counts) > e.dynamic_energy_nj(&full.op_counts));
+}
+
+/// Weighted speedup is bounded by core count and consistent with solo
+/// runs.
+#[test]
+fn weighted_speedup_sane() {
+    let cfg = cfg(60_000);
+    let w = catalog::lu();
+    let solo = {
+        let alone = relaxfault::perfsim::Workload {
+            name: "solo".into(),
+            cores: vec![w.cores[0].clone()],
+        };
+        Simulation::run(&cfg, &alone, CapacityLoss::None, 3).per_core[0].ipc
+    };
+    let shared = Simulation::run(&cfg, &w, CapacityLoss::None, 3);
+    let ws = WeightedSpeedup::compute(&[solo; 8], &shared);
+    assert!(ws.0 > 0.0 && ws.0 <= 8.05, "weighted speedup {ws}");
+}
