@@ -1,60 +1,52 @@
 //! Hot-path benchmarks: the three address transforms every access or
 //! repair decision goes through.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use relaxfault_cache::CacheConfig;
 use relaxfault_core::mapping::{RelaxMap, RepairLine};
 use relaxfault_dram::{AddressMap, DramConfig, PhysAddr, RankId};
+use relaxfault_util::timing::{black_box, Harness};
 
-fn bench_maps(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new();
     let cfg = DramConfig::isca16_reliability();
     let map = AddressMap::nehalem_like(&cfg, true);
-    c.bench_function("dram_decode", |b| {
-        let mut a = 0u64;
-        b.iter(|| {
-            a = a.wrapping_add(0x913_55D1).wrapping_mul(3) & ((1 << 36) - 1);
-            black_box(map.decode(PhysAddr(a)))
-        })
+    let mut a = 0u64;
+    h.bench("dram_decode", || {
+        a = a.wrapping_add(0x913_55D1).wrapping_mul(3) & ((1 << 36) - 1);
+        black_box(map.decode(PhysAddr(a)))
     });
-    c.bench_function("dram_roundtrip", |b| {
-        let mut a = 0u64;
-        b.iter(|| {
-            a = a.wrapping_add(0x913_55D1) & ((1 << 36) - 1);
-            let (loc, off) = map.decode(PhysAddr(a));
-            black_box(map.encode(loc, off))
-        })
+    let mut a = 0u64;
+    h.bench("dram_roundtrip", || {
+        a = a.wrapping_add(0x913_55D1) & ((1 << 36) - 1);
+        let (loc, off) = map.decode(PhysAddr(a));
+        black_box(map.encode(loc, off))
     });
     let llc = CacheConfig::isca16_llc();
     let plain = CacheConfig::isca16_llc_no_hash();
-    c.bench_function("llc_set_canonical", |b| {
-        let mut a = 0u64;
-        b.iter(|| {
-            a = a.wrapping_add(4097);
-            black_box(plain.set_and_tag(a))
-        })
+    let mut a = 0u64;
+    h.bench("llc_set_canonical", || {
+        a = a.wrapping_add(4097);
+        black_box(plain.set_and_tag(a))
     });
-    c.bench_function("llc_set_xor_fold", |b| {
-        let mut a = 0u64;
-        b.iter(|| {
-            a = a.wrapping_add(4097);
-            black_box(llc.set_and_tag(a))
-        })
+    let mut a = 0u64;
+    h.bench("llc_set_xor_fold", || {
+        a = a.wrapping_add(4097);
+        black_box(llc.set_and_tag(a))
     });
     let rmap = RelaxMap::new(&cfg, &llc);
-    c.bench_function("relaxfault_repair_addr", |b| {
-        let mut row = 0u32;
-        b.iter(|| {
-            row = (row + 1) % 65536;
-            black_box(rmap.repair_addr(&RepairLine {
-                rank: RankId { channel: 0, dimm: 0, rank: 0 },
-                device: 3,
-                bank: 2,
-                row,
-                colgroup: row % 16,
-            }))
-        })
+    let mut row = 0u32;
+    h.bench("relaxfault_repair_addr", || {
+        row = (row + 1) % 65536;
+        black_box(rmap.repair_addr(&RepairLine {
+            rank: RankId {
+                channel: 0,
+                dimm: 0,
+                rank: 0,
+            },
+            device: 3,
+            bank: 2,
+            row,
+            colgroup: row % 16,
+        }))
     });
 }
-
-criterion_group!(benches, bench_maps);
-criterion_main!(benches);

@@ -1,39 +1,33 @@
 //! DDR3 bank-timing throughput: the per-command cost of the memory
 //! controller back end.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use relaxfault_dram::{DdrTiming, DramCmd, RankTiming};
+use relaxfault_util::timing::{black_box, Harness};
 
-fn bench_timing(c: &mut Criterion) {
-    c.bench_function("row_hit_reads", |b| {
-        let mut rank = RankTiming::new(8, DdrTiming::ddr3_1600());
-        let at = rank.earliest(DramCmd::Activate, 0, 0, 0);
-        rank.issue(DramCmd::Activate, 0, 0, at);
-        let mut now = at;
-        b.iter(|| {
-            let at = rank.earliest(DramCmd::Read, 0, 0, now);
-            now = rank.issue(DramCmd::Read, 0, 0, at);
-            black_box(now)
-        })
+fn main() {
+    let mut h = Harness::new();
+    let mut rank = RankTiming::new(8, DdrTiming::ddr3_1600());
+    let at = rank.earliest(DramCmd::Activate, 0, 0, 0);
+    rank.issue(DramCmd::Activate, 0, 0, at);
+    let mut now = at;
+    h.bench("row_hit_reads", || {
+        let at = rank.earliest(DramCmd::Read, 0, 0, now);
+        now = rank.issue(DramCmd::Read, 0, 0, at);
+        black_box(now)
     });
-    c.bench_function("row_cycle", |b| {
-        let mut rank = RankTiming::new(8, DdrTiming::ddr3_1600());
-        let mut now = 0u64;
-        let mut row = 0u32;
-        b.iter(|| {
-            row = (row + 1) % 65536;
-            if rank.open_row(0).is_some() {
-                let at = rank.earliest(DramCmd::Precharge, 0, row, now);
-                now = rank.issue(DramCmd::Precharge, 0, row, at);
-            }
-            let at = rank.earliest(DramCmd::Activate, 0, row, now);
-            rank.issue(DramCmd::Activate, 0, row, at);
-            let at = rank.earliest(DramCmd::Read, 0, row, at);
-            now = rank.issue(DramCmd::Read, 0, row, at);
-            black_box(now)
-        })
+    let mut rank = RankTiming::new(8, DdrTiming::ddr3_1600());
+    let mut now = 0u64;
+    let mut row = 0u32;
+    h.bench("row_cycle", || {
+        row = (row + 1) % 65536;
+        if rank.open_row(0).is_some() {
+            let at = rank.earliest(DramCmd::Precharge, 0, row, now);
+            now = rank.issue(DramCmd::Precharge, 0, row, at);
+        }
+        let at = rank.earliest(DramCmd::Activate, 0, row, now);
+        rank.issue(DramCmd::Activate, 0, row, at);
+        let at = rank.earliest(DramCmd::Read, 0, row, at);
+        now = rank.issue(DramCmd::Read, 0, row, at);
+        black_box(now)
     });
 }
-
-criterion_group!(benches, bench_timing);
-criterion_main!(benches);

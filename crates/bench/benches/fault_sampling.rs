@@ -1,26 +1,23 @@
 //! Monte Carlo sampling throughput: the reference per-process sampler vs
 //! the gate-accelerated one (the 16.4-billion-trial bottleneck).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use relaxfault_dram::DramConfig;
 use relaxfault_faults::sampler::FaultSampler;
 use relaxfault_faults::{FaultModel, FitRates};
+use relaxfault_util::rng::Rng64;
+use relaxfault_util::timing::{black_box, Harness};
 
-fn bench_sampling(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new();
     let cfg = DramConfig::isca16_reliability();
     let model = FaultModel::isca16(FitRates::cielo(), 6.0);
-    c.bench_function("sample_node_reference", |b| {
-        let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| black_box(model.sample_node(&cfg, &mut rng)))
+    let mut rng = Rng64::seed_from_u64(1);
+    h.bench("sample_node_reference", || {
+        black_box(model.sample_node(&cfg, &mut rng))
     });
     let fast = FaultSampler::new(&model, &cfg);
-    c.bench_function("sample_node_gated", |b| {
-        let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| black_box(fast.sample_node(&mut rng)))
+    let mut rng = Rng64::seed_from_u64(1);
+    h.bench("sample_node_gated", || {
+        black_box(fast.sample_node(&mut rng))
     });
 }
-
-criterion_group!(benches, bench_sampling);
-criterion_main!(benches);

@@ -1,31 +1,23 @@
 //! LLC model throughput: demand accesses and repair-line locking.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use relaxfault_cache::{Cache, CacheConfig};
+use relaxfault_util::timing::{black_box, Harness};
 
-fn bench_llc(c: &mut Criterion) {
-    c.bench_function("llc_access_hit", |b| {
-        let mut llc = Cache::new(CacheConfig::isca16_llc());
-        llc.access(0x4000, false);
-        b.iter(|| black_box(llc.access(0x4000, false)))
+fn main() {
+    let mut h = Harness::new();
+    let mut llc = Cache::new(CacheConfig::isca16_llc());
+    llc.access(0x4000, false);
+    h.bench("llc_access_hit", || black_box(llc.access(0x4000, false)));
+    let mut llc = Cache::new(CacheConfig::isca16_llc());
+    let mut a = 0u64;
+    h.bench("llc_access_stream", || {
+        a = a.wrapping_add(64);
+        black_box(llc.access(a, false))
     });
-    c.bench_function("llc_access_stream", |b| {
-        let mut llc = Cache::new(CacheConfig::isca16_llc());
-        let mut a = 0u64;
-        b.iter(|| {
-            a = a.wrapping_add(64);
-            black_box(llc.access(a, false))
-        })
-    });
-    c.bench_function("llc_lock_repair_line", |b| {
-        let mut llc = Cache::new(CacheConfig::isca16_llc());
-        let mut a = 0u64;
-        b.iter(|| {
-            a = a.wrapping_add(64);
-            black_box(llc.lock_repair_line(a).is_ok())
-        })
+    let mut llc = Cache::new(CacheConfig::isca16_llc());
+    let mut a = 0u64;
+    h.bench("llc_lock_repair_line", || {
+        a = a.wrapping_add(64);
+        black_box(llc.lock_repair_line(a).is_ok())
     });
 }
-
-criterion_group!(benches, bench_llc);
-criterion_main!(benches);

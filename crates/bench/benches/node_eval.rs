@@ -1,37 +1,30 @@
 //! End-to-end node evaluation: the inner loop of every reliability
 //! experiment (sample a lifetime, classify, repair).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use relaxfault_faults::sampler::FaultSampler;
 use relaxfault_relsim::node::evaluate_node;
 use relaxfault_relsim::scenario::{Mechanism, ReplacementPolicy, Scenario};
+use relaxfault_util::rng::Rng64;
+use relaxfault_util::timing::{black_box, Harness};
 
-fn bench_node(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new();
     let scenario = Scenario::isca16_baseline()
         .with_mechanism(Mechanism::RelaxFault { max_ways: 1 })
         .with_replacement(ReplacementPolicy::None);
     let sampler = FaultSampler::new(&scenario.fault_model, &scenario.dram);
     // Pre-sample a pool of nodes, biased to include faulty ones.
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = Rng64::seed_from_u64(9);
     let nodes: Vec<_> = (0..256).map(|_| sampler.sample_node(&mut rng)).collect();
-    c.bench_function("sample_and_evaluate", |b| {
-        let mut rng = StdRng::seed_from_u64(10);
-        b.iter(|| {
-            let node = sampler.sample_node(&mut rng);
-            black_box(evaluate_node(&scenario, &node, &mut rng))
-        })
+    let mut rng = Rng64::seed_from_u64(10);
+    h.bench("sample_and_evaluate", || {
+        let node = sampler.sample_node(&mut rng);
+        black_box(evaluate_node(&scenario, &node, &mut rng))
     });
-    c.bench_function("evaluate_presampled_pool", |b| {
-        let mut rng = StdRng::seed_from_u64(11);
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % nodes.len();
-            black_box(evaluate_node(&scenario, &nodes[i], &mut rng))
-        })
+    let mut rng = Rng64::seed_from_u64(11);
+    let mut i = 0;
+    h.bench("evaluate_presampled_pool", || {
+        i = (i + 1) % nodes.len();
+        black_box(evaluate_node(&scenario, &nodes[i], &mut rng))
     });
 }
-
-criterion_group!(benches, bench_node);
-criterion_main!(benches);

@@ -1,50 +1,68 @@
 //! Repair-planning throughput per fault shape and mechanism — the work a
 //! node does each time a permanent fault is discovered.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use relaxfault_cache::CacheConfig;
 use relaxfault_core::plan::{FreeFault, Ppr, RelaxFault, RepairMechanism};
 use relaxfault_dram::{DramConfig, RankId};
 use relaxfault_faults::{Extent, FaultRegion};
+use relaxfault_util::timing::{black_box, Harness};
 
 fn region(device: u32, extent: Extent) -> FaultRegion {
     FaultRegion {
-        rank: RankId { channel: 0, dimm: 0, rank: 0 },
+        rank: RankId {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+        },
         device,
         extent,
     }
 }
 
-fn bench_planning(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new();
     let dram = DramConfig::isca16_reliability();
     let llc = CacheConfig::isca16_llc();
     let shapes: Vec<(&str, Extent)> = vec![
-        ("bit", Extent::Bit { bank: 0, row: 1, col: 2 }),
+        (
+            "bit",
+            Extent::Bit {
+                bank: 0,
+                row: 1,
+                col: 2,
+            },
+        ),
         ("row", Extent::Row { bank: 1, row: 7 }),
-        ("column", Extent::Column { bank: 2, col: 40, row_start: 0, row_count: 512 }),
-        ("cluster64", Extent::RowCluster { bank: 3, row_start: 0, row_count: 64 }),
+        (
+            "column",
+            Extent::Column {
+                bank: 2,
+                col: 40,
+                row_start: 0,
+                row_count: 512,
+            },
+        ),
+        (
+            "cluster64",
+            Extent::RowCluster {
+                bank: 3,
+                row_start: 0,
+                row_count: 64,
+            },
+        ),
     ];
     for (name, extent) in &shapes {
-        c.bench_function(&format!("relaxfault_plan_{name}"), |b| {
-            b.iter(|| {
-                let mut rf = RelaxFault::new(&dram, &llc, 4);
-                black_box(rf.try_repair(&[region(3, *extent)]))
-            })
+        h.bench(&format!("relaxfault_plan_{name}"), || {
+            let mut rf = RelaxFault::new(&dram, &llc, 4);
+            black_box(rf.try_repair(&[region(3, *extent)]))
         });
     }
-    c.bench_function("freefault_plan_row", |b| {
-        b.iter(|| {
-            let mut ff = FreeFault::new(&dram, &llc, 4);
-            black_box(ff.try_repair(&[region(3, Extent::Row { bank: 1, row: 7 })]))
-        })
+    h.bench("freefault_plan_row", || {
+        let mut ff = FreeFault::new(&dram, &llc, 4);
+        black_box(ff.try_repair(&[region(3, Extent::Row { bank: 1, row: 7 })]))
     });
-    c.bench_function("ppr_plan_row", |b| {
-        b.iter(|| {
-            let mut ppr = Ppr::new(&dram);
-            black_box(ppr.try_repair(&[region(3, Extent::Row { bank: 1, row: 7 })]))
-        })
+    h.bench("ppr_plan_row", || {
+        let mut ppr = Ppr::new(&dram);
+        black_box(ppr.try_repair(&[region(3, Extent::Row { bank: 1, row: 7 })]))
     });
 }
-
-criterion_group!(benches, bench_planning);
-criterion_main!(benches);

@@ -25,8 +25,17 @@ use relaxfault_relsim::scenario::{Mechanism, ReplacementPolicy, Scenario};
 use relaxfault_util::table::{format_pct, Table};
 
 fn run(arms: &[Scenario], trials: u64) -> Vec<relaxfault_relsim::ScenarioResult> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    run_scenarios(arms, &RunConfig { trials, seed: 0xAB1A, threads })
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    run_scenarios(
+        arms,
+        &RunConfig {
+            trials,
+            seed: 0xAB1A,
+            threads,
+        },
+    )
 }
 
 fn main() {
@@ -34,14 +43,15 @@ fn main() {
 
     // 1. Refined vs uniform fault model.
     let mut uniform = Scenario::isca16_baseline();
-    uniform.fault_model = relaxfault_faults::FaultModel::uniform(
-        relaxfault_faults::FitRates::cielo(),
-        6.0,
-    );
+    uniform.fault_model =
+        relaxfault_faults::FaultModel::uniform(relaxfault_faults::FitRates::cielo(), 6.0);
     let refined = Scenario::isca16_baseline();
     let r = run(&[uniform, refined], trials * 2);
     let mut t1 = Table::new(&["fault model", "DUEs/system", "replacements/system"]);
-    for (name, res) in ["uniform (prior work)", "refined (Eq. 1 + lognormal)"].iter().zip(&r) {
+    for (name, res) in ["uniform (prior work)", "refined (Eq. 1 + lognormal)"]
+        .iter()
+        .zip(&r)
+    {
         t1.row(&[
             name.to_string(),
             format!("{:.2}", res.dues_per_system(SYSTEM_NODES)),
@@ -111,15 +121,22 @@ fn main() {
     let mut arms = Vec::new();
     let preempts = [0.0, 0.35, 0.7];
     for p in preempts {
-        let mut s = Scenario::isca16_baseline()
-            .with_mechanism(Mechanism::RelaxFault { max_ways: 4 });
+        let mut s =
+            Scenario::isca16_baseline().with_mechanism(Mechanism::RelaxFault { max_ways: 4 });
         s.ecc.p_repair_preempts_due = p;
         arms.push(s);
     }
     arms.push(Scenario::isca16_baseline()); // no-repair reference
     let r = run(&arms, trials * 3);
-    let baseline = r.last().expect("reference arm").dues_per_system(SYSTEM_NODES);
-    let mut t4 = Table::new(&["p(repair preempts DUE)", "DUEs/system", "reduction vs no repair"]);
+    let baseline = r
+        .last()
+        .expect("reference arm")
+        .dues_per_system(SYSTEM_NODES);
+    let mut t4 = Table::new(&[
+        "p(repair preempts DUE)",
+        "DUEs/system",
+        "reduction vs no repair",
+    ]);
     for (p, res) in preempts.iter().zip(&r) {
         let d = res.dues_per_system(SYSTEM_NODES);
         t4.row(&[
@@ -138,9 +155,12 @@ fn main() {
     let base = Scenario::isca16_baseline().with_replacement(ReplacementPolicy::None);
     let arms = vec![
         base.clone().with_mechanism(Mechanism::Ppr),
-        base.clone().with_mechanism(Mechanism::FreeFault { max_ways: 1 }),
-        base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
-        base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
+        base.clone()
+            .with_mechanism(Mechanism::FreeFault { max_ways: 1 }),
+        base.clone()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
+        base.clone()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
     ];
     let r = run(&arms, trials);
     let mut headers = vec!["mechanism".to_string()];
@@ -149,8 +169,10 @@ fn main() {
     for res in &r {
         let mut row = vec![res.label.clone()];
         for i in 0..6 {
-            row.push(format!("{:.1}", res.unrepaired_by_mode[i] as f64 / res.trials as f64
-                * SYSTEM_NODES as f64));
+            row.push(format!(
+                "{:.1}",
+                res.unrepaired_by_mode[i] as f64 / res.trials as f64 * SYSTEM_NODES as f64
+            ));
         }
         t5.row(&row);
     }

@@ -31,5 +31,9 @@ fn main() {
         format!("{:.1}", hopper.total_transient()),
         format!("{:.1}", hopper.total_permanent()),
     ]);
-    emit("fig02_table2", "Figure 2 / Table 2: FIT per device by fault mode", &t);
+    emit(
+        "fig02_table2",
+        "Figure 2 / Table 2: FIT per device by fault mode",
+        &t,
+    );
 }

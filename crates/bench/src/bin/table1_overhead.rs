@@ -28,19 +28,33 @@ fn main() {
         o.llc_tag_extension.to_string(),
         "1 bit per LLC line".to_string(),
     ]);
-    t.row(&["total".into(), o.total().to_string(), "(paper: 16,520)".to_string()]);
-    emit("table1_overhead", "Table 1: RelaxFault storage overhead", &t);
+    t.row(&[
+        "total".into(),
+        o.total().to_string(),
+        "(paper: 16,520)".to_string(),
+    ]);
+    emit(
+        "table1_overhead",
+        "Table 1: RelaxFault storage overhead",
+        &t,
+    );
 
     let e = EnergyOverhead::isca16();
     let mut t2 = Table::new(&["quantity", "value"]);
     t2.row(&["tag lookup".into(), format!("{} nJ", e.tag_lookup_nj)]);
     t2.row(&[
         "metadata vs LLC access".into(),
-        format!("{:.2}% (paper bound: <1.5%)", e.metadata_vs_llc_access() * 100.0),
+        format!(
+            "{:.2}% (paper bound: <1.5%)",
+            e.metadata_vs_llc_access() * 100.0
+        ),
     ]);
     t2.row(&[
         "metadata vs DRAM miss".into(),
-        format!("{:.3}% (paper bound: <0.03%)", e.metadata_vs_dram_miss() * 100.0),
+        format!(
+            "{:.3}% (paper bound: <0.03%)",
+            e.metadata_vs_dram_miss() * 100.0
+        ),
     ]);
     emit("table1_energy", "Section 3.3: energy overhead bounds", &t2);
 }

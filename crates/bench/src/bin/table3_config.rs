@@ -9,19 +9,39 @@ fn main() {
     let mut t = Table::new(&["component", "configuration"]);
     t.row(&[
         "Processor".into(),
-        format!("{}-core, {} GHz, 4-way OOO (base IPC {})", c.cores, c.core_mhz / 1000, c.base_ipc),
+        format!(
+            "{}-core, {} GHz, 4-way OOO (base IPC {})",
+            c.cores,
+            c.core_mhz / 1000,
+            c.base_ipc
+        ),
     ]);
     t.row(&[
         "L1 D-cache".into(),
-        format!("{}, private, {}-way, 64B line, {}-cycle", format_bytes(c.l1.size_bytes), c.l1.ways, c.l1_latency),
+        format!(
+            "{}, private, {}-way, 64B line, {}-cycle",
+            format_bytes(c.l1.size_bytes),
+            c.l1.ways,
+            c.l1_latency
+        ),
     ]);
     t.row(&[
         "L2 cache".into(),
-        format!("{}, private, {}-way, 64B line, {}-cycle", format_bytes(c.l2.size_bytes), c.l2.ways, c.l2_latency),
+        format!(
+            "{}, private, {}-way, 64B line, {}-cycle",
+            format_bytes(c.l2.size_bytes),
+            c.l2.ways,
+            c.l2_latency
+        ),
     ]);
     t.row(&[
         "L3 cache".into(),
-        format!("{} shared, {}-way, 64B line, {}-cycle, hashed index", format_bytes(c.llc.size_bytes), c.llc.ways, c.llc_latency),
+        format!(
+            "{} shared, {}-way, 64B line, {}-cycle, hashed index",
+            format_bytes(c.llc.size_bytes),
+            c.llc.ways,
+            c.llc_latency
+        ),
     ]);
     t.row(&[
         "Memory controller".to_string(),

@@ -4,5 +4,9 @@ use relaxfault_bench::emit;
 use relaxfault_bench::perf::table4;
 
 fn main() {
-    emit("table4_workloads", "Table 4: workloads (synthetic stand-ins)", &table4());
+    emit(
+        "table4_workloads",
+        "Table 4: workloads (synthetic stand-ins)",
+        &table4(),
+    );
 }

@@ -13,6 +13,7 @@
 
 use relaxfault_relsim::engine::{fault_population, run_scenarios, RunConfig};
 use relaxfault_relsim::scenario::{Mechanism, ReplacementPolicy, Scenario};
+use relaxfault_util::json::Value;
 use relaxfault_util::table::{format_bytes, format_pct, Table};
 
 pub mod perf;
@@ -29,8 +30,8 @@ pub fn work_arg(default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-/// Prints a table to stdout and mirrors it (plus CSV) into the results
-/// directory (`RF_RESULTS_DIR`, default `results/`).
+/// Prints a table to stdout and mirrors it (plus CSV and JSON) into the
+/// results directory (`RF_RESULTS_DIR`, default `results/`).
 pub fn emit(name: &str, title: &str, table: &Table) {
     println!("== {title} ==");
     print!("{}", table.render());
@@ -42,15 +43,23 @@ pub fn emit(name: &str, title: &str, table: &Table) {
             format!("{title}\n{}", table.render()),
         );
         let _ = std::fs::write(format!("{dir}/{name}.csv"), table.to_csv());
+        let doc = Value::object([("title", title.into()), ("rows", table.to_json())]);
+        let _ = std::fs::write(format!("{dir}/{name}.json"), doc.to_pretty());
     }
 }
 
 fn default_run(trials: u64) -> RunConfig {
-    RunConfig { trials, seed: 2016, threads: num_threads() }
+    RunConfig {
+        trials,
+        seed: 2016,
+        threads: num_threads(),
+    }
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Figure 8: repair coverage of RelaxFault and FreeFault with and without
@@ -61,7 +70,8 @@ pub fn fig08_hashing(trials: u64) -> Table {
         base.clone()
             .with_mechanism(Mechanism::FreeFault { max_ways: 1 })
             .without_set_hashing(),
-        base.clone().with_mechanism(Mechanism::FreeFault { max_ways: 1 }),
+        base.clone()
+            .with_mechanism(Mechanism::FreeFault { max_ways: 1 }),
         base.clone()
             .with_mechanism(Mechanism::RelaxFault { max_ways: 1 })
             .without_set_hashing(),
@@ -90,10 +100,16 @@ pub fn coverage_curves(fit_scale: f64, trials: u64) -> Table {
         .with_fit_scale(fit_scale);
     let mut arms = vec![base.clone().with_mechanism(Mechanism::Ppr)];
     for ways in [1, 4, 16] {
-        arms.push(base.clone().with_mechanism(Mechanism::FreeFault { max_ways: ways }));
+        arms.push(
+            base.clone()
+                .with_mechanism(Mechanism::FreeFault { max_ways: ways }),
+        );
     }
     for ways in [1, 4, 16] {
-        arms.push(base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: ways }));
+        arms.push(
+            base.clone()
+                .with_mechanism(Mechanism::RelaxFault { max_ways: ways }),
+        );
     }
     let mut results = run_scenarios(&arms, &default_run(trials));
 
@@ -117,7 +133,11 @@ pub fn coverage_curves(fit_scale: f64, trials: u64) -> Table {
         let mut row = vec![format_bytes(cap)];
         for r in results.iter_mut() {
             // PPR uses no LLC: its coverage is flat.
-            let v = if r.label == "PPR" { r.coverage() } else { r.coverage_at_bytes(cap) };
+            let v = if r.label == "PPR" {
+                r.coverage()
+            } else {
+                r.coverage_at_bytes(cap)
+            };
             row.push(format_pct(v));
         }
         t.row(&row);
@@ -180,7 +200,10 @@ fn push_sensitivity_row(t: &mut Table, label: &str, scenario: Scenario, trials: 
     t.row(&[
         label.to_string(),
         format!("{:.0}", pop.per_system(pop.faulty_nodes, SYSTEM_NODES)),
-        format!("{:.0}", pop.per_system(pop.multi_device_dimms, SYSTEM_NODES)),
+        format!(
+            "{:.0}",
+            pop.per_system(pop.multi_device_dimms, SYSTEM_NODES)
+        ),
         format!("{:.2}", r.dues_per_system(SYSTEM_NODES)),
         format!("{:.4}", r.sdcs_per_system(SYSTEM_NODES)),
         format!("{:.2}", r.replacements_per_system(SYSTEM_NODES)),
@@ -203,17 +226,25 @@ pub struct ReliabilityTables {
 /// Runs the Figures 12–14 matrix at one FIT scale.
 pub fn reliability_matrix(fit_scale: f64, trials: u64) -> ReliabilityTables {
     let base = Scenario::isca16_baseline().with_fit_scale(fit_scale);
-    let replb = ReplacementPolicy::AfterErrors { trigger_prob: Scenario::REPLB_TRIGGER };
+    let replb = ReplacementPolicy::AfterErrors {
+        trigger_prob: Scenario::REPLB_TRIGGER,
+    };
     let mechanisms: Vec<(&str, Vec<Mechanism>)> = vec![
         ("No repair", vec![Mechanism::None]),
         ("PPR", vec![Mechanism::Ppr]),
         (
             "FreeFault",
-            vec![Mechanism::FreeFault { max_ways: 1 }, Mechanism::FreeFault { max_ways: 4 }],
+            vec![
+                Mechanism::FreeFault { max_ways: 1 },
+                Mechanism::FreeFault { max_ways: 4 },
+            ],
         ),
         (
             "RelaxFault",
-            vec![Mechanism::RelaxFault { max_ways: 1 }, Mechanism::RelaxFault { max_ways: 4 }],
+            vec![
+                Mechanism::RelaxFault { max_ways: 1 },
+                Mechanism::RelaxFault { max_ways: 4 },
+            ],
         ),
     ];
     // Build one flat arm list per policy.
@@ -246,12 +277,18 @@ pub fn reliability_matrix(fit_scale: f64, trials: u64) -> ReliabilityTables {
     for (name, idxs) in &rows {
         let cell = |t: &mut Table, f: &dyn Fn(usize) -> f64| {
             let one = f(idxs[0]);
-            let four = if idxs.len() > 1 { format!("{:.3}", f(idxs[1])) } else { "-".into() };
+            let four = if idxs.len() > 1 {
+                format!("{:.3}", f(idxs[1]))
+            } else {
+                "-".into()
+            };
             t.row(&[name.clone(), format!("{one:.3}"), four]);
         };
         cell(&mut dues, &|i| results[i].dues_per_system(SYSTEM_NODES));
         cell(&mut sdcs, &|i| results[i].sdcs_per_system(SYSTEM_NODES));
-        cell(&mut repla, &|i| results[i].replacements_per_system(SYSTEM_NODES));
+        cell(&mut repla, &|i| {
+            results[i].replacements_per_system(SYSTEM_NODES)
+        });
         cell(&mut replb_t, &|i| {
             results[n_repla + i].replacements_per_system(SYSTEM_NODES)
         });

@@ -29,7 +29,10 @@ pub struct PerfRow {
 /// Solo IPCs (the Equation 2 denominator) are measured by running each
 /// core's benchmark alone on the full machine.
 pub fn performance_sweep(instructions_per_core: u64, seed: u64) -> Vec<PerfRow> {
-    let cfg = SimConfig { instructions_per_core, ..SimConfig::isca16() };
+    let cfg = SimConfig {
+        instructions_per_core,
+        ..SimConfig::isca16()
+    };
     let mut rows = Vec::new();
     for w in catalog::all() {
         let solo = solo_ipcs(&cfg, &w, seed);
@@ -109,7 +112,11 @@ pub fn table4() -> Table {
     for w in catalog::all() {
         let mut names: Vec<&str> = w.cores.iter().map(|c| c.name.as_str()).collect();
         names.dedup();
-        let kind = if names.len() == 1 { "multi-threaded" } else { "multi-programmed" };
+        let kind = if names.len() == 1 {
+            "multi-threaded"
+        } else {
+            "multi-programmed"
+        };
         let ratios: Vec<String> = {
             let mut seen = Vec::new();
             w.cores

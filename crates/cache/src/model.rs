@@ -1,7 +1,6 @@
 //! The runtime cache model: LRU, dirty state, locked repair lines.
 
 use crate::config::CacheConfig;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of a demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +25,7 @@ pub struct Evicted {
 }
 
 /// Aggregate access statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand hits.
     pub hits: u64,
@@ -145,7 +144,11 @@ impl Cache {
                 line.lru = tick;
                 line.dirty |= write;
                 self.stats.hits += 1;
-                return Access { hit: true, evicted: None, bypassed: false };
+                return Access {
+                    hit: true,
+                    evicted: None,
+                    bypassed: false,
+                };
             }
         }
         self.stats.misses += 1;
@@ -168,7 +171,11 @@ impl Cache {
         }
         let Some(v) = victim else {
             self.stats.bypasses += 1;
-            return Access { hit: false, evicted: None, bypassed: true };
+            return Access {
+                hit: false,
+                evicted: None,
+                bypassed: true,
+            };
         };
         let old = self.lines[v];
         let evicted = if old.valid && old.dirty {
@@ -188,18 +195,21 @@ impl Cache {
             block_addr: block,
             lru: tick,
         };
-        Access { hit: false, evicted, bypassed: false }
+        Access {
+            hit: false,
+            evicted,
+            bypassed: false,
+        }
     }
 
     /// Whether a normal block is resident (no state change).
     pub fn probe(&self, addr: u64) -> bool {
         let (set, _) = self.cfg.set_and_tag(addr);
         let block = addr >> self.cfg.offset_bits();
-        self.set_slice(set)
-            .any(|i| {
-                let l = &self.lines[i];
-                l.valid && !l.repair && l.block_addr == block
-            })
+        self.set_slice(set).any(|i| {
+            let l = &self.lines[i];
+            l.valid && !l.repair && l.block_addr == block
+        })
     }
 
     /// Whether a repair-space line is resident (no state change).
@@ -210,11 +220,10 @@ impl Cache {
     pub fn probe_repair(&self, repair_addr: u64) -> bool {
         let (set, _) = self.cfg.set_and_tag(repair_addr);
         let block = repair_addr >> self.cfg.offset_bits();
-        self.set_slice(set)
-            .any(|i| {
-                let l = &self.lines[i];
-                l.valid && l.repair && l.block_addr == block
-            })
+        self.set_slice(set).any(|i| {
+            let l = &self.lines[i];
+            l.valid && l.repair && l.block_addr == block
+        })
     }
 
     /// Installs a locked repair line for `repair_addr`, evicting the LRU
@@ -312,9 +321,7 @@ impl Cache {
         let mut locked = 0;
         for set in sets {
             let set = set % self.cfg.sets();
-            let slot = self
-                .set_slice(set)
-                .find(|&i| !self.lines[i].locked);
+            let slot = self.set_slice(set).find(|&i| !self.lines[i].locked);
             if let Some(i) = slot {
                 self.lines[i] = Line {
                     valid: true,
@@ -402,7 +409,10 @@ mod tests {
         let r = c.access(addrs[4], false);
         assert_eq!(
             r.evicted,
-            Some(Evicted { addr: addrs[0], dirty: true })
+            Some(Evicted {
+                addr: addrs[0],
+                dirty: true
+            })
         );
         assert_eq!(c.stats().writebacks, 1);
     }
@@ -505,19 +515,17 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::config::Indexing;
-    use proptest::prelude::*;
+    use relaxfault_util::prop;
+    use relaxfault_util::{prop_assert, prop_assert_eq};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// Whatever the access pattern, structural invariants hold: lines
-        /// per set never exceed associativity, stats balance, and locked
-        /// lines survive.
-        #[test]
-        fn structural_invariants(
-            addrs in proptest::collection::vec((0u64..(1 << 20), any::<bool>()), 1..400),
-            locked_sets in proptest::collection::vec(0u64..16, 0..8),
-        ) {
+    /// Whatever the access pattern, structural invariants hold: lines
+    /// per set never exceed associativity, stats balance, and locked
+    /// lines survive.
+    #[test]
+    fn structural_invariants() {
+        prop::check(48, |src| {
+            let addrs = src.vec(1, 399, |s| (s.u64(0, (1 << 20) - 1), s.bool()));
+            let locked_sets = src.vec(0, 7, |s| s.u64(0, 15));
             let cfg = CacheConfig {
                 size_bytes: 4096,
                 ways: 4,
@@ -543,12 +551,16 @@ mod proptests {
             if c.locked_ways_in_set(cfg.set_of(last)) < cfg.ways {
                 prop_assert!(c.probe(last));
             }
-        }
+            Ok(())
+        });
+    }
 
-        /// LRU is a permutation policy: filling a set with exactly `ways`
-        /// distinct blocks keeps them all resident.
-        #[test]
-        fn full_set_retention(base in 0u64..16) {
+    /// LRU is a permutation policy: filling a set with exactly `ways`
+    /// distinct blocks keeps them all resident.
+    #[test]
+    fn full_set_retention() {
+        prop::check(48, |src| {
+            let base = src.u64(0, 15);
             let cfg = CacheConfig {
                 size_bytes: 4096,
                 ways: 4,
@@ -563,6 +575,7 @@ mod proptests {
             for &a in &addrs {
                 prop_assert!(c.probe(a));
             }
-        }
+            Ok(())
+        });
     }
 }

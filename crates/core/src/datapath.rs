@@ -283,7 +283,11 @@ impl RepairController {
                 colblock,
             };
             let addr = self.dram.map.encode(loc, 0).0;
-            let already: Vec<u32> = self.remapped_devices(&loc).into_iter().map(|(d, _)| d).collect();
+            let already: Vec<u32> = self
+                .remapped_devices(&loc)
+                .into_iter()
+                .map(|(d, _)| d)
+                .collect();
             let corrected = self.dram.read_corrected_excluding(addr, &already);
             let sub = devmap::extract_subblock(&cfg, &corrected, line.device);
             let (off, len) = self.rmap.subblock_slot(colblock);
@@ -390,11 +394,17 @@ mod tests {
     }
 
     fn rank0() -> RankId {
-        RankId { channel: 0, dimm: 0, rank: 0 }
+        RankId {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+        }
     }
 
     fn pattern(seed: u8) -> Vec<u8> {
-        (0..64u32).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+        (0..64u32)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
     }
 
     /// Block addresses within a given device row.
@@ -462,7 +472,11 @@ mod tests {
         assert_eq!(mc.repair_bytes(), 16 * 64);
         for (i, &a) in addrs.iter().enumerate() {
             assert_eq!(mc.read_block(a), pattern(i as u8), "block {i} repaired");
-            assert_ne!(mc.dram().read_raw(a), pattern(i as u8), "DRAM itself stays faulty");
+            assert_ne!(
+                mc.dram().read_raw(a),
+                pattern(i as u8),
+                "DRAM itself stays faulty"
+            );
         }
         assert_eq!(mc.stats().reconstructed, addrs.len() as u64);
     }
@@ -493,18 +507,33 @@ mod tests {
         let region = FaultRegion {
             rank: rank0(),
             device: 0,
-            extent: Extent::Bit { bank: 1, row: 0, col: 0 },
+            extent: Extent::Bit {
+                bank: 1,
+                row: 0,
+                col: 0,
+            },
         };
         dram.inject(region);
         let clean_addr = {
-            let loc = DramLoc { channel: 3, dimm: 1, rank: 0, bank: 6, row: 10, colblock: 3 };
+            let loc = DramLoc {
+                channel: 3,
+                dimm: 1,
+                rank: 0,
+                bank: 6,
+                row: 10,
+                colblock: 3,
+            };
             dram.address_map().encode(loc, 0).0
         };
         let mut mc = RepairController::new(dram, &CacheConfig::isca16_llc(), 1);
         mc.repair(&[region]).unwrap();
         mc.read_block(clean_addr);
         mc.read_block(clean_addr);
-        assert_eq!(mc.stats().filtered, 2, "clean banks never probe repair tags");
+        assert_eq!(
+            mc.stats().filtered,
+            2,
+            "clean banks never probe repair tags"
+        );
         assert_eq!(mc.stats().repair_probes, 0);
     }
 
@@ -517,11 +546,22 @@ mod tests {
         let region = FaultRegion {
             rank: rank0(),
             device: 0,
-            extent: Extent::Bit { bank: 1, row: 0, col: 0 },
+            extent: Extent::Bit {
+                bank: 1,
+                row: 0,
+                col: 0,
+            },
         };
         dram.inject(region);
         let other_addr = {
-            let loc = DramLoc { channel: 0, dimm: 0, rank: 0, bank: 1, row: 500, colblock: 9 };
+            let loc = DramLoc {
+                channel: 0,
+                dimm: 0,
+                rank: 0,
+                bank: 1,
+                row: 500,
+                colblock: 9,
+            };
             dram.address_map().encode(loc, 0).0
         };
         dram.write_block(other_addr, &pattern(5));
@@ -538,8 +578,16 @@ mod tests {
         // reconstruct from two separate repair lines in the same set.
         let c = cfg();
         let mut dram = FaultyDram::new(&c);
-        let a = FaultRegion { rank: rank0(), device: 2, extent: Extent::Row { bank: 3, row: 8 } };
-        let b = FaultRegion { rank: rank0(), device: 11, extent: Extent::Row { bank: 3, row: 8 } };
+        let a = FaultRegion {
+            rank: rank0(),
+            device: 2,
+            extent: Extent::Row { bank: 3, row: 8 },
+        };
+        let b = FaultRegion {
+            rank: rank0(),
+            device: 11,
+            extent: Extent::Row { bank: 3, row: 8 },
+        };
         let addr = row_addrs(&dram, 3, 8, 1)[0];
         dram.write_block(addr, &pattern(77));
         dram.inject(a);
@@ -561,7 +609,11 @@ mod tests {
         let huge = FaultRegion {
             rank: rank0(),
             device: 0,
-            extent: Extent::RowCluster { bank: 0, row_start: 0, row_count: 4096 },
+            extent: Extent::RowCluster {
+                bank: 0,
+                row_start: 0,
+                row_count: 4096,
+            },
         };
         assert!(mc.repair(&[huge]).is_err());
         assert_eq!(mc.repair_bytes(), 0);

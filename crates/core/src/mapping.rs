@@ -19,10 +19,9 @@
 use relaxfault_cache::CacheConfig;
 use relaxfault_dram::{DramConfig, RankId};
 use relaxfault_util::bits::{bits_for, deposit};
-use serde::{Deserialize, Serialize};
 
 /// Coordinate of one RelaxFault repair line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RepairLine {
     /// Rank holding the faulty device.
     pub rank: RankId,
@@ -55,7 +54,7 @@ pub struct RepairLine {
 /// assert!(map.set_of(&line) < 8192);
 /// assert_eq!(addr % 64, 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RelaxMap {
     dram: DramConfig,
     llc: CacheConfig,
@@ -131,10 +130,16 @@ impl RelaxMap {
     ///
     /// Panics if any coordinate is out of range for the configuration.
     pub fn repair_addr(&self, line: &RepairLine) -> u64 {
-        assert!(line.device < self.dram.devices_per_rank(), "device out of range");
+        assert!(
+            line.device < self.dram.devices_per_rank(),
+            "device out of range"
+        );
         assert!(line.bank < self.dram.banks, "bank out of range");
         assert!(line.row < self.dram.rows, "row out of range");
-        assert!(line.colgroup < self.colgroups_per_row(), "column-group out of range");
+        assert!(
+            line.colgroup < self.colgroups_per_row(),
+            "column-group out of range"
+        );
 
         let off = self.llc.offset_bits();
         let set_bits = self.llc.set_bits();
@@ -146,7 +151,12 @@ impl RelaxMap {
         let mut lsb = off;
         addr = deposit(addr, lsb, g, line.colgroup as u64);
         lsb += g;
-        addr = deposit(addr, lsb, row_low_bits, (line.row as u64) & ((1 << row_low_bits) - 1));
+        addr = deposit(
+            addr,
+            lsb,
+            row_low_bits,
+            (line.row as u64) & ((1 << row_low_bits) - 1),
+        );
         lsb += row_low_bits;
         if row_high_bits > 0 {
             addr = deposit(addr, lsb, row_high_bits, (line.row as u64) >> row_low_bits);
@@ -157,7 +167,12 @@ impl RelaxMap {
         addr = deposit(addr, lsb, self.device_bits, line.device as u64);
         lsb += self.device_bits;
         let rank_bits = bits_for(self.dram.total_rank_slots() as u64).max(1);
-        addr = deposit(addr, lsb, rank_bits, line.rank.flat_index(&self.dram) as u64);
+        addr = deposit(
+            addr,
+            lsb,
+            rank_bits,
+            line.rank.flat_index(&self.dram) as u64,
+        );
         addr
     }
 
@@ -176,15 +191,23 @@ impl RelaxMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use relaxfault_util::prop;
+    use relaxfault_util::prop_assert_eq;
     use std::collections::HashSet;
 
     fn map() -> RelaxMap {
-        RelaxMap::new(&DramConfig::isca16_reliability(), &CacheConfig::isca16_llc())
+        RelaxMap::new(
+            &DramConfig::isca16_reliability(),
+            &CacheConfig::isca16_llc(),
+        )
     }
 
     fn rank0() -> RankId {
-        RankId { channel: 0, dimm: 0, rank: 0 }
+        RankId {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+        }
     }
 
     #[test]
@@ -192,7 +215,11 @@ mod tests {
         let m = map();
         assert_eq!(m.coalesce_factor(), 16, "16 data devices per rank");
         assert_eq!(m.colgroups_per_row(), 16);
-        assert_eq!(m.lines_per_row(), 16, "one device row → 16 repair lines (1 KiB)");
+        assert_eq!(
+            m.lines_per_row(),
+            16,
+            "one device row → 16 repair lines (1 KiB)"
+        );
     }
 
     #[test]
@@ -264,15 +291,28 @@ mod tests {
                 }) as usize] += 1;
             }
         }
-        assert!(per_set.iter().all(|&c| c == 1), "perfectly balanced occupancy");
+        assert!(
+            per_set.iter().all(|&c| c == 1),
+            "perfectly balanced occupancy"
+        );
     }
 
     #[test]
     fn different_devices_get_different_lines() {
         let m = map();
-        let mk = |device| RepairLine { rank: rank0(), device, bank: 0, row: 0, colgroup: 0 };
+        let mk = |device| RepairLine {
+            rank: rank0(),
+            device,
+            bank: 0,
+            row: 0,
+            colgroup: 0,
+        };
         let keys: HashSet<u64> = (0..18).map(|d| m.key_of(&mk(d))).collect();
-        assert_eq!(keys.len(), 18, "device ID differentiates lines (5-bit field)");
+        assert_eq!(
+            keys.len(),
+            18,
+            "device ID differentiates lines (5-bit field)"
+        );
     }
 
     #[test]
@@ -319,16 +359,21 @@ mod tests {
         });
     }
 
-    proptest! {
-        #[test]
-        fn keys_are_unique(
-            d1 in 0u32..18, b1 in 0u32..8, r1 in 0u32..65536, g1 in 0u32..16,
-            d2 in 0u32..18, b2 in 0u32..8, r2 in 0u32..65536, g2 in 0u32..16,
-        ) {
+    #[test]
+    fn keys_are_unique() {
+        prop::check(256, |src| {
+            let line = |src: &mut prop::Source| RepairLine {
+                rank: rank0(),
+                device: src.u32(0, 17),
+                bank: src.u32(0, 7),
+                row: src.u32(0, 65535),
+                colgroup: src.u32(0, 15),
+            };
+            let l1 = line(src);
+            let l2 = line(src);
             let m = map();
-            let l1 = RepairLine { rank: rank0(), device: d1, bank: b1, row: r1, colgroup: g1 };
-            let l2 = RepairLine { rank: rank0(), device: d2, bank: b2, row: r2, colgroup: g2 };
             prop_assert_eq!(l1 == l2, m.key_of(&l1) == m.key_of(&l2));
-        }
+            Ok(())
+        });
     }
 }

@@ -2,10 +2,9 @@
 
 use relaxfault_cache::CacheConfig;
 use relaxfault_dram::DramConfig;
-use serde::{Deserialize, Serialize};
 
 /// RelaxFault's dedicated storage, in bytes (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StorageOverhead {
     /// Faulty-bank table: one bit per bank per DIMM in the node.
     pub faulty_bank_table: u64,
@@ -34,7 +33,7 @@ impl StorageOverhead {
 }
 
 /// §3.3 energy figures, in nanojoules.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyOverhead {
     /// Augmented LLC tag lookup (CACTI, 1 MiB 16-way bank).
     pub tag_lookup_nj: f64,

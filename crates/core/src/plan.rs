@@ -46,7 +46,10 @@ struct LlcOccupancy {
 
 impl LlcOccupancy {
     fn new(llc: &CacheConfig, max_ways: u32) -> Self {
-        assert!(max_ways >= 1 && max_ways <= llc.ways, "way limit out of range");
+        assert!(
+            max_ways >= 1 && max_ways <= llc.ways,
+            "way limit out of range"
+        );
         Self {
             max_ways,
             line_bytes: llc.line_bytes as u64,
@@ -349,8 +352,17 @@ impl Ppr {
                 Extent::Bit { bank, row, .. }
                 | Extent::Word { bank, row, .. }
                 | Extent::Row { bank, row } => rows.push((flat, r.device, bank, row)),
-                Extent::Column { bank, row_start, row_count, .. }
-                | Extent::RowCluster { bank, row_start, row_count } => {
+                Extent::Column {
+                    bank,
+                    row_start,
+                    row_count,
+                    ..
+                }
+                | Extent::RowCluster {
+                    bank,
+                    row_start,
+                    row_count,
+                } => {
                     for row in row_start..row_start + row_count {
                         rows.push((flat, r.device, bank, row));
                     }
@@ -428,11 +440,19 @@ mod tests {
     }
 
     fn rank0() -> RankId {
-        RankId { channel: 0, dimm: 0, rank: 0 }
+        RankId {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+        }
     }
 
     fn region(extent: Extent) -> FaultRegion {
-        FaultRegion { rank: rank0(), device: 3, extent }
+        FaultRegion {
+            rank: rank0(),
+            device: 3,
+            extent,
+        }
     }
 
     // --- RelaxFault ---
@@ -441,7 +461,11 @@ mod tests {
     fn relaxfault_costs_match_paper_arithmetic() {
         let d = dram();
         let mut rf = RelaxFault::new(&d, &llc(), 1);
-        assert!(rf.try_repair(&[region(Extent::Bit { bank: 0, row: 1, col: 2 })]));
+        assert!(rf.try_repair(&[region(Extent::Bit {
+            bank: 0,
+            row: 1,
+            col: 2
+        })]));
         assert_eq!(rf.lines_used(), 1);
         assert!(rf.try_repair(&[region(Extent::Row { bank: 1, row: 7 })]));
         assert_eq!(rf.lines_used(), 17, "a device row adds 16 lines (1 KiB)");
@@ -452,7 +476,12 @@ mod tests {
     #[test]
     fn relaxfault_column_fault_fits_one_way() {
         let mut rf = RelaxFault::new(&dram(), &llc(), 1);
-        let col = region(Extent::Column { bank: 2, col: 40, row_start: 512, row_count: 512 });
+        let col = region(Extent::Column {
+            bank: 2,
+            col: 40,
+            row_start: 512,
+            row_count: 512,
+        });
         assert!(rf.try_repair(&[col]));
         assert_eq!(rf.lines_used(), 512); // 32 KiB
         assert_eq!(rf.max_ways_used(), 1);
@@ -463,7 +492,11 @@ mod tests {
         // 1024-row cluster = 16,384 lines: double the set count, so the
         // 1-way planner must refuse and the 2-way planner must succeed
         // with perfectly even occupancy.
-        let cluster = region(Extent::RowCluster { bank: 0, row_start: 0, row_count: 1024 });
+        let cluster = region(Extent::RowCluster {
+            bank: 0,
+            row_start: 0,
+            row_count: 1024,
+        });
         let mut one = RelaxFault::new(&dram(), &llc(), 1);
         assert!(!one.try_repair(&[cluster]));
         assert_eq!(one.lines_used(), 0, "failed repair must not leak lines");
@@ -476,7 +509,9 @@ mod tests {
     #[test]
     fn relaxfault_rejects_whole_bank_fast() {
         let mut rf = RelaxFault::new(&dram(), &llc(), 16);
-        let bank = region(Extent::Banks { banks: BankSet::one(0) });
+        let bank = region(Extent::Banks {
+            banks: BankSet::one(0),
+        });
         assert!(!rf.try_repair(&[bank]));
         assert_eq!(rf.lines_used(), 0);
     }
@@ -486,7 +521,11 @@ mod tests {
         let mut rf = RelaxFault::new(&dram(), &llc(), 1);
         assert!(rf.try_repair(&[region(Extent::Row { bank: 0, row: 9 })]));
         // A later bit fault inside that row costs nothing new.
-        assert!(rf.try_repair(&[region(Extent::Bit { bank: 0, row: 9, col: 77 })]));
+        assert!(rf.try_repair(&[region(Extent::Bit {
+            bank: 0,
+            row: 9,
+            col: 77
+        })]));
         assert_eq!(rf.lines_used(), 16);
     }
 
@@ -497,8 +536,16 @@ mod tests {
         // must refuse the second and a 2-way planner must take it.
         let unhashed = CacheConfig::isca16_llc_no_hash();
         let mut rf = RelaxFault::new(&dram(), &unhashed, 1);
-        let a = FaultRegion { rank: rank0(), device: 3, extent: Extent::Row { bank: 0, row: 5 } };
-        let b = FaultRegion { rank: rank0(), device: 4, extent: Extent::Row { bank: 0, row: 5 } };
+        let a = FaultRegion {
+            rank: rank0(),
+            device: 3,
+            extent: Extent::Row { bank: 0, row: 5 },
+        };
+        let b = FaultRegion {
+            rank: rank0(),
+            device: 4,
+            extent: Extent::Row { bank: 0, row: 5 },
+        };
         assert!(rf.try_repair(&[a]));
         assert!(!rf.try_repair(&[b]));
         assert_eq!(rf.lines_used(), 16, "refused repair leaves state intact");
@@ -539,7 +586,12 @@ mod tests {
     fn freefault_without_hash_cannot_repair_columns() {
         // The Figure 8 effect: a subarray column fault maps to few sets
         // under canonical indexing (row bits live in the tag).
-        let col = region(Extent::Column { bank: 2, col: 40, row_start: 0, row_count: 512 });
+        let col = region(Extent::Column {
+            bank: 2,
+            col: 40,
+            row_start: 0,
+            row_count: 512,
+        });
         let mut plain = FreeFault::new(&dram(), &CacheConfig::isca16_llc_no_hash(), 16);
         assert!(!plain.try_repair(&[col]));
         let mut hashed = FreeFault::new(&dram(), &llc(), 1);
@@ -549,7 +601,11 @@ mod tests {
 
     #[test]
     fn freefault_rejects_clusters_relaxfault_accepts() {
-        let cluster = region(Extent::RowCluster { bank: 0, row_start: 0, row_count: 64 });
+        let cluster = region(Extent::RowCluster {
+            bank: 0,
+            row_start: 0,
+            row_count: 64,
+        });
         // 64 rows × 256 blocks = 16,384 lines for FreeFault (1 MiB), with
         // 16 lines per set — beyond a 4-way budget.
         let mut ff = FreeFault::new(&dram(), &llc(), 4);
@@ -563,13 +619,21 @@ mod tests {
     #[test]
     fn freefault_bit_fault_is_one_line() {
         let mut ff = FreeFault::new(&dram(), &llc(), 1);
-        assert!(ff.try_repair(&[region(Extent::Bit { bank: 0, row: 0, col: 0 })]));
+        assert!(ff.try_repair(&[region(Extent::Bit {
+            bank: 0,
+            row: 0,
+            col: 0
+        })]));
         assert_eq!(ff.lines_used(), 1);
         // Another device, same block: the block is already locked.
         let other = FaultRegion {
             rank: rank0(),
             device: 9,
-            extent: Extent::Bit { bank: 0, row: 0, col: 3 },
+            extent: Extent::Bit {
+                bank: 0,
+                row: 0,
+                col: 3,
+            },
         };
         assert!(ff.try_repair(&[other]));
         assert_eq!(ff.lines_used(), 1, "FreeFault repairs whole blocks");
@@ -581,7 +645,11 @@ mod tests {
     fn ppr_repairs_rows_and_bits() {
         let mut ppr = Ppr::new(&dram());
         assert!(ppr.try_repair(&[region(Extent::Row { bank: 0, row: 1 })]));
-        assert!(ppr.try_repair(&[region(Extent::Bit { bank: 2, row: 3, col: 4 })]));
+        assert!(ppr.try_repair(&[region(Extent::Bit {
+            bank: 2,
+            row: 3,
+            col: 4
+        })]));
         assert_eq!(ppr.spares_used(), 2);
         assert_eq!(ppr.lines_used(), 0);
     }
@@ -607,9 +675,20 @@ mod tests {
     #[test]
     fn ppr_cannot_repair_columns_or_banks() {
         let mut ppr = Ppr::new(&dram());
-        let col = region(Extent::Column { bank: 0, col: 0, row_start: 0, row_count: 512 });
-        let bank = region(Extent::Banks { banks: BankSet::one(0) });
-        let cluster = region(Extent::RowCluster { bank: 0, row_start: 0, row_count: 16 });
+        let col = region(Extent::Column {
+            bank: 0,
+            col: 0,
+            row_start: 0,
+            row_count: 512,
+        });
+        let bank = region(Extent::Banks {
+            banks: BankSet::one(0),
+        });
+        let cluster = region(Extent::RowCluster {
+            bank: 0,
+            row_start: 0,
+            row_count: 16,
+        });
         assert!(!ppr.try_repair(&[col]));
         assert!(!ppr.try_repair(&[bank]));
         assert!(!ppr.try_repair(&[cluster]));
@@ -621,14 +700,22 @@ mod tests {
         let mut ppr = Ppr::new(&dram());
         assert!(ppr.try_repair(&[region(Extent::Row { bank: 0, row: 1 })]));
         // New fault inside the already-substituted row: free.
-        assert!(ppr.try_repair(&[region(Extent::Bit { bank: 0, row: 1, col: 5 })]));
+        assert!(ppr.try_repair(&[region(Extent::Bit {
+            bank: 0,
+            row: 1,
+            col: 5
+        })]));
         assert_eq!(ppr.spares_used(), 1);
     }
 
     #[test]
     fn ppr_with_generous_spares_takes_small_clusters() {
         let mut ppr = Ppr::with_spares(&dram(), 2, 8);
-        let cluster = region(Extent::RowCluster { bank: 0, row_start: 0, row_count: 8 });
+        let cluster = region(Extent::RowCluster {
+            bank: 0,
+            row_start: 0,
+            row_count: 8,
+        });
         assert!(ppr.try_repair(&[cluster]));
         assert_eq!(ppr.spares_used(), 8);
     }
@@ -637,50 +724,62 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
     use relaxfault_dram::RankId;
+    use relaxfault_util::prop::{self, Source};
+    use relaxfault_util::{prop_assert, prop_assert_eq};
 
-    fn arb_extent() -> impl Strategy<Value = Extent> {
-        prop_oneof![
-            (0u32..8, 0u32..65536, 0u32..2048)
-                .prop_map(|(bank, row, col)| Extent::Bit { bank, row, col }),
-            (0u32..8, 0u32..65536).prop_map(|(bank, row)| Extent::Row { bank, row }),
-            (0u32..8, 0u32..2048, 0u32..127)
-                .prop_map(|(bank, col, sa)| Extent::Column {
-                    bank,
-                    col,
-                    row_start: sa * 512,
-                    row_count: 512,
-                }),
-            (0u32..8, 0u32..60000, 1u32..2048).prop_map(|(bank, start, rows)| {
+    fn arb_extent(src: &mut Source) -> Extent {
+        match src.choice_index(5) {
+            0 => Extent::Bit {
+                bank: src.u32(0, 7),
+                row: src.u32(0, 65535),
+                col: src.u32(0, 2047),
+            },
+            1 => Extent::Row {
+                bank: src.u32(0, 7),
+                row: src.u32(0, 65535),
+            },
+            2 => Extent::Column {
+                bank: src.u32(0, 7),
+                col: src.u32(0, 2047),
+                row_start: src.u32(0, 126) * 512,
+                row_count: 512,
+            },
+            3 => {
+                let bank = src.u32(0, 7);
+                let start = src.u32(0, 59999);
+                let rows = src.u32(1, 2047);
                 Extent::RowCluster {
                     bank,
                     row_start: start.min(65536 - rows),
                     row_count: rows,
                 }
-            }),
-            (0u32..8).prop_map(|b| Extent::Banks { banks: relaxfault_faults::BankSet::one(b) }),
-        ]
-    }
-
-    fn arb_region() -> impl Strategy<Value = FaultRegion> {
-        (0u32..4, 0u32..2, 0u32..18, arb_extent()).prop_map(|(ch, di, device, extent)| {
-            FaultRegion {
-                rank: RankId { channel: ch, dimm: di, rank: 0 },
-                device,
-                extent,
             }
-        })
+            _ => Extent::Banks {
+                banks: relaxfault_faults::BankSet::one(src.u32(0, 7)),
+            },
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    fn arb_region(src: &mut Source) -> FaultRegion {
+        FaultRegion {
+            rank: RankId {
+                channel: src.u32(0, 3),
+                dimm: src.u32(0, 1),
+                rank: 0,
+            },
+            device: src.u32(0, 17),
+            extent: arb_extent(src),
+        }
+    }
 
-        /// try_repair is atomic: on failure nothing changes; on success the
-        /// line count grows by at most the analytic need and the way limit
-        /// holds.
-        #[test]
-        fn relaxfault_try_repair_is_atomic(regions in proptest::collection::vec(arb_region(), 1..6)) {
+    /// try_repair is atomic: on failure nothing changes; on success the
+    /// line count grows by at most the analytic need and the way limit
+    /// holds.
+    #[test]
+    fn relaxfault_try_repair_is_atomic() {
+        prop::check(64, |src| {
+            let regions = src.vec(1, 5, arb_region);
             let dram = DramConfig::isca16_reliability();
             let llc = CacheConfig::isca16_llc();
             let mut rf = RelaxFault::new(&dram, &llc, 1);
@@ -698,12 +797,16 @@ mod proptests {
                 }
                 prop_assert_eq!(rf.bytes_used(), rf.lines_used() * 64);
             }
-        }
+            Ok(())
+        });
+    }
 
-        /// FreeFault never uses fewer lines than RelaxFault for the same
-        /// fault (coalescing only helps), and both respect analytic counts.
-        #[test]
-        fn coalescing_never_loses(region in arb_region()) {
+    /// FreeFault never uses fewer lines than RelaxFault for the same
+    /// fault (coalescing only helps), and both respect analytic counts.
+    #[test]
+    fn coalescing_never_loses() {
+        prop::check(64, |src| {
+            let region = arb_region(src);
             let dram = DramConfig::isca16_reliability();
             let llc = CacheConfig::isca16_llc();
             let mut rf = RelaxFault::new(&dram, &llc, 16);
@@ -721,12 +824,16 @@ mod proptests {
                 // needs ≥ as many lines, so it must refuse too.
                 prop_assert!(!ff_ok);
             }
-        }
+            Ok(())
+        });
+    }
 
-        /// PPR accounting: spares used never exceeds groups × devices ×
-        /// spares, and repairs are idempotent per row.
-        #[test]
-        fn ppr_spares_bounded(regions in proptest::collection::vec(arb_region(), 1..10)) {
+    /// PPR accounting: spares used never exceeds groups × devices ×
+    /// spares, and repairs are idempotent per row.
+    #[test]
+    fn ppr_spares_bounded() {
+        prop::check(64, |src| {
+            let regions = src.vec(1, 9, arb_region);
             let dram = DramConfig::isca16_reliability();
             let mut ppr = Ppr::new(&dram);
             for r in &regions {
@@ -737,6 +844,7 @@ mod proptests {
                 * dram.devices_per_rank() as u64
                 * (dram.banks / 2) as u64;
             prop_assert!(ppr.spares_used() <= bound);
-        }
+            Ok(())
+        });
     }
 }

@@ -1,7 +1,5 @@
 //! Memory-system geometry: channels, DIMMs, ranks, devices, banks, subarrays.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of one node's DRAM system (paper Figure 1).
 ///
 /// All structural counts must be powers of two (the address mapping scatters
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cfg.dimms_per_node(), 8);
 /// assert_eq!(cfg.node_bytes(), 64 << 30); // 8 × 8 GiB DIMMs
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramConfig {
     /// Independent memory channels per node.
     pub channels: u32,
@@ -200,7 +198,7 @@ impl DramConfig {
 /// let r = RankId { channel: 3, dimm: 1, rank: 0 };
 /// assert_eq!(r.flat_index(&cfg), 7);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RankId {
     /// Channel index within the node.
     pub channel: u32,
@@ -293,7 +291,11 @@ mod tests {
 
     #[test]
     fn rank_display_is_informative() {
-        let r = RankId { channel: 1, dimm: 0, rank: 0 };
+        let r = RankId {
+            channel: 1,
+            dimm: 0,
+            rank: 0,
+        };
         assert_eq!(r.to_string(), "ch1/dimm0/rk0");
     }
 }

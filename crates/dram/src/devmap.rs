@@ -112,7 +112,10 @@ mod tests {
                 seen[pos] = true;
             }
         }
-        assert!(seen.iter().all(|&s| s), "every line bit belongs to a device");
+        assert!(
+            seen.iter().all(|&s| s),
+            "every line bit belongs to a device"
+        );
     }
 
     #[test]

@@ -8,8 +8,6 @@
 //! are derived from the TN-41-01 method (IDD current deltas × VDD × time,
 //! summed over the 18 devices of an ECC rank) and documented on each field.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-operation dynamic energy for one rank, in nanojoules.
 ///
 /// # Examples
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// c.reads = 1;
 /// assert!(e.dynamic_energy_nj(&c) > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramEnergy {
     /// Energy of one ACTIVATE+PRECHARGE pair (row cycle). TN-41-01:
     /// `(IDD0 − IDD3N) × VDD × tRC` per device, ~18 devices per ECC rank.
@@ -71,7 +69,7 @@ impl DramEnergy {
 }
 
 /// Counters of DRAM operations, accumulated by the memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OpCounts {
     /// ACTIVATE commands issued.
     pub activates: u64,
@@ -119,15 +117,33 @@ mod tests {
     #[test]
     fn energy_scales_linearly() {
         let e = DramEnergy::ddr3_1600_x4_rank();
-        let one = OpCounts { activates: 1, precharges: 1, reads: 1, writes: 0, refreshes: 0 };
-        let two = OpCounts { activates: 2, precharges: 2, reads: 2, writes: 0, refreshes: 0 };
+        let one = OpCounts {
+            activates: 1,
+            precharges: 1,
+            reads: 1,
+            writes: 0,
+            refreshes: 0,
+        };
+        let two = OpCounts {
+            activates: 2,
+            precharges: 2,
+            reads: 2,
+            writes: 0,
+            refreshes: 0,
+        };
         assert!((e.dynamic_energy_nj(&two) - 2.0 * e.dynamic_energy_nj(&one)).abs() < 1e-9);
     }
 
     #[test]
     fn power_is_energy_over_time() {
         let e = DramEnergy::ddr3_1600_x4_rank();
-        let c = OpCounts { activates: 10, precharges: 10, reads: 100, writes: 50, refreshes: 0 };
+        let c = OpCounts {
+            activates: 10,
+            precharges: 10,
+            reads: 100,
+            writes: 50,
+            refreshes: 0,
+        };
         let energy = e.dynamic_energy_nj(&c);
         let p = e.dynamic_power_mw(&c, 1_000_000);
         assert!((p - energy / 1e6 * 1000.0).abs() < 1e-9);
@@ -142,7 +158,13 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = OpCounts { activates: 1, precharges: 2, reads: 3, writes: 4, refreshes: 5 };
+        let mut a = OpCounts {
+            activates: 1,
+            precharges: 2,
+            reads: 3,
+            writes: 4,
+            refreshes: 5,
+        };
         let b = a;
         a.merge(&b);
         assert_eq!(a.activates, 2);

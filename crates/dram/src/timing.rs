@@ -5,7 +5,6 @@
 //! window tFAW, and the data-bus occupancy of each burst. Time is counted in
 //! memory-controller clock cycles (one cycle = one DRAM command slot).
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// DDR3 timing parameters in controller cycles.
@@ -20,7 +19,7 @@ use std::collections::VecDeque;
 /// assert_eq!(t.t_cl, 11);
 /// assert!(t.t_ras >= t.t_rcd);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DdrTiming {
     /// Data-rate clock in MHz (DDR3-1600 → 800 MHz command clock).
     pub clock_mhz: u32,
@@ -107,7 +106,7 @@ impl DdrTiming {
 }
 
 /// DRAM commands the controller can issue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DramCmd {
     /// Open a row in a bank.
     Activate,
@@ -120,16 +119,14 @@ pub enum DramCmd {
 }
 
 /// Per-bank timing state.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 struct BankState {
     open_row: Option<u32>,
     act_at: u64,
-    ready_at: u64,     // earliest next column command (post-ACT tRCD etc.)
-    pre_allowed: u64,  // earliest PRECHARGE (tRAS / tWR / tRTP)
-    act_allowed: u64,  // earliest next ACTIVATE (tRP after PRE, tRC after ACT)
+    ready_at: u64,    // earliest next column command (post-ACT tRCD etc.)
+    pre_allowed: u64, // earliest PRECHARGE (tRAS / tWR / tRTP)
+    act_allowed: u64, // earliest next ACTIVATE (tRP after PRE, tRC after ACT)
 }
-
 
 /// Timing state of one rank: all of its banks plus the rank-level ACT
 /// constraints (tRRD, tFAW) and data-bus occupancy.
@@ -208,9 +205,7 @@ impl RankTiming {
                 }
                 at
             }
-            DramCmd::Precharge => {
-                at_least(now, b.pre_allowed)
-            }
+            DramCmd::Precharge => at_least(now, b.pre_allowed),
             DramCmd::Read | DramCmd::Write => {
                 assert_eq!(
                     b.open_row,
@@ -228,7 +223,11 @@ impl RankTiming {
                     }
                 }
                 // Data bus must be free when this burst's data flies.
-                let data_lat = if cmd == DramCmd::Read { t.t_cl } else { t.t_cwl } as u64;
+                let data_lat = if cmd == DramCmd::Read {
+                    t.t_cl
+                } else {
+                    t.t_cwl
+                } as u64;
                 if at + data_lat < self.bus_free_at {
                     at = self.bus_free_at - data_lat;
                 }
@@ -345,7 +344,11 @@ mod tests {
         }
         // Fifth ACT must wait for the tFAW window anchored at the first.
         let fifth = r.earliest(DramCmd::Activate, 4, 0, at);
-        assert!(fifth >= t.t_faw as u64, "fifth act at {fifth}, tFAW {}", t.t_faw);
+        assert!(
+            fifth >= t.t_faw as u64,
+            "fifth act at {fifth}, tFAW {}",
+            t.t_faw
+        );
         // And consecutive ACTs respected tRRD.
         assert!(at >= 3 * t.t_rrd as u64);
     }

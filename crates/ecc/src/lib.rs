@@ -31,7 +31,7 @@
 //! # Examples
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use relaxfault_util::rng::Rng64;
 //! use relaxfault_dram::{DramConfig, RankId};
 //! use relaxfault_ecc::{EccModel, EccOutcome};
 //! use relaxfault_faults::{Extent, FaultRegion, BankSet};
@@ -44,13 +44,12 @@
 //! assert!(ecc.pair_overlap_exists(&cfg, &[new], &[live]));
 //! ```
 
-use rand::Rng;
 use relaxfault_dram::DramConfig;
 use relaxfault_faults::{FaultRegion, Footprint};
-use serde::{Deserialize, Serialize};
+use relaxfault_util::rng::Rng;
 
 /// What the ECC does with the errors a fault arrival exposes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EccOutcome {
     /// All codewords stay within single-symbol correction.
     Corrected,
@@ -70,7 +69,7 @@ pub enum EccOutcome {
 /// Values are calibrated so the no-repair system of 16,384 nodes shows the
 /// paper's ~8 DUEs and ~0.02 SDCs over 6 years at Cielo rates (see
 /// EXPERIMENTS.md).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EccModel {
     /// P(a permanent fault arriving over a live overlap manifests a DUE
     /// during the remaining lifetime).
@@ -207,15 +206,14 @@ impl EccModel {
         live: &[FaultRegion],
         rng: &mut R,
     ) -> EccOutcome {
-        if self.triple_overlap_exists(cfg, new, live)
-            && rng.gen_bool(self.p_event_given_triple) {
-                return if rng.gen_bool(self.p_sdc_given_triple) {
-                    EccOutcome::Sdc
-                } else {
-                    EccOutcome::Due
-                };
-            }
-            // Fall through: the triple never fired, but a pair still might.
+        if self.triple_overlap_exists(cfg, new, live) && rng.gen_bool(self.p_event_given_triple) {
+            return if rng.gen_bool(self.p_sdc_given_triple) {
+                EccOutcome::Sdc
+            } else {
+                EccOutcome::Due
+            };
+        }
+        // Fall through: the triple never fired, but a pair still might.
         if self.pair_overlap_exists(cfg, new, live) {
             let p = if new_is_permanent {
                 self.p_due_pair_permanent
@@ -246,29 +244,41 @@ pub fn ecc_storage_overhead(cfg: &DramConfig) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use relaxfault_dram::RankId;
     use relaxfault_faults::{BankSet, Extent};
+    use relaxfault_util::rng::Rng64;
 
     fn cfg() -> DramConfig {
         DramConfig::isca16_reliability()
     }
 
     fn rank0() -> RankId {
-        RankId { channel: 0, dimm: 0, rank: 0 }
+        RankId {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+        }
     }
 
     fn region(device: u32, extent: Extent) -> FaultRegion {
-        FaultRegion { rank: rank0(), device, extent }
+        FaultRegion {
+            rank: rank0(),
+            device,
+            extent,
+        }
     }
 
     #[test]
     fn single_device_is_always_corrected() {
         let ecc = EccModel::always_manifest();
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(1);
-        let new = [region(0, Extent::Banks { banks: BankSet::all(8) })];
+        let mut rng = Rng64::seed_from_u64(1);
+        let new = [region(
+            0,
+            Extent::Banks {
+                banks: BankSet::all(8),
+            },
+        )];
         let out = ecc.classify_arrival(&c, &new, true, &[], &mut rng);
         assert_eq!(out, EccOutcome::Corrected);
     }
@@ -277,9 +287,16 @@ mod tests {
     fn same_device_accumulation_is_one_symbol() {
         let ecc = EccModel::always_manifest();
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng64::seed_from_u64(2);
         let live = [region(4, Extent::Row { bank: 0, row: 10 })];
-        let new = [region(4, Extent::Bit { bank: 0, row: 10, col: 3 })];
+        let new = [region(
+            4,
+            Extent::Bit {
+                bank: 0,
+                row: 10,
+                col: 3,
+            },
+        )];
         assert_eq!(
             ecc.classify_arrival(&c, &new, true, &live, &mut rng),
             EccOutcome::Corrected
@@ -290,9 +307,21 @@ mod tests {
     fn two_device_overlap_is_a_due() {
         let ecc = EccModel::always_manifest();
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(3);
-        let live = [region(4, Extent::Banks { banks: BankSet::one(2) })];
-        let new = [region(9, Extent::Bit { bank: 2, row: 1, col: 1 })];
+        let mut rng = Rng64::seed_from_u64(3);
+        let live = [region(
+            4,
+            Extent::Banks {
+                banks: BankSet::one(2),
+            },
+        )];
+        let new = [region(
+            9,
+            Extent::Bit {
+                bank: 2,
+                row: 1,
+                col: 1,
+            },
+        )];
         assert_eq!(
             ecc.classify_arrival(&c, &new, true, &live, &mut rng),
             EccOutcome::Due
@@ -303,9 +332,21 @@ mod tests {
     fn disjoint_banks_never_collide() {
         let ecc = EccModel::always_manifest();
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(4);
-        let live = [region(4, Extent::Banks { banks: BankSet::one(2) })];
-        let new = [region(9, Extent::Bit { bank: 3, row: 1, col: 1 })];
+        let mut rng = Rng64::seed_from_u64(4);
+        let live = [region(
+            4,
+            Extent::Banks {
+                banks: BankSet::one(2),
+            },
+        )];
+        let new = [region(
+            9,
+            Extent::Bit {
+                bank: 3,
+                row: 1,
+                col: 1,
+            },
+        )];
         assert_eq!(
             ecc.classify_arrival(&c, &new, true, &live, &mut rng),
             EccOutcome::Corrected
@@ -316,14 +357,33 @@ mod tests {
     fn triple_overlap_is_an_sdc() {
         let ecc = EccModel::always_manifest();
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::seed_from_u64(5);
         // Two coarse live faults in bank 0 on different devices, new fine
         // fault in the same bank.
         let live = [
-            region(1, Extent::Banks { banks: BankSet::one(0) }),
-            region(2, Extent::RowCluster { bank: 0, row_start: 0, row_count: 100 }),
+            region(
+                1,
+                Extent::Banks {
+                    banks: BankSet::one(0),
+                },
+            ),
+            region(
+                2,
+                Extent::RowCluster {
+                    bank: 0,
+                    row_start: 0,
+                    row_count: 100,
+                },
+            ),
         ];
-        let new = [region(3, Extent::Bit { bank: 0, row: 50, col: 0 })];
+        let new = [region(
+            3,
+            Extent::Bit {
+                bank: 0,
+                row: 50,
+                col: 0,
+            },
+        )];
         assert!(ecc.triple_overlap_exists(&c, &new, &live));
         assert_eq!(
             ecc.classify_arrival(&c, &new, true, &live, &mut rng),
@@ -341,7 +401,14 @@ mod tests {
             region(1, Extent::Row { bank: 0, row: 10 }),
             region(2, Extent::Row { bank: 0, row: 20 }),
         ];
-        let new = [region(3, Extent::RowCluster { bank: 0, row_start: 0, row_count: 64 })];
+        let new = [region(
+            3,
+            Extent::RowCluster {
+                bank: 0,
+                row_start: 0,
+                row_count: 64,
+            },
+        )];
         assert!(ecc.pair_overlap_exists(&c, &new, &live));
         assert!(!ecc.triple_overlap_exists(&c, &new, &live));
     }
@@ -352,7 +419,15 @@ mod tests {
         let c = cfg();
         let live = [
             region(1, Extent::Row { bank: 0, row: 10 }),
-            region(1, Extent::Column { bank: 0, col: 0, row_start: 0, row_count: 512 }),
+            region(
+                1,
+                Extent::Column {
+                    bank: 0,
+                    col: 0,
+                    row_start: 0,
+                    row_count: 512,
+                },
+            ),
         ];
         let new = [region(3, Extent::Row { bank: 0, row: 10 })];
         assert!(!ecc.triple_overlap_exists(&c, &new, &live));
@@ -363,25 +438,42 @@ mod tests {
         let ecc = EccModel::always_manifest();
         let c = cfg();
         let live = [FaultRegion {
-            rank: RankId { channel: 1, dimm: 0, rank: 0 },
+            rank: RankId {
+                channel: 1,
+                dimm: 0,
+                rank: 0,
+            },
             device: 4,
-            extent: Extent::Banks { banks: BankSet::all(8) },
+            extent: Extent::Banks {
+                banks: BankSet::all(8),
+            },
         }];
-        let new = [region(9, Extent::Banks { banks: BankSet::all(8) })];
+        let new = [region(
+            9,
+            Extent::Banks {
+                banks: BankSet::all(8),
+            },
+        )];
         assert!(!ecc.pair_overlap_exists(&c, &new, &live));
     }
 
     #[test]
     fn activation_probability_thins_events() {
-        let ecc = EccModel { p_due_pair_permanent: 0.1, ..EccModel::always_manifest() };
+        let ecc = EccModel {
+            p_due_pair_permanent: 0.1,
+            ..EccModel::always_manifest()
+        };
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(77);
-        let live = [region(4, Extent::Banks { banks: BankSet::one(2) })];
+        let mut rng = Rng64::seed_from_u64(77);
+        let live = [region(
+            4,
+            Extent::Banks {
+                banks: BankSet::one(2),
+            },
+        )];
         let new = [region(9, Extent::Row { bank: 2, row: 1 })];
         let dues = (0..5000)
-            .filter(|_| {
-                ecc.classify_arrival(&c, &new, true, &live, &mut rng) == EccOutcome::Due
-            })
+            .filter(|_| ecc.classify_arrival(&c, &new, true, &live, &mut rng) == EccOutcome::Due)
             .count();
         let rate = dues as f64 / 5000.0;
         assert!((rate - 0.1).abs() < 0.02, "rate {rate}");

@@ -8,27 +8,26 @@
 
 use crate::modes::FaultMode;
 use crate::region::{BankSet, Extent};
-use rand::Rng;
 use relaxfault_dram::DramConfig;
 use relaxfault_util::dist::log_uniform;
-use serde::{Deserialize, Serialize};
+use relaxfault_util::rng::Rng;
 
 /// Extent-distribution knobs for every fault mode.
 ///
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use relaxfault_util::rng::Rng64;
 /// use relaxfault_dram::DramConfig;
 /// use relaxfault_faults::{FaultGeometry, FaultMode};
 ///
 /// let g = FaultGeometry::default();
 /// let cfg = DramConfig::isca16_reliability();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = Rng64::seed_from_u64(1);
 /// let extent = g.sample_extent(&mut rng, FaultMode::SingleRow, &cfg);
 /// assert!(matches!(extent, relaxfault_faults::Extent::Row { .. }));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultGeometry {
     /// Probability that a "single bit/word" fault affects a multi-bit word
     /// rather than one bit (repair cost is identical; kept for fidelity).
@@ -83,7 +82,11 @@ impl FaultGeometry {
         match mode {
             FaultMode::SingleBitWord => {
                 if rng.gen_bool(self.p_word_given_bitword) {
-                    Extent::Word { bank, row, col: col & !(cfg.burst_length - 1) }
+                    Extent::Word {
+                        bank,
+                        row,
+                        col: col & !(cfg.burst_length - 1),
+                    }
                 } else {
                     Extent::Bit { bank, row, col }
                 }
@@ -93,7 +96,10 @@ impl FaultGeometry {
                 let subarrays = if rng.gen_bool(self.p_column_single_subarray) {
                     1
                 } else {
-                    let hi = self.max_column_subarrays.min(cfg.subarrays_per_bank()).max(2);
+                    let hi = self
+                        .max_column_subarrays
+                        .min(cfg.subarrays_per_bank())
+                        .max(2);
                     log_uniform(rng, 2.0, hi as f64).round() as u32
                 };
                 let span = subarrays.min(cfg.subarrays_per_bank());
@@ -107,14 +113,20 @@ impl FaultGeometry {
             }
             FaultMode::SingleBank => {
                 if rng.gen_bool(self.p_whole_bank) {
-                    Extent::Banks { banks: BankSet::one(bank) }
+                    Extent::Banks {
+                        banks: BankSet::one(bank),
+                    }
                 } else {
                     let (lo, hi) = self.bank_cluster_rows;
                     let hi = hi.min(cfg.rows);
                     let rows = log_uniform(rng, lo as f64, hi as f64).round() as u32;
                     let rows = rows.clamp(1, cfg.rows);
                     let start = rng.gen_range(0..=(cfg.rows - rows));
-                    Extent::RowCluster { bank, row_start: start, row_count: rows }
+                    Extent::RowCluster {
+                        bank,
+                        row_start: start,
+                        row_count: rows,
+                    }
                 }
             }
             FaultMode::MultiBank => {
@@ -128,9 +140,13 @@ impl FaultGeometry {
                 while mask.count_ones() < n {
                     mask |= 1 << rng.gen_range(0..cfg.banks);
                 }
-                Extent::Banks { banks: BankSet(mask) }
+                Extent::Banks {
+                    banks: BankSet(mask),
+                }
             }
-            FaultMode::MultiRank => Extent::Banks { banks: BankSet::all(cfg.banks) },
+            FaultMode::MultiRank => Extent::Banks {
+                banks: BankSet::all(cfg.banks),
+            },
         }
     }
 }
@@ -138,8 +154,7 @@ impl FaultGeometry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use relaxfault_util::rng::Rng64;
 
     fn cfg() -> DramConfig {
         DramConfig::isca16_reliability()
@@ -149,7 +164,7 @@ mod tests {
     fn extents_match_modes() {
         let g = FaultGeometry::default();
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng64::seed_from_u64(9);
         for _ in 0..200 {
             assert!(matches!(
                 g.sample_extent(&mut rng, FaultMode::SingleBitWord, &c),
@@ -174,10 +189,13 @@ mod tests {
     fn column_faults_are_subarray_aligned() {
         let g = FaultGeometry::default();
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = Rng64::seed_from_u64(17);
         for _ in 0..500 {
-            if let Extent::Column { row_start, row_count, .. } =
-                g.sample_extent(&mut rng, FaultMode::SingleColumn, &c)
+            if let Extent::Column {
+                row_start,
+                row_count,
+                ..
+            } = g.sample_extent(&mut rng, FaultMode::SingleColumn, &c)
             {
                 assert_eq!(row_start % c.subarray_rows, 0);
                 assert_eq!(row_count % c.subarray_rows, 0);
@@ -192,12 +210,16 @@ mod tests {
     fn bank_clusters_stay_in_bounds() {
         let g = FaultGeometry::default();
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(23);
+        let mut rng = Rng64::seed_from_u64(23);
         let mut whole = 0;
         let n = 2000;
         for _ in 0..n {
             match g.sample_extent(&mut rng, FaultMode::SingleBank, &c) {
-                Extent::RowCluster { row_start, row_count, bank } => {
+                Extent::RowCluster {
+                    row_start,
+                    row_count,
+                    bank,
+                } => {
                     assert!(bank < c.banks);
                     assert!(row_count >= 1);
                     assert!(row_start + row_count <= c.rows);
@@ -218,7 +240,7 @@ mod tests {
     fn multibank_hits_multiple_banks() {
         let g = FaultGeometry::default();
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(29);
+        let mut rng = Rng64::seed_from_u64(29);
         for _ in 0..200 {
             if let Extent::Banks { banks } = g.sample_extent(&mut rng, FaultMode::MultiBank, &c) {
                 assert!(banks.len() >= 2 && banks.len() <= c.banks);
@@ -232,7 +254,7 @@ mod tests {
     fn multirank_is_whole_device() {
         let g = FaultGeometry::default();
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(31);
+        let mut rng = Rng64::seed_from_u64(31);
         if let Extent::Banks { banks } = g.sample_extent(&mut rng, FaultMode::MultiRank, &c) {
             assert_eq!(banks.len(), c.banks);
         } else {
@@ -242,9 +264,12 @@ mod tests {
 
     #[test]
     fn word_faults_align_to_burst() {
-        let g = FaultGeometry { p_word_given_bitword: 1.0, ..Default::default() };
+        let g = FaultGeometry {
+            p_word_given_bitword: 1.0,
+            ..Default::default()
+        };
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(37);
+        let mut rng = Rng64::seed_from_u64(37);
         for _ in 0..100 {
             if let Extent::Word { col, .. } =
                 g.sample_extent(&mut rng, FaultMode::SingleBitWord, &c)

@@ -13,13 +13,12 @@
 use crate::geometry::FaultGeometry;
 use crate::modes::{FaultMode, FitRates, Transience, HOURS_PER_YEAR};
 use crate::region::FaultRegion;
-use rand::Rng;
 use relaxfault_dram::{DramConfig, RankId};
 use relaxfault_util::dist::{poisson, LogNormal};
-use serde::{Deserialize, Serialize};
+use relaxfault_util::rng::Rng;
 
 /// The reliability-variation knobs of §4.1.2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationModel {
     /// Coefficient of variation of the per-(device, process) lognormal rate
     /// ("a variance that is 1/4 of the mean"; the paper notes results are
@@ -71,7 +70,7 @@ impl VariationModel {
 }
 
 /// One fault occurrence in a node's lifetime.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultEvent {
     /// Hours since the start of the observation window.
     pub time_hours: f64,
@@ -93,7 +92,7 @@ impl FaultEvent {
 
 /// All faults one node experiences over the observation window, sorted by
 /// time.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NodeFaults {
     /// Events sorted ascending by `time_hours`.
     pub events: Vec<FaultEvent>,
@@ -129,7 +128,7 @@ impl NodeFaults {
 }
 
 /// The full §4.1 fault-injection model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultModel {
     /// Per-device FIT rates by mode.
     pub rates: FitRates,
@@ -191,12 +190,15 @@ impl FaultModel {
         };
 
         for dimm_flat in 0..cfg.dimms_per_node() {
-            let dimm_acc =
-                v.accel_dimm_fraction > 0.0 && rng.gen_bool(v.accel_dimm_fraction);
+            let dimm_acc = v.accel_dimm_fraction > 0.0 && rng.gen_bool(v.accel_dimm_fraction);
             if dimm_acc {
                 out.accelerated_dimms.push(dimm_flat);
             }
-            let factor = if node_acc || dimm_acc { v.accel_factor } else { rest };
+            let factor = if node_acc || dimm_acc {
+                v.accel_factor
+            } else {
+                rest
+            };
             if factor == 0.0 {
                 continue;
             }
@@ -218,8 +220,7 @@ impl FaultModel {
                         let count = poisson(rng, lambda);
                         for _ in 0..count {
                             let time_hours = rng.gen::<f64>() * hours;
-                            let regions =
-                                self.sample_regions(rng, mode, cfg, rank, device);
+                            let regions = self.sample_regions(rng, mode, cfg, rank, device);
                             out.events.push(FaultEvent {
                                 time_hours,
                                 mode,
@@ -231,8 +232,11 @@ impl FaultModel {
                 }
             }
         }
-        out.events
-            .sort_by(|a, b| a.time_hours.partial_cmp(&b.time_hours).expect("finite times"));
+        out.events.sort_by(|a, b| {
+            a.time_hours
+                .partial_cmp(&b.time_hours)
+                .expect("finite times")
+        });
         out
     }
 
@@ -256,7 +260,11 @@ impl FaultModel {
                 })
                 .collect()
         } else {
-            vec![FaultRegion { rank, device, extent }]
+            vec![FaultRegion {
+                rank,
+                device,
+                extent,
+            }]
         }
     }
 }
@@ -264,8 +272,7 @@ impl FaultModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use relaxfault_util::rng::Rng64;
 
     fn cfg() -> DramConfig {
         DramConfig::isca16_reliability()
@@ -297,7 +304,7 @@ mod tests {
         // 6 years at Cielo rates (our model: ~11–14%).
         let model = FaultModel::isca16(FitRates::cielo(), 6.0);
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(1234);
+        let mut rng = Rng64::seed_from_u64(1234);
         let n = 6000;
         let faulty = (0..n)
             .filter(|_| model.sample_node(&c, &mut rng).is_faulty())
@@ -312,7 +319,7 @@ mod tests {
         let c = cfg();
         assert!((model.expected_permanent_faults(&c) - 0.1514).abs() < 0.001);
         // Empirical mean (permanent only) tracks it.
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         let n = 4000;
         let total: usize = (0..n)
             .map(|_| model.sample_node(&c, &mut rng).permanent().count())
@@ -325,7 +332,7 @@ mod tests {
     fn events_sorted_and_in_window() {
         let model = FaultModel::isca16(FitRates::cielo().scaled(10.0), 6.0);
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         for _ in 0..50 {
             let node = model.sample_node(&c, &mut rng);
             for w in node.events.windows(2) {
@@ -346,7 +353,7 @@ mod tests {
     fn mode_mix_tracks_fit_shares() {
         let model = FaultModel::uniform(FitRates::cielo(), 6.0);
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Rng64::seed_from_u64(99);
         let mut bit = 0usize;
         let mut total = 0usize;
         for _ in 0..4000 {
@@ -367,8 +374,8 @@ mod tests {
         // The whole point of the refined model: multi-device DIMMs become
         // far more common than under the uniform model.
         let c = cfg();
-        let mut rng = StdRng::seed_from_u64(5);
-        let count_multi = |model: &FaultModel, rng: &mut StdRng| {
+        let mut rng = Rng64::seed_from_u64(5);
+        let count_multi = |model: &FaultModel, rng: &mut Rng64| {
             let mut multi = 0;
             for _ in 0..8000 {
                 let node = model.sample_node(&c, rng);
@@ -377,7 +384,10 @@ mod tests {
                     Default::default();
                 for e in node.permanent() {
                     for r in &e.regions {
-                        per_dimm.entry(r.rank.dimm_index(&c)).or_default().insert(r.device);
+                        per_dimm
+                            .entry(r.rank.dimm_index(&c))
+                            .or_default()
+                            .insert(r.device);
                     }
                 }
                 multi += per_dimm.values().filter(|d| d.len() >= 2).count();
@@ -401,7 +411,7 @@ mod tests {
             },
             ..FaultModel::isca16(FitRates::cielo(), 6.0)
         };
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Rng64::seed_from_u64(8);
         let node = model.sample_node(&cfg(), &mut rng);
         assert!(node.node_accelerated);
         // 100× over 6 years ⇒ ~15 permanent faults expected.
@@ -411,7 +421,7 @@ mod tests {
     #[test]
     fn zero_years_means_no_faults() {
         let model = FaultModel::isca16(FitRates::cielo(), 0.0);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng64::seed_from_u64(11);
         let node = model.sample_node(&cfg(), &mut rng);
         assert!(node.events.is_empty());
         assert!(!node.is_faulty());

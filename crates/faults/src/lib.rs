@@ -21,13 +21,13 @@
 //! # Examples
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use relaxfault_util::rng::Rng64;
 //! use relaxfault_dram::DramConfig;
 //! use relaxfault_faults::{FaultModel, FitRates};
 //!
 //! let cfg = DramConfig::isca16_reliability();
 //! let model = FaultModel::isca16(FitRates::cielo(), 6.0);
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let mut rng = Rng64::seed_from_u64(42);
 //! let node = model.sample_node(&cfg, &mut rng);
 //! // Most nodes are fault-free over 6 years (~14% are faulty).
 //! assert!(node.events.len() < 100);
@@ -41,6 +41,6 @@ pub mod sampler;
 
 pub use geometry::FaultGeometry;
 pub use inject::{FaultEvent, FaultModel, NodeFaults, VariationModel};
-pub use sampler::FaultSampler;
 pub use modes::{FaultMode, FitRates, Transience};
 pub use region::{BankSet, Extent, FaultRegion, Footprint, IdxSet, Rect};
+pub use sampler::FaultSampler;

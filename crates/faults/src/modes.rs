@@ -1,10 +1,8 @@
 //! Fault taxonomy and field-study FIT rates (paper Table 2 / Figure 2).
 
-use serde::{Deserialize, Serialize};
-
 /// The fault modes reported by the DDR3 field studies the paper builds on
 /// (Sridharan et al., Cielo and Hopper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FaultMode {
     /// One bit, or a few bits within one transfer word.
     SingleBitWord,
@@ -53,7 +51,7 @@ impl std::fmt::Display for FaultMode {
 }
 
 /// Whether a fault persists.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Transience {
     /// Soft fault: active once, leaves no damage (scrub + ECC clears it).
     Transient,
@@ -73,7 +71,7 @@ pub enum Transience {
 /// assert_eq!(r.rate(FaultMode::SingleBitWord, Transience::Permanent), 13.0);
 /// assert!((r.total_permanent() - 20.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FitRates {
     /// `[transient, permanent]` FIT for each mode in `FaultMode::ALL` order.
     pub fit: [[f64; 2]; 6],
@@ -153,8 +151,16 @@ impl FitRates {
     pub fn processes(&self) -> impl Iterator<Item = (FaultMode, Transience, f64)> + '_ {
         FaultMode::ALL.into_iter().flat_map(move |m| {
             [
-                (m, Transience::Transient, self.rate(m, Transience::Transient)),
-                (m, Transience::Permanent, self.rate(m, Transience::Permanent)),
+                (
+                    m,
+                    Transience::Transient,
+                    self.rate(m, Transience::Transient),
+                ),
+                (
+                    m,
+                    Transience::Permanent,
+                    self.rate(m, Transience::Permanent),
+                ),
             ]
         })
     }

@@ -7,10 +7,9 @@
 //! count/enumerate repair lines without walking millions of cells.
 
 use relaxfault_dram::{DramConfig, RankId};
-use serde::{Deserialize, Serialize};
 
 /// A set of indices along one axis (rows or column-blocks).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IdxSet {
     /// Every index in `0..domain`.
     All {
@@ -64,7 +63,10 @@ impl IdxSet {
         Some(if e - s == 1 {
             IdxSet::One(s)
         } else {
-            IdxSet::Range { start: s, count: e - s }
+            IdxSet::Range {
+                start: s,
+                count: e - s,
+            }
         })
     }
 
@@ -93,14 +95,19 @@ impl IdxSet {
     pub fn divided(&self, q: u32) -> IdxSet {
         assert!(q > 0);
         match *self {
-            IdxSet::All { domain } => IdxSet::All { domain: domain.div_ceil(q) },
+            IdxSet::All { domain } => IdxSet::All {
+                domain: domain.div_ceil(q),
+            },
             IdxSet::Range { start, count } => {
                 let first = start / q;
                 let last = (start + count - 1) / q;
                 if first == last {
                     IdxSet::One(first)
                 } else {
-                    IdxSet::Range { start: first, count: last - first + 1 }
+                    IdxSet::Range {
+                        start: first,
+                        count: last - first + 1,
+                    }
                 }
             }
             IdxSet::One(v) => IdxSet::One(v / q),
@@ -109,7 +116,7 @@ impl IdxSet {
 }
 
 /// A set of banks, as a bitmask (devices have ≤ 32 banks).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BankSet(pub u32);
 
 impl BankSet {
@@ -148,7 +155,7 @@ impl BankSet {
 }
 
 /// One axis-aligned rectangle of faulty blocks within a device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rect {
     /// Banks the rectangle covers.
     pub banks: BankSet,
@@ -186,7 +193,7 @@ impl Rect {
 }
 
 /// A fault's full footprint: a union of rectangles (almost always one).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Footprint {
     /// The rectangles.
     pub rects: Vec<Rect>,
@@ -220,7 +227,7 @@ impl Footprint {
 }
 
 /// The physical extent of one fault within one device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Extent {
     /// One bit.
     Bit {
@@ -279,7 +286,9 @@ impl Extent {
     /// The footprint in (bank, row, colblock) space.
     pub fn footprint(&self, cfg: &DramConfig) -> Footprint {
         let all_rows = IdxSet::All { domain: cfg.rows };
-        let all_cols = IdxSet::All { domain: cfg.blocks_per_row() };
+        let all_cols = IdxSet::All {
+            domain: cfg.blocks_per_row(),
+        };
         let rect = match *self {
             Extent::Bit { bank, row, col } | Extent::Word { bank, row, col } => Rect {
                 banks: BankSet::one(bank),
@@ -291,14 +300,29 @@ impl Extent {
                 rows: IdxSet::One(row),
                 colblocks: all_cols,
             },
-            Extent::Column { bank, col, row_start, row_count } => Rect {
+            Extent::Column {
+                bank,
+                col,
+                row_start,
+                row_count,
+            } => Rect {
                 banks: BankSet::one(bank),
-                rows: IdxSet::Range { start: row_start, count: row_count },
+                rows: IdxSet::Range {
+                    start: row_start,
+                    count: row_count,
+                },
                 colblocks: IdxSet::One(col / cfg.burst_length),
             },
-            Extent::RowCluster { bank, row_start, row_count } => Rect {
+            Extent::RowCluster {
+                bank,
+                row_start,
+                row_count,
+            } => Rect {
                 banks: BankSet::one(bank),
-                rows: IdxSet::Range { start: row_start, count: row_count },
+                rows: IdxSet::Range {
+                    start: row_start,
+                    count: row_count,
+                },
                 colblocks: all_cols,
             },
             Extent::Banks { banks } => Rect {
@@ -340,7 +364,7 @@ impl Extent {
 }
 
 /// One fault region: an extent within one device of one rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FaultRegion {
     /// The rank the device belongs to.
     pub rank: RankId,
@@ -377,20 +401,33 @@ mod tests {
     }
 
     fn rank0() -> RankId {
-        RankId { channel: 0, dimm: 0, rank: 0 }
+        RankId {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+        }
     }
 
     #[test]
     fn idxset_intersections() {
         let all = IdxSet::All { domain: 100 };
-        let r = IdxSet::Range { start: 10, count: 20 };
+        let r = IdxSet::Range {
+            start: 10,
+            count: 20,
+        };
         let one = IdxSet::One(15);
         assert_eq!(all.intersect(&r), Some(r));
         assert_eq!(r.intersect(&one), Some(IdxSet::One(15)));
         assert_eq!(IdxSet::One(9).intersect(&r), None);
         assert_eq!(
-            r.intersect(&IdxSet::Range { start: 25, count: 50 }),
-            Some(IdxSet::Range { start: 25, count: 5 })
+            r.intersect(&IdxSet::Range {
+                start: 25,
+                count: 50
+            }),
+            Some(IdxSet::Range {
+                start: 25,
+                count: 5
+            })
         );
     }
 
@@ -406,18 +443,33 @@ mod tests {
     #[test]
     fn idxset_divided() {
         assert_eq!(
-            IdxSet::Range { start: 30, count: 4 }.divided(16),
+            IdxSet::Range {
+                start: 30,
+                count: 4
+            }
+            .divided(16),
             IdxSet::Range { start: 1, count: 2 }
         );
         assert_eq!(
-            IdxSet::Range { start: 32, count: 4 }.divided(16),
+            IdxSet::Range {
+                start: 32,
+                count: 4
+            }
+            .divided(16),
             IdxSet::One(2)
         );
         assert_eq!(
-            IdxSet::Range { start: 15, count: 2 }.divided(16),
+            IdxSet::Range {
+                start: 15,
+                count: 2
+            }
+            .divided(16),
             IdxSet::Range { start: 0, count: 2 }
         );
-        assert_eq!(IdxSet::All { domain: 256 }.divided(16), IdxSet::All { domain: 16 });
+        assert_eq!(
+            IdxSet::All { domain: 256 }.divided(16),
+            IdxSet::All { domain: 16 }
+        );
         assert_eq!(IdxSet::One(17).divided(16), IdxSet::One(1));
     }
 
@@ -441,8 +493,13 @@ mod tests {
 
     #[test]
     fn column_fault_footprint() {
-        let f = Extent::Column { bank: 1, col: 33, row_start: 512, row_count: 512 }
-            .footprint(&cfg());
+        let f = Extent::Column {
+            bank: 1,
+            col: 33,
+            row_start: 512,
+            row_count: 512,
+        }
+        .footprint(&cfg());
         assert_eq!(f.block_count(), 512);
         assert_eq!(f.rects[0].colblocks, IdxSet::One(4)); // col 33 → block 4
     }
@@ -451,10 +508,20 @@ mod tests {
     fn overlap_requires_shared_block() {
         let c = cfg();
         let row = Extent::Row { bank: 2, row: 77 }.footprint(&c);
-        let col_hit = Extent::Column { bank: 2, col: 0, row_start: 0, row_count: 512 }
-            .footprint(&c);
-        let col_miss = Extent::Column { bank: 2, col: 0, row_start: 1024, row_count: 512 }
-            .footprint(&c);
+        let col_hit = Extent::Column {
+            bank: 2,
+            col: 0,
+            row_start: 0,
+            row_count: 512,
+        }
+        .footprint(&c);
+        let col_miss = Extent::Column {
+            bank: 2,
+            col: 0,
+            row_start: 1024,
+            row_count: 512,
+        }
+        .footprint(&c);
         let other_bank = Extent::Row { bank: 3, row: 77 }.footprint(&c);
         assert!(row.overlaps(&col_hit));
         assert!(!row.overlaps(&col_miss));
@@ -464,9 +531,22 @@ mod tests {
     #[test]
     fn whole_bank_overlaps_everything_in_bank() {
         let c = cfg();
-        let bank = Extent::Banks { banks: BankSet::one(5) }.footprint(&c);
-        let bit = Extent::Bit { bank: 5, row: 123, col: 456 }.footprint(&c);
-        let bit_elsewhere = Extent::Bit { bank: 6, row: 123, col: 456 }.footprint(&c);
+        let bank = Extent::Banks {
+            banks: BankSet::one(5),
+        }
+        .footprint(&c);
+        let bit = Extent::Bit {
+            bank: 5,
+            row: 123,
+            col: 456,
+        }
+        .footprint(&c);
+        let bit_elsewhere = Extent::Bit {
+            bank: 6,
+            row: 123,
+            col: 456,
+        }
+        .footprint(&c);
         assert!(bank.overlaps(&bit));
         assert!(!bank.overlaps(&bit_elsewhere));
         assert_eq!(bank.block_count(), 65536 * 256);
@@ -475,8 +555,16 @@ mod tests {
     #[test]
     fn triple_intersection_via_footprints() {
         let c = cfg();
-        let a = Extent::Banks { banks: BankSet::one(0) }.footprint(&c);
-        let b = Extent::RowCluster { bank: 0, row_start: 100, row_count: 50 }.footprint(&c);
+        let a = Extent::Banks {
+            banks: BankSet::one(0),
+        }
+        .footprint(&c);
+        let b = Extent::RowCluster {
+            bank: 0,
+            row_start: 100,
+            row_count: 50,
+        }
+        .footprint(&c);
         let d = Extent::Row { bank: 0, row: 120 }.footprint(&c);
         let ab = a.intersect(&b);
         assert!(ab.overlaps(&d));
@@ -496,14 +584,29 @@ mod tests {
         let other_dev_hit = FaultRegion {
             rank: rank0(),
             device: 5,
-            extent: Extent::Bit { bank: 1, row: 10, col: 99 },
+            extent: Extent::Bit {
+                bank: 1,
+                row: 10,
+                col: 99,
+            },
         };
         let other_rank = FaultRegion {
-            rank: RankId { channel: 1, dimm: 0, rank: 0 },
+            rank: RankId {
+                channel: 1,
+                dimm: 0,
+                rank: 0,
+            },
             device: 5,
-            extent: Extent::Bit { bank: 1, row: 10, col: 99 },
+            extent: Extent::Bit {
+                bank: 1,
+                row: 10,
+                col: 99,
+            },
         };
-        assert!(!a.shares_codeword_with(&same_dev, &c), "same device = one symbol");
+        assert!(
+            !a.shares_codeword_with(&same_dev, &c),
+            "same device = one symbol"
+        );
         assert!(a.shares_codeword_with(&other_dev_hit, &c));
         assert!(!a.shares_codeword_with(&other_rank, &c));
     }
@@ -511,15 +614,40 @@ mod tests {
     #[test]
     fn cell_counts() {
         let c = cfg();
-        assert_eq!(Extent::Bit { bank: 0, row: 0, col: 0 }.cell_count(&c), 1);
-        assert_eq!(Extent::Word { bank: 0, row: 0, col: 0 }.cell_count(&c), 32);
+        assert_eq!(
+            Extent::Bit {
+                bank: 0,
+                row: 0,
+                col: 0
+            }
+            .cell_count(&c),
+            1
+        );
+        assert_eq!(
+            Extent::Word {
+                bank: 0,
+                row: 0,
+                col: 0
+            }
+            .cell_count(&c),
+            32
+        );
         assert_eq!(Extent::Row { bank: 0, row: 0 }.cell_count(&c), 8192);
         assert_eq!(
-            Extent::Column { bank: 0, col: 0, row_start: 0, row_count: 512 }.cell_count(&c),
+            Extent::Column {
+                bank: 0,
+                col: 0,
+                row_start: 0,
+                row_count: 512
+            }
+            .cell_count(&c),
             2048
         );
         assert_eq!(
-            Extent::Banks { banks: BankSet::all(8) }.cell_count(&c),
+            Extent::Banks {
+                banks: BankSet::all(8)
+            }
+            .cell_count(&c),
             4u64 << 30
         );
     }
@@ -527,45 +655,69 @@ mod tests {
     #[test]
     fn rows_per_bank_for_ppr() {
         let c = cfg();
-        assert_eq!(Extent::Bit { bank: 0, row: 0, col: 0 }.rows_per_bank(&c), Some(1));
+        assert_eq!(
+            Extent::Bit {
+                bank: 0,
+                row: 0,
+                col: 0
+            }
+            .rows_per_bank(&c),
+            Some(1)
+        );
         assert_eq!(Extent::Row { bank: 0, row: 9 }.rows_per_bank(&c), Some(1));
         assert_eq!(
-            Extent::RowCluster { bank: 0, row_start: 0, row_count: 64 }.rows_per_bank(&c),
+            Extent::RowCluster {
+                bank: 0,
+                row_start: 0,
+                row_count: 64
+            }
+            .rows_per_bank(&c),
             Some(64)
         );
-        assert_eq!(Extent::Banks { banks: BankSet::one(0) }.rows_per_bank(&c), None);
+        assert_eq!(
+            Extent::Banks {
+                banks: BankSet::one(0)
+            }
+            .rows_per_bank(&c),
+            None
+        );
     }
 }
 
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use relaxfault_util::prop::{self, Source};
+    use relaxfault_util::{prop_assert, prop_assert_eq};
 
-    fn arb_idx(domain: u32) -> impl Strategy<Value = IdxSet> {
-        prop_oneof![
-            Just(IdxSet::All { domain }),
-            (0..domain).prop_map(IdxSet::One),
-            (0..domain, 1u32..64).prop_map(move |(s, c)| IdxSet::Range {
-                start: s,
-                count: c.min(domain - s),
-            }),
-        ]
+    fn arb_idx(src: &mut Source, domain: u32) -> IdxSet {
+        match src.choice_index(3) {
+            0 => IdxSet::All { domain },
+            1 => IdxSet::One(src.u32(0, domain - 1)),
+            _ => {
+                let s = src.u32(0, domain - 1);
+                let c = src.u32(1, 63);
+                IdxSet::Range {
+                    start: s,
+                    count: c.min(domain - s),
+                }
+            }
+        }
     }
 
-    fn arb_rect() -> impl Strategy<Value = Rect> {
-        (0u32..8, arb_idx(65536), arb_idx(256)).prop_map(|(b, rows, colblocks)| Rect {
-            banks: BankSet::one(b),
-            rows,
-            colblocks,
-        })
+    fn arb_rect(src: &mut Source) -> Rect {
+        Rect {
+            banks: BankSet::one(src.u32(0, 7)),
+            rows: arb_idx(src, 65536),
+            colblocks: arb_idx(src, 256),
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        #[test]
-        fn intersection_is_symmetric_and_contained(a in arb_rect(), b in arb_rect()) {
+    #[test]
+    fn intersection_is_symmetric_and_contained() {
+        prop::check(128, |src| {
+            let a = arb_rect(src);
+            let b = arb_rect(src);
             prop_assert_eq!(a.intersects(&b), b.intersects(&a));
             if let Some(i) = a.intersect(&b) {
                 prop_assert!(a.intersects(&b));
@@ -579,24 +731,36 @@ mod proptests {
             } else {
                 prop_assert!(!a.intersects(&b));
             }
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn idxset_divided_covers_members(set in arb_idx(256), q in 1u32..32) {
+    #[test]
+    fn idxset_divided_covers_members() {
+        prop::check(128, |src| {
+            let set = arb_idx(src, 256);
+            let q = src.u32(1, 31);
             let d = set.divided(q);
             for v in set.iter() {
                 prop_assert!(d.contains(v / q), "{v}/{q} missing from {d:?}");
             }
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn idxset_intersect_agrees_with_membership(a in arb_idx(512), b in arb_idx(512), probe in 0u32..512) {
+    #[test]
+    fn idxset_intersect_agrees_with_membership() {
+        prop::check(128, |src| {
+            let a = arb_idx(src, 512);
+            let b = arb_idx(src, 512);
+            let probe = src.u32(0, 511);
             let i = a.intersect(&b);
             let both = a.contains(probe) && b.contains(probe);
             match i {
                 Some(s) => prop_assert_eq!(s.contains(probe), both),
                 None => prop_assert!(!both),
             }
-        }
+            Ok(())
+        });
     }
 }

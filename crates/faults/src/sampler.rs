@@ -20,9 +20,9 @@
 
 use crate::inject::{FaultEvent, FaultModel, NodeFaults};
 use crate::modes::{FaultMode, Transience, HOURS_PER_YEAR};
-use rand::Rng;
 use relaxfault_dram::{DramConfig, RankId};
 use relaxfault_util::dist::{poisson, LogNormal};
+use relaxfault_util::rng::Rng;
 
 /// Mean above which the gate approximation is abandoned for the exact
 /// two-stage draw.
@@ -44,7 +44,7 @@ struct ProcessGate {
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use relaxfault_util::rng::Rng64;
 /// use relaxfault_dram::DramConfig;
 /// use relaxfault_faults::{FaultModel, FitRates};
 /// use relaxfault_faults::sampler::FaultSampler;
@@ -52,7 +52,7 @@ struct ProcessGate {
 /// let cfg = DramConfig::isca16_reliability();
 /// let model = FaultModel::isca16(FitRates::cielo(), 6.0);
 /// let sampler = FaultSampler::new(&model, &cfg);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = Rng64::seed_from_u64(1);
 /// let node = sampler.sample_node(&mut rng);
 /// assert!(node.events.len() < 100);
 /// ```
@@ -146,8 +146,7 @@ impl FaultSampler {
                         let count = self.sample_count(gate, rng);
                         for _ in 0..count {
                             let time_hours = rng.gen::<f64>() * self.hours;
-                            let extent =
-                                self.model.geometry.sample_extent(rng, gate.mode, cfg);
+                            let extent = self.model.geometry.sample_extent(rng, gate.mode, cfg);
                             out.events.push(FaultEvent {
                                 time_hours,
                                 mode: gate.mode,
@@ -159,8 +158,11 @@ impl FaultSampler {
                 }
             }
         }
-        out.events
-            .sort_by(|a, b| a.time_hours.partial_cmp(&b.time_hours).expect("finite times"));
+        out.events.sort_by(|a, b| {
+            a.time_hours
+                .partial_cmp(&b.time_hours)
+                .expect("finite times")
+        });
         out
     }
 
@@ -206,7 +208,11 @@ impl FaultSampler {
                 })
                 .collect()
         } else {
-            vec![crate::region::FaultRegion { rank, device, extent }]
+            vec![crate::region::FaultRegion {
+                rank,
+                device,
+                extent,
+            }]
         }
     }
 }
@@ -235,8 +241,7 @@ fn quad_q0(lambda: f64, base: &LogNormal) -> f64 {
 mod tests {
     use super::*;
     use crate::modes::FitRates;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use relaxfault_util::rng::Rng64;
 
     fn cfg() -> DramConfig {
         DramConfig::isca16_reliability()
@@ -267,8 +272,10 @@ mod tests {
         let model = FaultModel::isca16(FitRates::cielo(), 6.0);
         let c = cfg();
         let fast = FaultSampler::new(&model, &c);
-        let n = 20_000;
-        let mut rng = StdRng::seed_from_u64(555);
+        // Large enough that the 5% event-count tolerance sits ~3 standard
+        // deviations out for the two independent estimates.
+        let n = 80_000;
+        let mut rng = Rng64::seed_from_u64(555);
         let mut fast_faulty = 0usize;
         let mut fast_events = 0usize;
         for _ in 0..n {
@@ -304,7 +311,7 @@ mod tests {
     fn events_remain_sorted() {
         let model = FaultModel::isca16(FitRates::cielo().scaled(10.0), 6.0);
         let s = FaultSampler::new(&model, &cfg());
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         for _ in 0..200 {
             let node = s.sample_node(&mut rng);
             for w in node.events.windows(2) {
@@ -318,8 +325,7 @@ mod tests {
 mod multirank_tests {
     use super::*;
     use crate::modes::FitRates;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use relaxfault_util::rng::Rng64;
 
     /// On DIMMs with several ranks, a multi-rank fault produces one region
     /// per rank at the same device position.
@@ -334,7 +340,7 @@ mod multirank_tests {
         rates.fit[5][1] = 5000.0;
         let model = FaultModel::isca16(rates, 6.0);
         let sampler = FaultSampler::new(&model, &cfg);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng64::seed_from_u64(4);
         let mut saw = false;
         for _ in 0..200 {
             let node = sampler.sample_node(&mut rng);
@@ -342,7 +348,10 @@ mod multirank_tests {
                 assert_eq!(e.regions.len(), 2, "one region per rank");
                 assert_eq!(e.regions[0].device, e.regions[1].device);
                 assert_ne!(e.regions[0].rank.rank, e.regions[1].rank.rank);
-                assert_eq!(e.regions[0].rank.dimm_index(&cfg), e.regions[1].rank.dimm_index(&cfg));
+                assert_eq!(
+                    e.regions[0].rank.dimm_index(&cfg),
+                    e.regions[1].rank.dimm_index(&cfg)
+                );
                 saw = true;
             }
         }

@@ -9,7 +9,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(400_000);
-    let cfg = SimConfig { instructions_per_core: instr, ..SimConfig::isca16() };
+    let cfg = SimConfig {
+        instructions_per_core: instr,
+        ..SimConfig::isca16()
+    };
     let t0 = std::time::Instant::now();
     for w in catalog::all() {
         // Solo IPCs: each distinct spec alone on the machine.

@@ -2,10 +2,9 @@
 
 use relaxfault_cache::CacheConfig;
 use relaxfault_dram::{DdrTiming, DramConfig, DramEnergy};
-use serde::{Deserialize, Serialize};
 
 /// How much LLC capacity repair has taken (the paper's Figure 15 sweep).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CapacityLoss {
     /// Full LLC (no repair).
     None,
@@ -31,7 +30,7 @@ impl CapacityLoss {
 }
 
 /// Table 3: simulated system parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Core count.
     pub cores: u32,
@@ -138,6 +137,9 @@ mod tests {
     fn loss_labels() {
         assert_eq!(CapacityLoss::None.label(), "No repair");
         assert_eq!(CapacityLoss::Ways(4).label(), "4-way");
-        assert_eq!(CapacityLoss::RandomLines { bytes: 102_400 }.label(), "100KiB(1-way)");
+        assert_eq!(
+            CapacityLoss::RandomLines { bytes: 102_400 }.label(),
+            "100KiB(1-way)"
+        );
     }
 }

@@ -21,10 +21,10 @@
 use crate::config::{CapacityLoss, SimConfig};
 use crate::metrics::{CoreStats, SimResult};
 use crate::workload::{AddressStream, Workload};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use relaxfault_cache::Cache;
 use relaxfault_dram::{AddressMap, DramCmd, OpCounts, PhysAddr, RankTiming};
+use relaxfault_util::rng::Rng;
+use relaxfault_util::rng::Rng64;
 use std::collections::VecDeque;
 
 /// One channel's banks and counters.
@@ -99,7 +99,11 @@ impl MemoryBackend {
                 ch.counts.activates += 1;
             }
         }
-        let cmd = if is_write { DramCmd::Write } else { DramCmd::Read };
+        let cmd = if is_write {
+            DramCmd::Write
+        } else {
+            DramCmd::Read
+        };
         let at = rank.earliest(cmd, loc.bank, loc.row, now);
         let done = rank.issue(cmd, loc.bank, loc.row, at);
         if is_write {
@@ -123,7 +127,7 @@ impl MemoryBackend {
 struct CoreSim {
     name: String,
     stream: AddressStream,
-    rng: StdRng,
+    rng: Rng64,
     l1: Cache,
     l2: Cache,
     cycle: f64,
@@ -155,10 +159,11 @@ impl Simulation {
             CapacityLoss::None => {}
             CapacityLoss::Ways(n) => llc.lock_ways_per_set(n),
             CapacityLoss::RandomLines { bytes } => {
-                let mut rng = StdRng::seed_from_u64(seed ^ 0x10C);
+                let mut rng = Rng64::seed_from_u64(seed ^ 0x10C);
                 let lines = bytes / cfg.llc.line_bytes as u64;
-                let sets: Vec<u64> =
-                    (0..lines).map(|_| rng.gen_range(0..cfg.llc.sets())).collect();
+                let sets: Vec<u64> = (0..lines)
+                    .map(|_| rng.gen_range(0..cfg.llc.sets()))
+                    .collect();
                 llc.lock_lines_in_sets(sets);
             }
         }
@@ -171,7 +176,7 @@ impl Simulation {
             .map(|(i, spec)| CoreSim {
                 name: spec.name.clone(),
                 stream: AddressStream::new(spec, i as u32, addr_space),
-                rng: StdRng::seed_from_u64(seed.wrapping_add(i as u64 * 0x9E37)),
+                rng: Rng64::seed_from_u64(seed.wrapping_add(i as u64 * 0x9E37)),
                 l1: Cache::new(cfg.l1),
                 l2: Cache::new(cfg.l2),
                 cycle: 0.0,
@@ -294,14 +299,22 @@ fn hierarchy_access(
     }
     let l2 = core.l2.access(addr, is_write);
     if l2.hit {
-        return if is_write { None } else { Some(now + cfg.l2_latency as f64) };
+        return if is_write {
+            None
+        } else {
+            Some(now + cfg.l2_latency as f64)
+        };
     }
     if let Some(v2) = l2.evicted {
         spill_llc(cfg, llc, backend, v2.addr, now);
     }
     let l3 = llc.access(addr, is_write);
     if l3.hit {
-        return if is_write { None } else { Some(now + cfg.llc_latency as f64) };
+        return if is_write {
+            None
+        } else {
+            Some(now + cfg.llc_latency as f64)
+        };
     }
     if let Some(v3) = l3.evicted {
         backend.access(v3.addr, true, now as u64);
@@ -318,13 +331,7 @@ fn hierarchy_access(
 }
 
 /// Writes a dirty LLC-bound victim into the LLC (and onwards to DRAM).
-fn spill_llc(
-    _cfg: &SimConfig,
-    llc: &mut Cache,
-    backend: &mut MemoryBackend,
-    addr: u64,
-    now: f64,
-) {
+fn spill_llc(_cfg: &SimConfig, llc: &mut Cache, backend: &mut MemoryBackend, addr: u64, now: f64) {
     let r = llc.access(addr, true);
     if let Some(v) = r.evicted {
         backend.access(v.addr, true, now as u64);
@@ -401,8 +408,18 @@ mod tests {
             mem_ratio: 0.4,
             write_frac: 0.3,
             regions: vec![
-                Region { weight: 0.8, bytes: 448 << 10, pattern: Pattern::Random, shared: true },
-                Region { weight: 0.2, bytes: 64 << 20, pattern: Pattern::Stream, shared: true },
+                Region {
+                    weight: 0.8,
+                    bytes: 448 << 10,
+                    pattern: Pattern::Random,
+                    shared: true,
+                },
+                Region {
+                    weight: 0.2,
+                    bytes: 64 << 20,
+                    pattern: Pattern::Stream,
+                    shared: true,
+                },
             ],
         };
         (cfg, Workload::threaded("probe", spec, 8))

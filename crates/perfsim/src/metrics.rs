@@ -2,10 +2,9 @@
 
 use relaxfault_cache::CacheStats;
 use relaxfault_dram::{DramEnergy, OpCounts};
-use serde::{Deserialize, Serialize};
 
 /// Per-core outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreStats {
     /// Benchmark name the core ran.
     pub name: String,
@@ -18,7 +17,7 @@ pub struct CoreStats {
 }
 
 /// Outcome of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Per-core statistics.
     pub per_core: Vec<CoreStats>,
@@ -51,7 +50,7 @@ impl SimResult {
 }
 
 /// Equation 2: weighted speedup against solo IPCs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeightedSpeedup(pub f64);
 
 impl WeightedSpeedup {
@@ -83,7 +82,7 @@ impl std::fmt::Display for WeightedSpeedup {
 
 /// DRAM dynamic power of one configuration relative to a baseline run
 /// (the paper's Figure 16 y-axis).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerReport {
     /// Absolute dynamic power of this run, mW.
     pub power_mw: f64,
@@ -96,7 +95,10 @@ impl PowerReport {
     pub fn relative(run: &SimResult, baseline: &SimResult, energy: &DramEnergy) -> Self {
         let p = run.dram_dynamic_power_mw(energy);
         let b = baseline.dram_dynamic_power_mw(energy).max(1e-9);
-        Self { power_mw: p, relative_pct: p / b * 100.0 }
+        Self {
+            power_mw: p,
+            relative_pct: p / b * 100.0,
+        }
     }
 }
 
@@ -116,7 +118,13 @@ mod tests {
                     ipc,
                 })
                 .collect(),
-            op_counts: OpCounts { activates: 10, precharges: 10, reads: 100, writes: 20, refreshes: 0 },
+            op_counts: OpCounts {
+                activates: 10,
+                precharges: 10,
+                reads: 100,
+                writes: 20,
+                refreshes: 0,
+            },
             elapsed_cycles: 4000.0,
             core_mhz: 4000,
             llc_stats: CacheStats::default(),
@@ -158,6 +166,9 @@ mod tests {
     #[test]
     fn elapsed_time_conversion() {
         let r = result(&[1.0]);
-        assert!((r.elapsed_ns() - 1000.0).abs() < 1e-9, "4000 cycles @ 4 GHz = 1 µs");
+        assert!(
+            (r.elapsed_ns() - 1000.0).abs() < 1e-9,
+            "4000 cycles @ 4 GHz = 1 µs"
+        );
     }
 }

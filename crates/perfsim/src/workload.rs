@@ -14,11 +14,10 @@
 //! Multi-threaded benchmarks share their regions across cores;
 //! multi-programmed mixes give each core private regions.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use relaxfault_util::rng::Rng;
 
 /// One component of a core's access mixture.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Region {
     /// Probability an access goes to this region (mixture weights must sum
     /// to 1).
@@ -33,7 +32,7 @@ pub struct Region {
 }
 
 /// Address pattern within a region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Pattern {
     /// Sequential 64-byte-stride scan, wrapping at the footprint.
     Stream,
@@ -42,7 +41,7 @@ pub enum Pattern {
 }
 
 /// Per-core workload description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreSpec {
     /// Display name (the benchmark this stands in for).
     pub name: String,
@@ -76,7 +75,7 @@ impl CoreSpec {
 }
 
 /// A full 8-core workload (one of the paper's Figure 15 bars).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Display name.
     pub name: String,
@@ -97,7 +96,9 @@ impl Workload {
     pub fn mix(name: &str, specs: &[CoreSpec], cores: u32) -> Self {
         Self {
             name: name.to_string(),
-            cores: (0..cores as usize).map(|i| specs[i % specs.len()].clone()).collect(),
+            cores: (0..cores as usize)
+                .map(|i| specs[i % specs.len()].clone())
+                .collect(),
         }
     }
 
@@ -211,15 +212,30 @@ pub mod catalog {
     fn hot(weight: f64, bytes: u64, shared: bool) -> Region {
         // A hot set is reused heavily; random access within it keeps every
         // line warm without streaming eviction.
-        Region { weight, bytes, pattern: Pattern::Random, shared }
+        Region {
+            weight,
+            bytes,
+            pattern: Pattern::Random,
+            shared,
+        }
     }
 
     fn stream(weight: f64, bytes: u64, shared: bool) -> Region {
-        Region { weight, bytes, pattern: Pattern::Stream, shared }
+        Region {
+            weight,
+            bytes,
+            pattern: Pattern::Stream,
+            shared,
+        }
     }
 
     fn rand(weight: f64, bytes: u64, shared: bool) -> Region {
-        Region { weight, bytes, pattern: Pattern::Random, shared }
+        Region {
+            weight,
+            bytes,
+            pattern: Pattern::Random,
+            shared,
+        }
     }
 
     /// NPB CG (class C): sparse matrix-vector — irregular gathers over a
@@ -408,15 +424,23 @@ pub mod catalog {
 
     /// Every Figure 15 workload, in the paper's order.
     pub fn all() -> Vec<Workload> {
-        vec![cg(), dc(), lu(), sp(), ua(), lulesh(), spec_mem(), spec_comp()]
+        vec![
+            cg(),
+            dc(),
+            lu(),
+            sp(),
+            ua(),
+            lulesh(),
+            spec_mem(),
+            spec_comp(),
+        ]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use relaxfault_util::rng::Rng64;
 
     #[test]
     fn catalogue_validates() {
@@ -440,7 +464,7 @@ mod tests {
             }],
         };
         let mut s = AddressStream::new(&spec, 0, 1 << 30);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         let (a1, _) = s.next_access(&mut rng, 1 << 30);
         let (a2, _) = s.next_access(&mut rng, 1 << 30);
         assert_eq!(a2, a1 + 64);
@@ -460,14 +484,17 @@ mod tests {
             }],
         };
         let mut s = AddressStream::new(&spec, 3, 1 << 30);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng64::seed_from_u64(2);
         let base = {
             let (a, _) = s.next_access(&mut rng, 1 << 30);
             a & !((1u64 << 20) - 1)
         };
         for _ in 0..1000 {
             let (a, _) = s.next_access(&mut rng, 1 << 30);
-            assert!(a >= base && a < base + (2 << 20), "addr {a:#x} vs base {base:#x}");
+            assert!(
+                a >= base && a < base + (2 << 20),
+                "addr {a:#x} vs base {base:#x}"
+            );
         }
     }
 
@@ -476,16 +503,17 @@ mod tests {
         let w = catalog::lulesh();
         let mut s0 = AddressStream::new(&w.cores[0], 0, 32 << 30);
         let mut s1 = AddressStream::new(&w.cores[1], 1, 32 << 30);
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut a0: Vec<u64> = (0..2000).map(|_| s0.next_access(&mut rng, 32 << 30).0).collect();
-        let mut a1: Vec<u64> = (0..2000).map(|_| s1.next_access(&mut rng, 32 << 30).0).collect();
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut a0: Vec<u64> = (0..2000)
+            .map(|_| s0.next_access(&mut rng, 32 << 30).0)
+            .collect();
+        let mut a1: Vec<u64> = (0..2000)
+            .map(|_| s1.next_access(&mut rng, 32 << 30).0)
+            .collect();
         a0.sort_unstable();
         a1.sort_unstable();
         // Shared hot set: substantial overlap in the address ranges hit.
-        let overlap = a0
-            .iter()
-            .filter(|a| a1.binary_search(a).is_ok())
-            .count();
+        let overlap = a0.iter().filter(|a| a1.binary_search(a).is_ok()).count();
         assert!(overlap > 0, "threaded workloads must share addresses");
     }
 
@@ -502,7 +530,7 @@ mod tests {
     fn write_fraction_is_respected() {
         let w = catalog::dc();
         let mut s = AddressStream::new(&w.cores[0], 0, 32 << 30);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng64::seed_from_u64(4);
         let writes = (0..20_000)
             .filter(|_| s.next_access(&mut rng, 32 << 30).1)
             .count();

@@ -15,15 +15,21 @@ fn main() {
         base.clone()
             .with_mechanism(Mechanism::FreeFault { max_ways: 1 })
             .without_set_hashing(),
-        base.clone().with_mechanism(Mechanism::FreeFault { max_ways: 1 }),
+        base.clone()
+            .with_mechanism(Mechanism::FreeFault { max_ways: 1 }),
         base.clone()
             .with_mechanism(Mechanism::RelaxFault { max_ways: 1 })
             .without_set_hashing(),
-        base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
-        base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
-        base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 16 }),
-        base.clone().with_mechanism(Mechanism::FreeFault { max_ways: 4 }),
-        base.clone().with_mechanism(Mechanism::FreeFault { max_ways: 16 }),
+        base.clone()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
+        base.clone()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
+        base.clone()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 16 }),
+        base.clone()
+            .with_mechanism(Mechanism::FreeFault { max_ways: 4 }),
+        base.clone()
+            .with_mechanism(Mechanism::FreeFault { max_ways: 16 }),
     ];
     let names = [
         "PPR            (paper 73)",
@@ -37,12 +43,28 @@ fn main() {
         "FF-16way       (paper ~93)",
     ];
     let t0 = std::time::Instant::now();
-    let mut results = run_scenarios(&arms, &RunConfig { trials, seed: 2016, threads: 16 });
-    println!("trials={} elapsed={:?} faulty={}", trials, t0.elapsed(), results[0].faulty_nodes);
+    let mut results = run_scenarios(
+        &arms,
+        &RunConfig {
+            trials,
+            seed: 2016,
+            threads: 16,
+        },
+    );
+    println!(
+        "trials={} elapsed={:?} faulty={}",
+        trials,
+        t0.elapsed(),
+        results[0].faulty_nodes
+    );
     for (name, r) in names.iter().zip(results.iter_mut()) {
         let cov = r.coverage() * 100.0;
-        let b90 = r.bytes_for_coverage(0.90).map(|b| format!("{}KiB", b / 1024));
-        let b84 = r.bytes_for_coverage(0.84).map(|b| format!("{}KiB", b / 1024));
+        let b90 = r
+            .bytes_for_coverage(0.90)
+            .map(|b| format!("{}KiB", b / 1024));
+        let b84 = r
+            .bytes_for_coverage(0.84)
+            .map(|b| format!("{}KiB", b / 1024));
         println!(
             "{name}: coverage={cov:.1}%  bytes@90%={:?} bytes@84%={:?} maxways={}",
             b90, b84, r.max_ways_seen

@@ -14,25 +14,47 @@ fn main() {
         .unwrap_or(300_000);
     for (fit, label) in [(1.0, "1x FIT"), (10.0, "10x FIT")] {
         let base = Scenario::isca16_baseline().with_fit_scale(fit);
-        let replb = ReplacementPolicy::AfterErrors { trigger_prob: Scenario::REPLB_TRIGGER };
+        let replb = ReplacementPolicy::AfterErrors {
+            trigger_prob: Scenario::REPLB_TRIGGER,
+        };
         let arms = vec![
             base.clone().with_mechanism(Mechanism::None),
             base.clone().with_mechanism(Mechanism::Ppr),
-            base.clone().with_mechanism(Mechanism::FreeFault { max_ways: 1 }),
-            base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
-            base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
-            base.clone().with_mechanism(Mechanism::None).with_replacement(replb),
+            base.clone()
+                .with_mechanism(Mechanism::FreeFault { max_ways: 1 }),
+            base.clone()
+                .with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
+            base.clone()
+                .with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
+            base.clone()
+                .with_mechanism(Mechanism::None)
+                .with_replacement(replb),
             base.clone()
                 .with_mechanism(Mechanism::RelaxFault { max_ways: 4 })
                 .with_replacement(replb),
-            base.clone().with_mechanism(Mechanism::Ppr).with_replacement(replb),
+            base.clone()
+                .with_mechanism(Mechanism::Ppr)
+                .with_replacement(replb),
         ];
         let t0 = std::time::Instant::now();
-        let results = run_scenarios(&arms, &RunConfig { trials, seed: 77, threads: 1 });
+        let results = run_scenarios(
+            &arms,
+            &RunConfig {
+                trials,
+                seed: 77,
+                threads: 1,
+            },
+        );
         println!("== {label} (trials={trials}, {:?}) ==", t0.elapsed());
         let names = [
-            "None/ReplA", "PPR/ReplA", "FF1/ReplA", "RF1/ReplA", "RF4/ReplA",
-            "None/ReplB", "RF4/ReplB", "PPR/ReplB",
+            "None/ReplA",
+            "PPR/ReplA",
+            "FF1/ReplA",
+            "RF1/ReplA",
+            "RF4/ReplA",
+            "None/ReplB",
+            "RF4/ReplB",
+            "PPR/ReplB",
         ];
         for (n, r) in names.iter().zip(&results) {
             println!(
@@ -45,6 +67,8 @@ fn main() {
         }
     }
     println!("paper 1x: None DUE~8.3 SDC~0.023 ReplA~7, ReplB-none~2400;");
-    println!("  repair: DUE -52% (RF), SDC -41% (RF) PPR~no SDC change; RF4 repl ~10x down, PPR ~4x");
+    println!(
+        "  repair: DUE -52% (RF), SDC -41% (RF) PPR~no SDC change; RF4 repl ~10x down, PPR ~4x"
+    );
     println!("paper 10x: None DUE~170 SDC~0.42; RF DUE -37%; ReplB-none~17000");
 }

@@ -8,11 +8,10 @@
 
 use crate::node::evaluate_node;
 use crate::scenario::Scenario;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use relaxfault_dram::DramConfig;
 use relaxfault_faults::{FaultModel, FaultSampler};
-use relaxfault_util::stats::{Ecdf, wilson_interval};
+use relaxfault_util::rng::{mix64, Rng64};
+use relaxfault_util::stats::{wilson_interval, Ecdf};
 
 /// Execution parameters for a Monte Carlo run.
 #[derive(Debug, Clone, Copy)]
@@ -28,12 +27,16 @@ pub struct RunConfig {
 impl RunConfig {
     /// A quick configuration for tests.
     pub fn quick(trials: u64) -> Self {
-        Self { trials, seed: 0x5EED, threads: 4 }
+        Self {
+            trials,
+            seed: 0x5EED,
+            threads: 4,
+        }
     }
 }
 
 /// Accumulated metrics of one scenario arm.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioResult {
     /// The arm's mechanism label.
     pub label: String,
@@ -94,7 +97,11 @@ impl ScenarioResult {
         self.unrepaired_faults += other.unrepaired_faults;
         self.permanent_faults += other.permanent_faults;
         self.max_ways_seen = self.max_ways_seen.max(other.max_ways_seen);
-        for (a, b) in self.unrepaired_by_mode.iter_mut().zip(other.unrepaired_by_mode) {
+        for (a, b) in self
+            .unrepaired_by_mode
+            .iter_mut()
+            .zip(other.unrepaired_by_mode)
+        {
             *a += b;
         }
     }
@@ -120,8 +127,8 @@ impl ScenarioResult {
         if self.faulty_nodes == 0 {
             return 0.0;
         }
-        let within = self.repair_bytes.fraction_at_most(bytes as f64)
-            * self.repair_bytes.len() as f64;
+        let within =
+            self.repair_bytes.fraction_at_most(bytes as f64) * self.repair_bytes.len() as f64;
         within / self.faulty_nodes as f64
     }
 
@@ -159,17 +166,12 @@ impl ScenarioResult {
     }
 }
 
-fn mix(seed: u64, a: u64, b: u64) -> u64 {
-    // splitmix64 over the tuple.
-    let mut z = seed ^ a.wrapping_mul(0x9E3779B97F4A7C15) ^ b.wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
-
 /// Runs every scenario arm over `run.trials` node lifetimes.
 ///
-/// Arms with identical fault models see identical fault populations.
+/// Arms with identical fault models see identical fault populations, and
+/// every trial's RNG streams are keyed on `(seed, trial, group)` — never on
+/// which worker thread ran the trial — so results are bit-identical for a
+/// given seed at any `threads` setting.
 ///
 /// # Panics
 ///
@@ -194,7 +196,7 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
     let threads = run.threads.max(1);
     let chunk = run.trials.div_ceil(threads as u64);
     let mut partials: Vec<Vec<ScenarioResult>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = t as u64 * chunk;
@@ -204,7 +206,7 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
             }
             let groups = &groups;
             let seed = run.seed;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local: Vec<ScenarioResult> = scenarios
                     .iter()
                     .map(|s| ScenarioResult::new(s.mechanism.label()))
@@ -215,12 +217,10 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
                     .collect();
                 for trial in lo..hi {
                     for (gi, (_, members)) in groups.iter().enumerate() {
-                        let mut sample_rng =
-                            StdRng::seed_from_u64(mix(seed, trial, gi as u64));
+                        let mut sample_rng = Rng64::seed_from_u64(mix64(seed, trial, gi as u64));
                         let node = samplers[gi].sample_node(&mut sample_rng);
                         for &si in members {
-                            let mut eval_rng =
-                                StdRng::seed_from_u64(mix(seed ^ 0xECC, trial, 0));
+                            let mut eval_rng = Rng64::seed_from_u64(mix64(seed ^ 0xECC, trial, 0));
                             let out = evaluate_node(&scenarios[si], &node, &mut eval_rng);
                             let r = &mut local[si];
                             r.trials += 1;
@@ -250,8 +250,7 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
         for h in handles {
             partials.push(h.join().expect("worker thread panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut results: Vec<ScenarioResult> = scenarios
         .iter()
@@ -298,7 +297,7 @@ pub fn fault_population(
     let threads = threads.max(1);
     let chunk = trials.div_ceil(threads as u64);
     let mut totals = PopulationStats::default();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = t as u64 * chunk;
@@ -306,22 +305,27 @@ pub fn fault_population(
             if lo >= hi {
                 continue;
             }
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut stats = PopulationStats::default();
                 let sampler = FaultSampler::new(model, cfg);
                 for trial in lo..hi {
-                    let mut rng = StdRng::seed_from_u64(mix(seed, trial, 0));
+                    let mut rng = Rng64::seed_from_u64(mix64(seed, trial, 0));
                     let node = sampler.sample_node(&mut rng);
                     stats.trials += 1;
                     if !node.is_faulty() {
                         continue;
                     }
                     stats.faulty_nodes += 1;
-                    let mut per_dimm: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
-                        Default::default();
+                    let mut per_dimm: std::collections::HashMap<
+                        u32,
+                        std::collections::HashSet<u32>,
+                    > = Default::default();
                     for e in node.permanent() {
                         for r in &e.regions {
-                            per_dimm.entry(r.rank.dimm_index(cfg)).or_default().insert(r.device);
+                            per_dimm
+                                .entry(r.rank.dimm_index(cfg))
+                                .or_default()
+                                .insert(r.device);
                         }
                     }
                     stats.faulty_dimms += per_dimm.len() as u64;
@@ -338,8 +342,7 @@ pub fn fault_population(
             totals.faulty_dimms += s.faulty_dimms;
             totals.multi_device_dimms += s.multi_device_dimms;
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     totals
 }
 
@@ -350,14 +353,43 @@ mod tests {
 
     #[test]
     fn deterministic_across_thread_counts() {
-        let arms = vec![Scenario::isca16_baseline()
-            .with_mechanism(Mechanism::RelaxFault { max_ways: 1 })
-            .with_replacement(ReplacementPolicy::None)];
-        let a = run_scenarios(&arms, &RunConfig { trials: 300, seed: 42, threads: 1 });
-        let b = run_scenarios(&arms, &RunConfig { trials: 300, seed: 42, threads: 7 });
-        assert_eq!(a[0].faulty_nodes, b[0].faulty_nodes);
-        assert_eq!(a[0].dues, b[0].dues);
-        assert_eq!(a[0].fully_repaired_nodes, b[0].fully_repaired_nodes);
+        // Bit-identical results at every threads setting: RNG streams are
+        // keyed on (seed, trial, group), never on the worker thread.
+        let arms = vec![
+            Scenario::isca16_baseline()
+                .with_mechanism(Mechanism::RelaxFault { max_ways: 1 })
+                .with_replacement(ReplacementPolicy::None),
+            Scenario::isca16_baseline().with_mechanism(Mechanism::Ppr),
+        ];
+        let reference = run_scenarios(
+            &arms,
+            &RunConfig {
+                trials: 300,
+                seed: 42,
+                threads: 1,
+            },
+        );
+        for threads in [2, 4, 7] {
+            let r = run_scenarios(
+                &arms,
+                &RunConfig {
+                    trials: 300,
+                    seed: 42,
+                    threads,
+                },
+            );
+            assert_eq!(r, reference, "threads={threads} diverged from threads=1");
+        }
+        // And a different seed gives a different population.
+        let other = run_scenarios(
+            &arms,
+            &RunConfig {
+                trials: 300,
+                seed: 43,
+                threads: 1,
+            },
+        );
+        assert_ne!(other, reference);
     }
 
     #[test]
@@ -365,7 +397,8 @@ mod tests {
         let base = Scenario::isca16_baseline().with_replacement(ReplacementPolicy::None);
         let arms = vec![
             base.clone().with_mechanism(Mechanism::None),
-            base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
+            base.clone()
+                .with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
             base.with_mechanism(Mechanism::Ppr),
         ];
         let r = run_scenarios(&arms, &RunConfig::quick(400));

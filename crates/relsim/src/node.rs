@@ -1,10 +1,10 @@
 //! Replays one node's fault timeline against a scenario.
 
 use crate::scenario::{Mechanism, ReplacementPolicy, Scenario};
-use rand::Rng;
 use relaxfault_core::plan::{FreeFault, Ppr, RelaxFault, RepairMechanism};
 use relaxfault_ecc::EccOutcome;
 use relaxfault_faults::{FaultRegion, NodeFaults};
+use relaxfault_util::rng::Rng;
 
 /// Everything one node-lifetime contributes to the system metrics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -53,9 +53,10 @@ impl Planner {
                 Planner::Free(FreeFault::new(&s.dram, &s.llc, max_ways))
             }
             Mechanism::Ppr => Planner::Ppr(Ppr::new(&s.dram)),
-            Mechanism::PprCustom { banks_per_group, spares_per_group } => {
-                Planner::Ppr(Ppr::with_spares(&s.dram, banks_per_group, spares_per_group))
-            }
+            Mechanism::PprCustom {
+                banks_per_group,
+                spares_per_group,
+            } => Planner::Ppr(Ppr::with_spares(&s.dram, banks_per_group, spares_per_group)),
         }
     }
 
@@ -124,15 +125,15 @@ pub fn evaluate_node<R: Rng + ?Sized>(
 
         // 1. ECC classification against live faults of the same ranks.
         let live_regions: Vec<FaultRegion> = live.iter().map(|(_, r)| *r).collect();
-        let mut outcome = scenario.ecc.classify_arrival(
-            cfg,
-            &event.regions,
-            permanent,
-            &live_regions,
-            rng,
-        );
-        let event_dimms: Vec<u32> =
-            event.regions.iter().map(|r| r.rank.dimm_index(cfg)).collect();
+        let mut outcome =
+            scenario
+                .ecc
+                .classify_arrival(cfg, &event.regions, permanent, &live_regions, rng);
+        let event_dimms: Vec<u32> = event
+            .regions
+            .iter()
+            .map(|r| r.rank.dimm_index(cfg))
+            .collect();
 
         // 2. Repair attempt (permanent faults only; transient faults leave
         //    nothing to repair).
@@ -209,14 +210,17 @@ pub fn evaluate_node<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use relaxfault_dram::RankId;
     use relaxfault_ecc::EccModel;
     use relaxfault_faults::{BankSet, Extent, FaultEvent, FaultMode, Transience};
+    use relaxfault_util::rng::Rng64;
 
     fn rank0() -> RankId {
-        RankId { channel: 0, dimm: 0, rank: 0 }
+        RankId {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+        }
     }
 
     fn event(time: f64, transience: Transience, device: u32, extent: Extent) -> FaultEvent {
@@ -224,7 +228,11 @@ mod tests {
             time_hours: time,
             mode: FaultMode::SingleBitWord,
             transience,
-            regions: vec![FaultRegion { rank: rank0(), device, extent }],
+            regions: vec![FaultRegion {
+                rank: rank0(),
+                device,
+                extent,
+            }],
         }
     }
 
@@ -240,12 +248,15 @@ mod tests {
     fn clean_node_is_clean() {
         let s = deterministic_scenario(Mechanism::None);
         let node = NodeFaults::default();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         let out = evaluate_node(&s, &node, &mut rng);
         assert!(!out.faulty);
         assert_eq!(out.dues, 0);
         assert_eq!(out.replacements, 0);
-        assert!(!out.fully_repaired, "a clean node is not counted as repaired");
+        assert!(
+            !out.fully_repaired,
+            "a clean node is not counted as repaired"
+        );
     }
 
     #[test]
@@ -254,18 +265,37 @@ mod tests {
         // it: with repair, no DUE; without repair, DUE.
         let node = NodeFaults {
             events: vec![
-                event(1.0, Transience::Permanent, 3, Extent::Bit { bank: 0, row: 5, col: 9 }),
-                event(2.0, Transience::Permanent, 7, Extent::Banks { banks: BankSet::one(0) }),
+                event(
+                    1.0,
+                    Transience::Permanent,
+                    3,
+                    Extent::Bit {
+                        bank: 0,
+                        row: 5,
+                        col: 9,
+                    },
+                ),
+                event(
+                    2.0,
+                    Transience::Permanent,
+                    7,
+                    Extent::Banks {
+                        banks: BankSet::one(0),
+                    },
+                ),
             ],
             ..Default::default()
         };
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng64::seed_from_u64(2);
         let with = evaluate_node(
             &deterministic_scenario(Mechanism::RelaxFault { max_ways: 1 }),
             &node,
             &mut rng,
         );
-        assert_eq!(with.dues, 0, "fine fault was repaired before the partner arrived");
+        assert_eq!(
+            with.dues, 0,
+            "fine fault was repaired before the partner arrived"
+        );
         let without = evaluate_node(&deterministic_scenario(Mechanism::None), &node, &mut rng);
         assert_eq!(without.dues, 1);
     }
@@ -276,16 +306,35 @@ mod tests {
         // fires at the bit fault's arrival regardless of repair.
         let node = NodeFaults {
             events: vec![
-                event(1.0, Transience::Permanent, 7, Extent::Banks { banks: BankSet::one(0) }),
-                event(2.0, Transience::Permanent, 3, Extent::Bit { bank: 0, row: 5, col: 9 }),
+                event(
+                    1.0,
+                    Transience::Permanent,
+                    7,
+                    Extent::Banks {
+                        banks: BankSet::one(0),
+                    },
+                ),
+                event(
+                    2.0,
+                    Transience::Permanent,
+                    3,
+                    Extent::Bit {
+                        bank: 0,
+                        row: 5,
+                        col: 9,
+                    },
+                ),
             ],
             ..Default::default()
         };
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         let s = deterministic_scenario(Mechanism::RelaxFault { max_ways: 4 })
             .with_replacement(ReplacementPolicy::None);
         let out = evaluate_node(&s, &node, &mut rng);
-        assert_eq!(out.dues, 1, "ordering effect: repair cannot preempt this DUE");
+        assert_eq!(
+            out.dues, 1,
+            "ordering effect: repair cannot preempt this DUE"
+        );
         assert_eq!(out.unrepaired_faults, 1, "the bank fault stays live");
     }
 
@@ -293,12 +342,28 @@ mod tests {
     fn transient_due_does_not_replace() {
         let node = NodeFaults {
             events: vec![
-                event(1.0, Transience::Permanent, 7, Extent::Banks { banks: BankSet::one(0) }),
-                event(2.0, Transience::Transient, 3, Extent::Bit { bank: 0, row: 5, col: 9 }),
+                event(
+                    1.0,
+                    Transience::Permanent,
+                    7,
+                    Extent::Banks {
+                        banks: BankSet::one(0),
+                    },
+                ),
+                event(
+                    2.0,
+                    Transience::Transient,
+                    3,
+                    Extent::Bit {
+                        bank: 0,
+                        row: 5,
+                        col: 9,
+                    },
+                ),
             ],
             ..Default::default()
         };
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng64::seed_from_u64(4);
         let s = deterministic_scenario(Mechanism::None); // ReplA default
         let out = evaluate_node(&s, &node, &mut rng);
         assert_eq!(out.dues, 1);
@@ -310,15 +375,40 @@ mod tests {
     fn repla_replaces_and_clears_live_faults() {
         let node = NodeFaults {
             events: vec![
-                event(1.0, Transience::Permanent, 7, Extent::Banks { banks: BankSet::one(0) }),
-                event(2.0, Transience::Permanent, 3, Extent::Bit { bank: 0, row: 5, col: 9 }),
+                event(
+                    1.0,
+                    Transience::Permanent,
+                    7,
+                    Extent::Banks {
+                        banks: BankSet::one(0),
+                    },
+                ),
+                event(
+                    2.0,
+                    Transience::Permanent,
+                    3,
+                    Extent::Bit {
+                        bank: 0,
+                        row: 5,
+                        col: 9,
+                    },
+                ),
                 // After replacement the DIMM is fresh: this fault overlaps
                 // nothing and produces no further DUE.
-                event(3.0, Transience::Permanent, 4, Extent::Bit { bank: 0, row: 6, col: 9 }),
+                event(
+                    3.0,
+                    Transience::Permanent,
+                    4,
+                    Extent::Bit {
+                        bank: 0,
+                        row: 6,
+                        col: 9,
+                    },
+                ),
             ],
             ..Default::default()
         };
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::seed_from_u64(5);
         let s = deterministic_scenario(Mechanism::None);
         let out = evaluate_node(&s, &node, &mut rng);
         assert_eq!(out.dues, 1);
@@ -332,23 +422,32 @@ mod tests {
                 1.0,
                 Transience::Permanent,
                 7,
-                Extent::Banks { banks: BankSet::one(0) },
+                Extent::Banks {
+                    banks: BankSet::one(0),
+                },
             )],
             ..Default::default()
         };
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng64::seed_from_u64(6);
         let s = deterministic_scenario(Mechanism::None)
             .with_replacement(ReplacementPolicy::AfterErrors { trigger_prob: 1.0 });
         let out = evaluate_node(&s, &node, &mut rng);
-        assert_eq!(out.replacements, 1, "ReplB replaces without waiting for a DUE");
+        assert_eq!(
+            out.replacements, 1,
+            "ReplB replaces without waiting for a DUE"
+        );
         // With working repair the same node keeps its DIMM.
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng64::seed_from_u64(6);
         let node2 = NodeFaults {
             events: vec![event(
                 1.0,
                 Transience::Permanent,
                 7,
-                Extent::Bit { bank: 0, row: 1, col: 1 },
+                Extent::Bit {
+                    bank: 0,
+                    row: 1,
+                    col: 1,
+                },
             )],
             ..Default::default()
         };
@@ -363,12 +462,26 @@ mod tests {
     fn coverage_accounting() {
         let node = NodeFaults {
             events: vec![
-                event(1.0, Transience::Permanent, 3, Extent::Row { bank: 0, row: 5 }),
-                event(2.0, Transience::Permanent, 4, Extent::Bit { bank: 1, row: 6, col: 0 }),
+                event(
+                    1.0,
+                    Transience::Permanent,
+                    3,
+                    Extent::Row { bank: 0, row: 5 },
+                ),
+                event(
+                    2.0,
+                    Transience::Permanent,
+                    4,
+                    Extent::Bit {
+                        bank: 1,
+                        row: 6,
+                        col: 0,
+                    },
+                ),
             ],
             ..Default::default()
         };
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         let s = deterministic_scenario(Mechanism::RelaxFault { max_ways: 1 })
             .with_replacement(ReplacementPolicy::None);
         let out = evaluate_node(&s, &node, &mut rng);
@@ -381,10 +494,15 @@ mod tests {
     #[test]
     fn ppr_node_uses_no_llc() {
         let node = NodeFaults {
-            events: vec![event(1.0, Transience::Permanent, 3, Extent::Row { bank: 0, row: 5 })],
+            events: vec![event(
+                1.0,
+                Transience::Permanent,
+                3,
+                Extent::Row { bank: 0, row: 5 },
+            )],
             ..Default::default()
         };
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Rng64::seed_from_u64(8);
         let out = evaluate_node(&deterministic_scenario(Mechanism::Ppr), &node, &mut rng);
         assert!(out.fully_repaired);
         assert_eq!(out.repair_bytes, 0);

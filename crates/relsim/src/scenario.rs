@@ -4,11 +4,11 @@ use relaxfault_cache::CacheConfig;
 use relaxfault_dram::DramConfig;
 use relaxfault_ecc::EccModel;
 use relaxfault_faults::{FaultModel, FitRates};
-use serde::{Deserialize, Serialize};
+use relaxfault_util::json::Value;
 
 /// Which repair mechanism a scenario applies to each newly discovered
 /// permanent fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mechanism {
     /// No fine-grained repair (the baseline policy).
     None,
@@ -41,15 +41,71 @@ impl Mechanism {
             Mechanism::RelaxFault { max_ways } => format!("RelaxFault-{max_ways}way"),
             Mechanism::FreeFault { max_ways } => format!("FreeFault-{max_ways}way"),
             Mechanism::Ppr => "PPR".to_string(),
-            Mechanism::PprCustom { banks_per_group, spares_per_group } => {
+            Mechanism::PprCustom {
+                banks_per_group,
+                spares_per_group,
+            } => {
                 format!("PPR-{spares_per_group}x{banks_per_group}b")
             }
+        }
+    }
+
+    /// Serializes the mechanism as a tagged JSON object.
+    pub fn to_json(&self) -> Value {
+        match self {
+            Mechanism::None => Value::object([("kind", "none".into())]),
+            Mechanism::RelaxFault { max_ways } => Value::object([
+                ("kind", "relaxfault".into()),
+                ("max_ways", u64::from(*max_ways).into()),
+            ]),
+            Mechanism::FreeFault { max_ways } => Value::object([
+                ("kind", "freefault".into()),
+                ("max_ways", u64::from(*max_ways).into()),
+            ]),
+            Mechanism::Ppr => Value::object([("kind", "ppr".into())]),
+            Mechanism::PprCustom {
+                banks_per_group,
+                spares_per_group,
+            } => Value::object([
+                ("kind", "ppr_custom".into()),
+                ("banks_per_group", u64::from(*banks_per_group).into()),
+                ("spares_per_group", u64::from(*spares_per_group).into()),
+            ]),
+        }
+    }
+
+    /// Parses a mechanism from the object form produced by [`Self::to_json`].
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("mechanism needs a string \"kind\"")?;
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .map(|f| f as u32)
+                .ok_or_else(|| format!("mechanism \"{kind}\" needs a numeric \"{key}\""))
+        };
+        match kind {
+            "none" => Ok(Mechanism::None),
+            "relaxfault" => Ok(Mechanism::RelaxFault {
+                max_ways: field("max_ways")?,
+            }),
+            "freefault" => Ok(Mechanism::FreeFault {
+                max_ways: field("max_ways")?,
+            }),
+            "ppr" => Ok(Mechanism::Ppr),
+            "ppr_custom" => Ok(Mechanism::PprCustom {
+                banks_per_group: field("banks_per_group")?,
+                spares_per_group: field("spares_per_group")?,
+            }),
+            other => Err(format!("unknown mechanism kind {other:?}")),
         }
     }
 }
 
 /// When a DIMM gets replaced (paper §5.1.2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ReplacementPolicy {
     /// Never replace (used for pure coverage studies).
     None,
@@ -64,8 +120,41 @@ pub enum ReplacementPolicy {
     },
 }
 
+impl ReplacementPolicy {
+    /// Serializes the policy as a tagged JSON object.
+    pub fn to_json(&self) -> Value {
+        match self {
+            ReplacementPolicy::None => Value::object([("kind", "none".into())]),
+            ReplacementPolicy::AfterDue => Value::object([("kind", "after_due".into())]),
+            ReplacementPolicy::AfterErrors { trigger_prob } => Value::object([
+                ("kind", "after_errors".into()),
+                ("trigger_prob", (*trigger_prob).into()),
+            ]),
+        }
+    }
+
+    /// Parses a policy from the object form produced by [`Self::to_json`].
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("replacement policy needs a string \"kind\"")?;
+        match kind {
+            "none" => Ok(ReplacementPolicy::None),
+            "after_due" => Ok(ReplacementPolicy::AfterDue),
+            "after_errors" => Ok(ReplacementPolicy::AfterErrors {
+                trigger_prob: v
+                    .get("trigger_prob")
+                    .and_then(Value::as_f64)
+                    .ok_or("\"after_errors\" needs a numeric \"trigger_prob\"")?,
+            }),
+            other => Err(format!("unknown replacement policy kind {other:?}")),
+        }
+    }
+}
+
 /// One experimental arm.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Node memory geometry.
     pub dram: DramConfig,
@@ -124,6 +213,55 @@ impl Scenario {
         self.llc = CacheConfig::isca16_llc_no_hash();
         self
     }
+
+    /// Serializes the arm's knobs — everything the builder methods can
+    /// change relative to [`Self::isca16_baseline`] — as a JSON object.
+    pub fn to_json(&self) -> Value {
+        let baseline_fit = FitRates::cielo().total_permanent();
+        Value::object([
+            ("mechanism", self.mechanism.to_json()),
+            ("replacement", self.replacement.to_json()),
+            (
+                "fit_scale",
+                (self.fault_model.rates.total_permanent() / baseline_fit).into(),
+            ),
+            (
+                "set_hashing",
+                (!matches!(self.llc.indexing, relaxfault_cache::Indexing::Canonical)).into(),
+            ),
+        ])
+    }
+
+    /// Builds an arm from a JSON config object: the paper baseline with
+    /// the object's overrides applied. All keys are optional; unknown
+    /// keys are rejected so config typos fail loudly.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let pairs = match v {
+            Value::Object(pairs) => pairs,
+            _ => return Err("scenario config must be a JSON object".into()),
+        };
+        let mut scenario = Scenario::isca16_baseline();
+        for (key, val) in pairs {
+            match key.as_str() {
+                "mechanism" => scenario.mechanism = Mechanism::from_json(val)?,
+                "replacement" => scenario.replacement = ReplacementPolicy::from_json(val)?,
+                "fit_scale" => {
+                    let f = val.as_f64().ok_or("\"fit_scale\" must be a number")?;
+                    if f <= 0.0 {
+                        return Err(format!("\"fit_scale\" must be positive, got {f}"));
+                    }
+                    scenario = scenario.with_fit_scale(f);
+                }
+                "set_hashing" => {
+                    if !val.as_bool().ok_or("\"set_hashing\" must be a boolean")? {
+                        scenario = scenario.without_set_hashing();
+                    }
+                }
+                other => return Err(format!("unknown scenario config key {other:?}")),
+            }
+        }
+        Ok(scenario)
+    }
 }
 
 #[cfg(test)]
@@ -146,13 +284,60 @@ mod tests {
             .with_replacement(ReplacementPolicy::AfterErrors { trigger_prob: 0.9 });
         assert_eq!(s.mechanism, Mechanism::RelaxFault { max_ways: 4 });
         assert!((s.fault_model.rates.total_permanent() - 200.0).abs() < 1e-9);
-        assert!(matches!(s.replacement, ReplacementPolicy::AfterErrors { .. }));
+        assert!(matches!(
+            s.replacement,
+            ReplacementPolicy::AfterErrors { .. }
+        ));
+    }
+
+    #[test]
+    fn json_roundtrips_builder_combinations() {
+        let arms = [
+            Scenario::isca16_baseline(),
+            Scenario::isca16_baseline()
+                .with_mechanism(Mechanism::RelaxFault { max_ways: 4 })
+                .with_fit_scale(10.0)
+                .without_set_hashing(),
+            Scenario::isca16_baseline()
+                .with_mechanism(Mechanism::PprCustom {
+                    banks_per_group: 4,
+                    spares_per_group: 2,
+                })
+                .with_replacement(ReplacementPolicy::AfterErrors { trigger_prob: 0.9 }),
+            Scenario::isca16_baseline()
+                .with_mechanism(Mechanism::FreeFault { max_ways: 16 })
+                .with_replacement(ReplacementPolicy::None),
+        ];
+        for arm in &arms {
+            // Through text, as a config file would go.
+            let text = arm.to_json().to_pretty();
+            let parsed = Value::parse(&text).unwrap();
+            assert_eq!(&Scenario::from_json(&parsed).unwrap(), arm);
+        }
+    }
+
+    #[test]
+    fn json_config_rejects_typos() {
+        let bad = Value::parse(r#"{"mechanisms": {"kind": "ppr"}}"#).unwrap();
+        assert!(Scenario::from_json(&bad)
+            .unwrap_err()
+            .contains("mechanisms"));
+        let bad = Value::parse(r#"{"mechanism": {"kind": "relaxfault"}}"#).unwrap();
+        assert!(Scenario::from_json(&bad).unwrap_err().contains("max_ways"));
+        let bad = Value::parse(r#"{"fit_scale": -1}"#).unwrap();
+        assert!(Scenario::from_json(&bad).unwrap_err().contains("positive"));
     }
 
     #[test]
     fn labels_match_figure_legends() {
-        assert_eq!(Mechanism::RelaxFault { max_ways: 1 }.label(), "RelaxFault-1way");
-        assert_eq!(Mechanism::FreeFault { max_ways: 16 }.label(), "FreeFault-16way");
+        assert_eq!(
+            Mechanism::RelaxFault { max_ways: 1 }.label(),
+            "RelaxFault-1way"
+        );
+        assert_eq!(
+            Mechanism::FreeFault { max_ways: 16 }.label(),
+            "FreeFault-16way"
+        );
         assert_eq!(Mechanism::Ppr.label(), "PPR");
         assert_eq!(Mechanism::None.label(), "No repair");
     }

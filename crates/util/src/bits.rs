@@ -20,7 +20,10 @@
 /// ```
 #[inline]
 pub fn extract(value: u64, lsb: u32, width: u32) -> u64 {
-    assert!(lsb + width <= 64, "field out of range: lsb={lsb} width={width}");
+    assert!(
+        lsb + width <= 64,
+        "field out of range: lsb={lsb} width={width}"
+    );
     if width == 0 {
         return 0;
     }
@@ -42,7 +45,10 @@ pub fn extract(value: u64, lsb: u32, width: u32) -> u64 {
 /// ```
 #[inline]
 pub fn deposit(value: u64, lsb: u32, width: u32, field: u64) -> u64 {
-    assert!(lsb + width <= 64, "field out of range: lsb={lsb} width={width}");
+    assert!(
+        lsb + width <= 64,
+        "field out of range: lsb={lsb} width={width}"
+    );
     assert!(
         width == 64 || field <= mask(width),
         "field value {field:#x} wider than {width} bits"
@@ -138,7 +144,11 @@ impl BitMatrix {
     /// Panics if `rows.len() != out_bits as usize` or `out_bits > 64`.
     pub fn from_rows(out_bits: u32, rows: &[u64]) -> Self {
         assert!(out_bits <= 64);
-        assert_eq!(rows.len(), out_bits as usize, "row count must match out_bits");
+        assert_eq!(
+            rows.len(),
+            out_bits as usize,
+            "row count must match out_bits"
+        );
         Self {
             out_bits,
             rows: rows.to_vec(),
@@ -289,10 +299,7 @@ mod tests {
         // set = index ^ tag_low: as a map of the *index* bits alone it is
         // the identity, hence injective on them.
         let mut m = BitMatrix::identity(13);
-        let fold = BitMatrix::from_rows(
-            13,
-            &(0..13).map(|i| 1u64 << (i + 13)).collect::<Vec<_>>(),
-        );
+        let fold = BitMatrix::from_rows(13, &(0..13).map(|i| 1u64 << (i + 13)).collect::<Vec<_>>());
         m.xor_with(&fold);
         assert!(m.injective_on(&(0..13).collect::<Vec<_>>()));
         assert!(m.injective_on(&(13..26).collect::<Vec<_>>()));

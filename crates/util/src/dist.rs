@@ -1,11 +1,11 @@
 //! Random distributions for the Monte Carlo fault model.
 //!
-//! Implemented directly on [`rand::Rng`] so that the numeric recipe is
-//! visible and stable: Knuth multiplication for small-mean Poisson with a
-//! normal approximation above a documented cutoff, Box–Muller for normals,
-//! and the usual transforms for lognormal / log-uniform.
+//! Implemented directly on [`crate::rng::Rng`] so that the numeric recipe
+//! is visible and stable: Knuth multiplication for small-mean Poisson with
+//! a normal approximation above a documented cutoff, Box–Muller for
+//! normals, and the usual transforms for lognormal / log-uniform.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Mean above which [`poisson`] switches from Knuth's multiplication method
 /// to a rounded normal approximation. The DRAM fault processes modelled in
@@ -26,13 +26,16 @@ pub const POISSON_NORMAL_CUTOFF: f64 = 256.0;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// use relaxfault_util::rng::Rng64;
+/// let mut rng = Rng64::seed_from_u64(7);
 /// let n = relaxfault_util::dist::poisson(&mut rng, 0.5);
 /// assert!(n < 20);
 /// ```
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
-    assert!(mean.is_finite() && mean >= 0.0, "poisson mean must be finite and >= 0");
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "poisson mean must be finite and >= 0"
+    );
     if mean == 0.0 {
         return 0;
     }
@@ -70,11 +73,11 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
 /// use relaxfault_util::dist::LogNormal;
+/// use relaxfault_util::rng::Rng64;
 ///
 /// let ln = LogNormal::from_mean_cv(2.0, 0.5);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = Rng64::seed_from_u64(1);
 /// let mut sum = 0.0;
 /// for _ in 0..20_000 { sum += ln.sample(&mut rng); }
 /// assert!((sum / 20_000.0 - 2.0).abs() < 0.05);
@@ -146,12 +149,11 @@ pub fn sorted_event_times<R: Rng + ?Sized>(rng: &mut R, count: usize, horizon: f
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Rng64;
 
     #[test]
     fn poisson_zero_mean_is_zero() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         for _ in 0..100 {
             assert_eq!(poisson(&mut rng, 0.0), 0);
         }
@@ -159,7 +161,7 @@ mod tests {
 
     #[test]
     fn poisson_small_mean_matches_moments() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng64::seed_from_u64(11);
         let mean = 0.8;
         let n = 200_000;
         let mut sum = 0u64;
@@ -178,7 +180,7 @@ mod tests {
     #[test]
     fn poisson_rare_events_hit_expected_rate() {
         // The regime the fault model lives in: P(k >= 1) ~= mean.
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::seed_from_u64(5);
         let mean = 1e-3;
         let n = 2_000_000;
         let hits = (0..n).filter(|_| poisson(&mut rng, mean) > 0).count();
@@ -188,7 +190,7 @@ mod tests {
 
     #[test]
     fn poisson_large_mean_uses_normal_approx_sanely() {
-        let mut rng = StdRng::seed_from_u64(19);
+        let mut rng = Rng64::seed_from_u64(19);
         let mean = 10_000.0;
         let n = 2_000;
         let mut sum = 0.0;
@@ -202,7 +204,7 @@ mod tests {
     #[test]
     fn lognormal_mean_and_cv() {
         let ln = LogNormal::from_mean_cv(5.0, 0.5);
-        let mut rng = StdRng::seed_from_u64(23);
+        let mut rng = Rng64::seed_from_u64(23);
         let n = 300_000;
         let mut sum = 0.0;
         let mut sumsq = 0.0;
@@ -222,7 +224,7 @@ mod tests {
     #[test]
     fn lognormal_zero_cv_is_constant() {
         let ln = LogNormal::from_mean_cv(3.0, 0.0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng64::seed_from_u64(2);
         for _ in 0..10 {
             assert!((ln.sample(&mut rng) - 3.0).abs() < 1e-12);
         }
@@ -230,7 +232,7 @@ mod tests {
 
     #[test]
     fn log_uniform_stays_in_range() {
-        let mut rng = StdRng::seed_from_u64(29);
+        let mut rng = Rng64::seed_from_u64(29);
         for _ in 0..10_000 {
             let x = log_uniform(&mut rng, 4.0, 4096.0);
             assert!((4.0..=4096.0).contains(&x));
@@ -240,7 +242,7 @@ mod tests {
 
     #[test]
     fn log_uniform_median_is_geometric_mean() {
-        let mut rng = StdRng::seed_from_u64(31);
+        let mut rng = Rng64::seed_from_u64(31);
         let n = 100_000;
         let gm = (4.0f64 * 4096.0).sqrt();
         let below = (0..n)
@@ -252,7 +254,7 @@ mod tests {
 
     #[test]
     fn event_times_sorted_and_bounded() {
-        let mut rng = StdRng::seed_from_u64(37);
+        let mut rng = Rng64::seed_from_u64(37);
         let times = sorted_event_times(&mut rng, 100, 6.0);
         assert_eq!(times.len(), 100);
         for w in times.windows(2) {
@@ -263,7 +265,7 @@ mod tests {
 
     #[test]
     fn standard_normal_moments() {
-        let mut rng = StdRng::seed_from_u64(41);
+        let mut rng = Rng64::seed_from_u64(41);
         let n = 200_000;
         let mut sum = 0.0;
         let mut sumsq = 0.0;

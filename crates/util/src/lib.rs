@@ -1,19 +1,29 @@
 //! Shared utilities for the RelaxFault reproduction workspace.
 //!
-//! This crate deliberately stays small and dependency-light. It provides the
-//! three ingredients every other crate needs:
+//! This crate has **zero external dependencies** — it is the layer that
+//! keeps the whole workspace building and testing fully offline. It
+//! provides the ingredients every other crate needs:
 //!
 //! * [`bits`] — bit-field scatter/gather and linear maps over GF(2). DRAM and
 //!   cache address mappings (including XOR set-index hashing) are linear
 //!   transforms of address bits, so we model them as such and can *prove*
 //!   properties (bijectivity, rank) instead of hoping.
+//! * [`rng`] — deterministic pseudo-random generation (SplitMix64 seeding,
+//!   xoshiro256\*\* core) behind the narrow [`rng::Rng`] trait the
+//!   simulators are written against, validated by published test vectors.
 //! * [`dist`] — the random distributions the Monte Carlo fault model needs
 //!   (Poisson, lognormal, log-uniform), implemented directly on top of
-//!   [`rand`] so numeric behaviour is documented and reproducible.
+//!   [`rng`] so numeric behaviour is documented and reproducible.
+//! * [`prop`] — a seeded property-test harness (generators over a recorded
+//!   choice stream, with shrinking) the invariant suites run on.
+//! * [`json`] — a minimal JSON value/emitter/parser for machine-readable
+//!   results and scenario dumps.
 //! * [`stats`] — streaming summaries, empirical CDFs, and binomial confidence
 //!   intervals used by every experiment harness.
 //! * [`table`] — minimal fixed-width table/CSV rendering for the
 //!   figure-regeneration binaries.
+//! * [`timing`] — a tiny calibrated wall-clock harness for the bench
+//!   targets.
 //!
 //! # Examples
 //!
@@ -28,5 +38,9 @@
 
 pub mod bits;
 pub mod dist;
+pub mod json;
+pub mod prop;
+pub mod rng;
 pub mod stats;
 pub mod table;
+pub mod timing;

@@ -1,0 +1,518 @@
+//! A small seeded property-testing harness.
+//!
+//! The workspace's invariant suites (address-map round trips, GF(2)
+//! invertibility, repair-plan way limits, …) need random structured inputs,
+//! failure shrinking, and reproducible runs — but not a general-purpose
+//! framework. This module provides the minimal version of that contract,
+//! in the style of Hypothesis/minithesis: every generated value is derived
+//! from a recorded stream of bounded integer *choices*, and shrinking
+//! operates on that stream (delete choices, zero them, halve them),
+//! re-running the property and keeping only candidates that still fail.
+//! Because generators are plain functions of a [`Source`], any shrunk
+//! choice stream replays to a valid value of the same shape.
+//!
+//! Runs are deterministic: the case seed is fixed (override with the
+//! `RF_PROP_SEED` environment variable to explore different corners), so a
+//! failure reported by CI reproduces locally with no extra state.
+//!
+//! # Examples
+//!
+//! ```
+//! use relaxfault_util::prop::{self, Source};
+//! use relaxfault_util::prop_assert;
+//!
+//! fn arb_pair(src: &mut Source) -> (u32, u32) {
+//!     let a = src.u32(0, 100);
+//!     (a, src.u32(a, 100))
+//! }
+//!
+//! prop::check(64, |src| {
+//!     let (lo, hi) = arb_pair(src);
+//!     prop_assert!(lo <= hi, "generator must order the pair");
+//!     Ok(())
+//! });
+//! ```
+
+use crate::rng::{mix64, Rng, Rng64};
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Failed {
+    /// A `prop_assume!` precondition did not hold; the case is discarded
+    /// and does not count against the property.
+    Assumption,
+    /// A `prop_assert!`-family assertion failed with this message.
+    Assertion(String),
+}
+
+/// Result of one property invocation.
+pub type PropResult = Result<(), Failed>;
+
+/// Fails the property with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::prop::Failed::Assertion(format!(
+                "assertion failed: `{}` at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::prop::Failed::Assertion(format!(
+                "{} (`{}`) at {}:{}",
+                format!($($fmt)+),
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Fails the property unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::prop::Failed::Assertion(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::prop::Failed::Assertion(format!(
+                "{}: `{} == {}`\n  left: {:?}\n right: {:?}\n at {}:{}",
+                format!($($fmt)+),
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Fails the property unless the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::prop::Failed::Assertion(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}\n at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Discards the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::prop::Failed::Assumption);
+        }
+    };
+}
+
+/// The choice stream a property draws its input from.
+///
+/// Fresh runs draw from a seeded [`Rng64`] and record every choice; shrink
+/// replays force a candidate stream back through the same generators
+/// (out-of-range values wrap, exhausted streams continue with zeros), so
+/// any stream decodes to a structurally valid input.
+pub struct Source {
+    rng: Rng64,
+    forced: Vec<u64>,
+    recorded: Vec<u64>,
+    replaying: bool,
+}
+
+impl Source {
+    fn fresh(seed: u64) -> Self {
+        Self {
+            rng: Rng64::seed_from_u64(seed),
+            forced: Vec::new(),
+            recorded: Vec::new(),
+            replaying: false,
+        }
+    }
+
+    fn replay(forced: Vec<u64>) -> Self {
+        Self {
+            rng: Rng64::seed_from_u64(0),
+            forced,
+            recorded: Vec::new(),
+            replaying: true,
+        }
+    }
+
+    /// Draws one choice in `[0, span)`; `span == 0` means the full u64
+    /// domain. All typed draws funnel through here so the recorded stream
+    /// is the complete description of the generated value.
+    fn draw(&mut self, span: u64) -> u64 {
+        let i = self.recorded.len();
+        let off = if i < self.forced.len() {
+            let f = self.forced[i];
+            if span == 0 {
+                f
+            } else {
+                f % span
+            }
+        } else if self.replaying {
+            0
+        } else if span == 0 {
+            self.rng.gen()
+        } else {
+            self.rng.gen_range(0..=span - 1)
+        };
+        self.recorded.push(off);
+        off
+    }
+
+    /// Uniform `u64` in `[lo, hi]` (inclusive).
+    pub fn u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        // hi - lo + 1 wraps to 0 exactly when the range is the full domain,
+        // which is the span encoding draw() expects.
+        lo.wrapping_add(self.draw((hi - lo).wrapping_add(1)))
+    }
+
+    /// Uniform `u32` in `[lo, hi]` (inclusive).
+    pub fn u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform boolean (shrinks toward `false`).
+    pub fn bool(&mut self) -> bool {
+        self.u64(0, 1) == 1
+    }
+
+    /// Uniform `f64` in `[0, 1)` (shrinks toward 0).
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.draw(0) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Picks one of `n` alternatives (shrinks toward the first) — the
+    /// building block for `oneof`-style generators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn choice_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "choice_index needs at least one alternative");
+        self.usize(0, n - 1)
+    }
+
+    /// A vector of `len_lo..=len_hi` elements drawn by `f` (shrinks toward
+    /// shorter vectors of smaller elements).
+    pub fn vec<T>(
+        &mut self,
+        len_lo: usize,
+        len_hi: usize,
+        mut f: impl FnMut(&mut Source) -> T,
+    ) -> Vec<T> {
+        let len = self.usize(len_lo, len_hi);
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+fn base_seed() -> u64 {
+    match std::env::var("RF_PROP_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("RF_PROP_SEED must be a u64, got {s:?}")),
+        // Arbitrary fixed constant: runs are reproducible by default.
+        Err(_) => 0x5EED_2016,
+    }
+}
+
+/// Runs `property` against `cases` generated inputs; on failure, shrinks
+/// the choice stream and panics with the minimal reproduction.
+///
+/// The property draws its input from the [`Source`] and returns `Ok(())`
+/// to pass, or fails via the `prop_assert!` / `prop_assume!` macros.
+///
+/// # Panics
+///
+/// Panics if any case fails (after shrinking) or if too many cases are
+/// discarded by `prop_assume!`.
+pub fn check<F>(cases: u32, mut property: F)
+where
+    F: FnMut(&mut Source) -> PropResult,
+{
+    let seed = base_seed();
+    let mut passed = 0u32;
+    let mut attempt = 0u64;
+    let max_attempts = cases as u64 * 10 + 100;
+    while passed < cases {
+        if attempt >= max_attempts {
+            panic!(
+                "property discarded too many cases: {passed}/{cases} passed \
+                 in {attempt} attempts (weaken the prop_assume! precondition)"
+            );
+        }
+        let mut src = Source::fresh(mix64(seed, attempt, 0));
+        attempt += 1;
+        match property(&mut src) {
+            Ok(()) => passed += 1,
+            Err(Failed::Assumption) => {}
+            Err(Failed::Assertion(msg)) => {
+                let (choices, msg) = shrink(&mut property, src.recorded, msg);
+                panic!(
+                    "property failed (seed {seed}, case {}): {msg}\n\
+                     minimal choice stream: {choices:?}",
+                    attempt - 1
+                );
+            }
+        }
+    }
+}
+
+/// Replays `candidate`; returns the canonical recorded stream and message
+/// if the property still fails.
+fn try_fail<F>(property: &mut F, candidate: &[u64]) -> Option<(Vec<u64>, String)>
+where
+    F: FnMut(&mut Source) -> PropResult,
+{
+    let mut src = Source::replay(candidate.to_vec());
+    match property(&mut src) {
+        Err(Failed::Assertion(msg)) => Some((src.recorded, msg)),
+        _ => None,
+    }
+}
+
+/// Stream-level shrinking: repeatedly try simpler streams (shorter, then
+/// pointwise smaller), keeping any that still fail, until a fixpoint or
+/// the attempt budget runs out.
+fn shrink<F>(property: &mut F, mut best: Vec<u64>, mut msg: String) -> (Vec<u64>, String)
+where
+    F: FnMut(&mut Source) -> PropResult,
+{
+    let simpler = |a: &[u64], b: &[u64]| (a.len(), a) < (b.len(), b);
+    let mut budget = 1000u32;
+    let mut improved = true;
+    while improved && budget > 0 {
+        improved = false;
+
+        // Pass 1: drop trailing choices, halving the cut until it sticks.
+        let mut cut = best.len();
+        while cut > 0 && budget > 0 {
+            budget -= 1;
+            match try_fail(property, &best[..best.len() - cut]) {
+                Some((rec, m)) if simpler(&rec, &best) => {
+                    best = rec;
+                    msg = m;
+                    improved = true;
+                    cut = cut.min(best.len());
+                }
+                _ => cut /= 2,
+            }
+        }
+
+        // Pass 2: delete interior chunks (collapses vector elements).
+        for size in [8usize, 4, 2, 1] {
+            let mut start = best.len().saturating_sub(size);
+            loop {
+                if budget == 0 || best.len() < size {
+                    break;
+                }
+                if start + size <= best.len() {
+                    let mut cand = best.clone();
+                    cand.drain(start..start + size);
+                    budget -= 1;
+                    if let Some((rec, m)) = try_fail(property, &cand) {
+                        if simpler(&rec, &best) {
+                            best = rec;
+                            msg = m;
+                            improved = true;
+                        }
+                    }
+                }
+                if start == 0 {
+                    break;
+                }
+                start -= 1;
+            }
+        }
+
+        // Pass 3: minimize individual choices (zero, then halve, then -1).
+        for pos in (0..best.len()).rev() {
+            if best.get(pos).copied().unwrap_or(0) == 0 {
+                continue;
+            }
+            for replacement in [0, best[pos] / 2, best[pos] - 1] {
+                if budget == 0 || pos >= best.len() || replacement >= best[pos] {
+                    break;
+                }
+                let mut cand = best.clone();
+                cand[pos] = replacement;
+                budget -= 1;
+                if let Some((rec, m)) = try_fail(property, &cand) {
+                    if simpler(&rec, &best) {
+                        best = rec;
+                        msg = m;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    (best, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut runs = 0;
+        check(50, |src| {
+            runs += 1;
+            let v = src.u64(3, 9);
+            prop_assert!((3..=9).contains(&v));
+            Ok(())
+        });
+        assert_eq!(runs, 50);
+    }
+
+    #[test]
+    fn draws_cover_range_and_respect_bounds() {
+        let mut seen = [false; 5];
+        check(200, |src| {
+            let v = src.usize(0, 4);
+            seen[v] = true;
+            let f = src.f64_unit();
+            prop_assert!((0.0..1.0).contains(&f));
+            let items = src.vec(1, 4, |s| s.u32(10, 20));
+            prop_assert!((1..=4).contains(&items.len()));
+            prop_assert!(items.iter().all(|&x| (10..=20).contains(&x)));
+            Ok(())
+        });
+        assert!(
+            seen.iter().all(|&s| s),
+            "small range fully covered: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check(200, |src| {
+                let v = src.u64(0, 1000);
+                prop_assert!(v < 37, "value {v}");
+                Ok(())
+            });
+        }));
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        // The minimal counterexample to `v < 37` is exactly 37.
+        assert!(msg.contains("value 37"), "shrunk message: {msg}");
+        assert!(msg.contains("[37]"), "minimal stream: {msg}");
+    }
+
+    #[test]
+    fn shrinking_preserves_structure() {
+        // Failing inputs are vectors with a duplicate; the shrunk
+        // counterexample should be the smallest such vector: [0, 0].
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check(500, |src| {
+                let v = src.vec(0, 8, |s| s.u64(0, 50));
+                let mut sorted = v.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert!(sorted.len() == v.len(), "dup in {v:?}");
+                Ok(())
+            });
+        }));
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("dup in [0, 0]"), "shrunk message: {msg}");
+    }
+
+    #[test]
+    fn assume_discards_without_failing() {
+        let mut evens = 0;
+        check(30, |src| {
+            let v = src.u64(0, 100);
+            prop_assume!(v % 2 == 0);
+            evens += 1;
+            prop_assert!(v % 2 == 0);
+            Ok(())
+        });
+        assert_eq!(evens, 30);
+    }
+
+    #[test]
+    fn impossible_assumption_reports_discards() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check(10, |src| {
+                let v = src.u64(0, 10);
+                prop_assume!(v > 10);
+                Ok(())
+            });
+        }));
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("discarded too many"), "{msg}");
+    }
+
+    #[test]
+    fn choice_index_is_bounded_and_shrinks_first() {
+        check(100, |src| {
+            let c = src.choice_index(3);
+            prop_assert!(c < 3);
+            Ok(())
+        });
+        // Zero stream decodes every choice to the first alternative.
+        let mut src = Source::replay(vec![]);
+        assert_eq!(src.choice_index(5), 0);
+        assert!(!src.bool());
+        assert_eq!(src.u64(7, 20), 7);
+        assert_eq!(src.f64_unit(), 0.0);
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_stream() {
+        let mut fresh = Source::fresh(99);
+        let a = (
+            fresh.u64(0, 1 << 20),
+            fresh.bool(),
+            fresh.vec(0, 6, |s| s.u32(0, 9)),
+        );
+        let stream = fresh.recorded.clone();
+        let mut replayed = Source::replay(stream);
+        let b = (
+            replayed.u64(0, 1 << 20),
+            replayed.bool(),
+            replayed.vec(0, 6, |s| s.u32(0, 9)),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -53,7 +53,8 @@ impl Summary {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -117,6 +118,22 @@ impl Summary {
 pub struct Ecdf {
     samples: Vec<f64>,
     sorted: bool,
+}
+
+/// Two distributions are equal when they hold the same multiset of samples
+/// (bit-for-bit), regardless of insertion order — parallel reductions merge
+/// per-worker chunks, so insertion order is not meaningful.
+impl PartialEq for Ecdf {
+    fn eq(&self, other: &Self) -> bool {
+        if self.samples.len() != other.samples.len() {
+            return false;
+        }
+        let mut a = self.samples.clone();
+        let mut b = other.samples.clone();
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
 }
 
 impl Ecdf {
@@ -213,7 +230,10 @@ pub fn wilson_interval(successes: u64, trials: u64) -> (f64, f64) {
     let denom = 1.0 + z2 / n;
     let centre = p + z2 / (2.0 * n);
     let spread = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
-    (((centre - spread) / denom).max(0.0), ((centre + spread) / denom).min(1.0))
+    (
+        ((centre - spread) / denom).max(0.0),
+        ((centre + spread) / denom).min(1.0),
+    )
 }
 
 #[cfg(test)]

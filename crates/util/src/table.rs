@@ -99,6 +99,27 @@ impl Table {
         out
     }
 
+    /// Renders the table as a JSON array of objects, one per row, keyed by
+    /// the column headers. Cells stay strings: they are already formatted
+    /// for presentation (`90.3%`, `82KiB`), and re-parsing them would lose
+    /// that.
+    pub fn to_json(&self) -> crate::json::Value {
+        crate::json::Value::Array(
+            self.rows
+                .iter()
+                .map(|row| {
+                    crate::json::Value::Object(
+                        self.headers
+                            .iter()
+                            .zip(row)
+                            .map(|(h, c)| (h.clone(), c.as_str().into()))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
     /// Renders the table as CSV (no quoting; callers must avoid commas in
     /// cells, which all harnesses in this workspace do).
     pub fn to_csv(&self) -> String {
@@ -181,6 +202,24 @@ mod tests {
         let mut t = Table::new(&["x", "y"]);
         t.row(&["1", "2"]);
         assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn json_output() {
+        let mut t = Table::new(&["mechanism", "coverage"]);
+        t.row(&["RelaxFault", "90.3%"]);
+        t.row(&["PPR", "33.1%"]);
+        assert_eq!(
+            t.to_json().to_string(),
+            r#"[{"mechanism":"RelaxFault","coverage":"90.3%"},{"mechanism":"PPR","coverage":"33.1%"}]"#
+        );
+        // And it parses back.
+        let v = crate::json::Value::parse(&t.to_json().to_pretty()).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 2);
+        assert_eq!(
+            v.as_array().unwrap()[1].get("coverage").unwrap().as_str(),
+            Some("33.1%")
+        );
     }
 
     #[test]

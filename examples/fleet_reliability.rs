@@ -19,19 +19,34 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(30_000);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let base = Scenario::isca16_baseline(); // ReplA maintenance
     let arms = vec![
         base.clone(),
         base.clone().with_mechanism(Mechanism::Ppr),
-        base.clone().with_mechanism(Mechanism::FreeFault { max_ways: 1 }),
-        base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
-        base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
+        base.clone()
+            .with_mechanism(Mechanism::FreeFault { max_ways: 1 }),
+        base.clone()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
+        base.clone()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
     ];
-    println!("simulating {trials} node lifetimes × {} arms on {threads} threads ...", arms.len());
+    println!(
+        "simulating {trials} node lifetimes × {} arms on {threads} threads ...",
+        arms.len()
+    );
     let t0 = std::time::Instant::now();
-    let mut results = run_scenarios(&arms, &RunConfig { trials, seed: 42, threads });
+    let mut results = run_scenarios(
+        &arms,
+        &RunConfig {
+            trials,
+            seed: 42,
+            threads,
+        },
+    );
     println!("done in {:?}\n", t0.elapsed());
 
     let mut t = Table::new(&[

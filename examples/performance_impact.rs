@@ -18,7 +18,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(300_000);
-    let cfg = SimConfig { instructions_per_core: instr, ..SimConfig::isca16() };
+    let cfg = SimConfig {
+        instructions_per_core: instr,
+        ..SimConfig::isca16()
+    };
     let losses = [
         CapacityLoss::None,
         CapacityLoss::RandomLines { bytes: 100 << 10 },

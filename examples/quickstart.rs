@@ -15,7 +15,14 @@ fn main() {
     // 1. Build a bit-accurate DRAM and write some data into bank 2, row 99.
     let mut dram = FaultyDram::new(&dram_cfg);
     let block_addr = {
-        let loc = DramLoc { channel: 0, dimm: 0, rank: 0, bank: 2, row: 99, colblock: 7 };
+        let loc = DramLoc {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+            bank: 2,
+            row: 99,
+            colblock: 7,
+        };
         dram.address_map().encode(loc, 0).0
     };
     let payload: Vec<u8> = (0..64u32).map(|i| (i * 3 + 1) as u8).collect();
@@ -24,7 +31,11 @@ fn main() {
 
     // 2. Device 3 of that rank develops a permanent row fault.
     let fault = FaultRegion {
-        rank: RankId { channel: 0, dimm: 0, rank: 0 },
+        rank: RankId {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+        },
         device: 3,
         extent: Extent::Row { bank: 2, row: 99 },
     };
@@ -32,13 +43,19 @@ fn main() {
     let corrupted = dram.read_raw(block_addr);
     println!(
         "raw DRAM read now differs from what was written: {}",
-        if corrupted != payload { "yes (stuck-at bits)" } else { "no" }
+        if corrupted != payload {
+            "yes (stuck-at bits)"
+        } else {
+            "no"
+        }
     );
 
     // 3. The RelaxFault-aware memory controller repairs the fault: the
     //    row's 1 KiB of device data coalesces into 16 locked LLC lines.
     let mut controller = RepairController::new(dram, &llc_cfg, 1);
-    controller.repair(&[fault]).expect("a row fault is well within budget");
+    controller
+        .repair(&[fault])
+        .expect("a row fault is well within budget");
     println!(
         "repaired with {} bytes of LLC ({} lines), ≤1 way in any set",
         controller.repair_bytes(),

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Full offline gate: format, lint, build, test. The workspace has zero
+# registry dependencies, so everything here must succeed with the network
+# switched off — CARGO_NET_OFFLINE makes any accidental dependency fail
+# loudly instead of silently fetching.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --workspace --release
+cargo test --workspace -q

@@ -77,12 +77,12 @@ pub mod prelude {
         Extent, FaultGeometry, FaultModel, FaultRegion, FaultSampler, FitRates, NodeFaults,
     };
     pub use crate::perfsim::{CapacityLoss, SimConfig, Simulation, WeightedSpeedup};
+    pub use crate::relsim::engine::{run_scenarios, RunConfig, ScenarioResult};
+    pub use crate::relsim::scenario::{Mechanism, ReplacementPolicy, Scenario};
     pub use crate::repair::datapath::{FaultyDram, RepairController};
     pub use crate::repair::overhead::StorageOverhead;
     pub use crate::repair::plan::{FreeFault, Ppr, RelaxFault, RepairMechanism};
     pub use crate::repair::{RelaxMap, RepairLine};
-    pub use crate::relsim::engine::{run_scenarios, RunConfig, ScenarioResult};
-    pub use crate::relsim::scenario::{Mechanism, ReplacementPolicy, Scenario};
 }
 
 #[cfg(test)]

@@ -1,9 +1,8 @@
 //! Cross-crate integration: sampled faults flow through planning, the
 //! repair data path, and the reliability engine coherently.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use relaxfault::prelude::*;
+use relaxfault_util::rng::Rng64;
 
 /// Faults sampled by the Monte Carlo model are repaired by the same
 /// planner the reliability engine uses, and the data path then serves
@@ -14,7 +13,7 @@ fn sampled_faults_repair_and_serve_data() {
     let llc_cfg = CacheConfig::isca16_llc();
     // Crank the rates so a sampled node definitely has faults.
     let model = FaultModel::isca16(FitRates::cielo().scaled(300.0), 6.0);
-    let mut rng = StdRng::seed_from_u64(2016);
+    let mut rng = Rng64::seed_from_u64(2016);
 
     let mut repaired_faults = 0;
     let mut nodes = 0;
@@ -67,7 +66,10 @@ fn sampled_faults_repair_and_serve_data() {
             }
         }
     }
-    assert!(repaired_faults >= 8, "found only {repaired_faults} repairable row faults");
+    assert!(
+        repaired_faults >= 8,
+        "found only {repaired_faults} repairable row faults"
+    );
 }
 
 /// The planner the data-path controller embeds agrees with the standalone
@@ -76,14 +78,35 @@ fn sampled_faults_repair_and_serve_data() {
 fn controller_and_planner_agree() {
     let dram_cfg = DramConfig::isca16_reliability();
     let llc_cfg = CacheConfig::isca16_llc();
-    let rank = RankId { channel: 1, dimm: 0, rank: 0 };
+    let rank = RankId {
+        channel: 1,
+        dimm: 0,
+        rank: 0,
+    };
     let faults = [
-        FaultRegion { rank, device: 0, extent: Extent::Bit { bank: 0, row: 0, col: 0 } },
-        FaultRegion { rank, device: 5, extent: Extent::Row { bank: 3, row: 1000 } },
+        FaultRegion {
+            rank,
+            device: 0,
+            extent: Extent::Bit {
+                bank: 0,
+                row: 0,
+                col: 0,
+            },
+        },
+        FaultRegion {
+            rank,
+            device: 5,
+            extent: Extent::Row { bank: 3, row: 1000 },
+        },
         FaultRegion {
             rank,
             device: 9,
-            extent: Extent::Column { bank: 7, col: 88, row_start: 512, row_count: 512 },
+            extent: Extent::Column {
+                bank: 7,
+                col: 88,
+                row_start: 512,
+                row_count: 512,
+            },
         },
     ];
     // Two ways: independent faults can legitimately collide in a set.
@@ -109,7 +132,14 @@ fn engine_accounts_for_every_fault() {
             .with_replacement(ReplacementPolicy::None),
         Scenario::isca16_baseline().with_replacement(ReplacementPolicy::None),
     ];
-    let results = run_scenarios(&arms, &RunConfig { trials: 1500, seed: 99, threads: 2 });
+    let results = run_scenarios(
+        &arms,
+        &RunConfig {
+            trials: 1500,
+            seed: 99,
+            threads: 2,
+        },
+    );
     // Same population.
     assert_eq!(results[0].permanent_faults, results[1].permanent_faults);
     // No-repair leaves everything unrepaired.

@@ -7,7 +7,14 @@
 use relaxfault::prelude::*;
 
 fn run(arms: &[Scenario], trials: u64) -> Vec<ScenarioResult> {
-    run_scenarios(arms, &RunConfig { trials, seed: 1609, threads: 2 })
+    run_scenarios(
+        arms,
+        &RunConfig {
+            trials,
+            seed: 1609,
+            threads: 2,
+        },
+    )
 }
 
 /// Figure 10's headline ordering and rough levels: PPR ≈ 73%,
@@ -17,16 +24,35 @@ fn coverage_anchors() {
     let base = Scenario::isca16_baseline().with_replacement(ReplacementPolicy::None);
     let arms = vec![
         base.clone().with_mechanism(Mechanism::Ppr),
-        base.clone().with_mechanism(Mechanism::FreeFault { max_ways: 1 }),
-        base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
-        base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
+        base.clone()
+            .with_mechanism(Mechanism::FreeFault { max_ways: 1 }),
+        base.clone()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
+        base.clone()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
     ];
     let r = run(&arms, 12_000);
     let cov: Vec<f64> = r.iter().map(|x| x.coverage()).collect();
-    assert!((cov[0] - 0.73).abs() < 0.05, "PPR coverage {:.3} (paper 0.73)", cov[0]);
-    assert!((cov[1] - 0.84).abs() < 0.05, "FreeFault-1 {:.3} (paper 0.84)", cov[1]);
-    assert!((cov[2] - 0.90).abs() < 0.05, "RelaxFault-1 {:.3} (paper 0.90)", cov[2]);
-    assert!((cov[3] - 0.965).abs() < 0.04, "RelaxFault-4 {:.3} (paper ~0.97)", cov[3]);
+    assert!(
+        (cov[0] - 0.73).abs() < 0.05,
+        "PPR coverage {:.3} (paper 0.73)",
+        cov[0]
+    );
+    assert!(
+        (cov[1] - 0.84).abs() < 0.05,
+        "FreeFault-1 {:.3} (paper 0.84)",
+        cov[1]
+    );
+    assert!(
+        (cov[2] - 0.90).abs() < 0.05,
+        "RelaxFault-1 {:.3} (paper 0.90)",
+        cov[2]
+    );
+    assert!(
+        (cov[3] - 0.965).abs() < 0.04,
+        "RelaxFault-4 {:.3} (paper ~0.97)",
+        cov[3]
+    );
     // Strict ordering.
     assert!(cov[0] < cov[1] && cov[1] < cov[2] && cov[2] < cov[3]);
     // RelaxFault never exceeded its way limit.
@@ -43,17 +69,25 @@ fn hashing_anchors() {
         base.clone()
             .with_mechanism(Mechanism::FreeFault { max_ways: 1 })
             .without_set_hashing(),
-        base.clone().with_mechanism(Mechanism::FreeFault { max_ways: 1 }),
+        base.clone()
+            .with_mechanism(Mechanism::FreeFault { max_ways: 1 }),
         base.clone()
             .with_mechanism(Mechanism::RelaxFault { max_ways: 1 })
             .without_set_hashing(),
-        base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
+        base.clone()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
     ];
     let r = run(&arms, 12_000);
     let ff_gain = r[1].coverage() - r[0].coverage();
     let rf_gain = (r[3].coverage() - r[2].coverage()).abs();
-    assert!(ff_gain > 0.06, "hashing must lift FreeFault ~10 points, got {ff_gain:.3}");
-    assert!(rf_gain < 0.03, "RelaxFault is insensitive to hashing, got {rf_gain:.3}");
+    assert!(
+        ff_gain > 0.06,
+        "hashing must lift FreeFault ~10 points, got {ff_gain:.3}"
+    );
+    assert!(
+        rf_gain < 0.03,
+        "RelaxFault is insensitive to hashing, got {rf_gain:.3}"
+    );
 }
 
 /// The paper's 82 KiB headline: nearly every node RelaxFault-1way repairs
@@ -80,7 +114,8 @@ fn due_reduction_anchor() {
     let arms = vec![
         base.clone(),
         base.clone().with_mechanism(Mechanism::Ppr),
-        base.clone().with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
+        base.clone()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
     ];
     let r = run(&arms, 60_000);
     let none = r[0].dues as f64;
@@ -88,7 +123,10 @@ fn due_reduction_anchor() {
     let ppr = r[1].dues as f64;
     let rf = r[2].dues as f64;
     assert!(rf < none, "repair must reduce DUEs");
-    assert!(rf <= ppr + 2.0, "RelaxFault is at least as effective as PPR");
+    assert!(
+        rf <= ppr + 2.0,
+        "RelaxFault is at least as effective as PPR"
+    );
     let reduction = 1.0 - rf / none;
     assert!(
         (0.25..=0.75).contains(&reduction),
@@ -101,13 +139,15 @@ fn due_reduction_anchor() {
 #[test]
 fn replacement_anchor() {
     let base = Scenario::isca16_baseline();
-    let replb = ReplacementPolicy::AfterErrors { trigger_prob: Scenario::REPLB_TRIGGER };
+    let replb = ReplacementPolicy::AfterErrors {
+        trigger_prob: Scenario::REPLB_TRIGGER,
+    };
     let arms = vec![
-        base.clone(),                                    // ReplA, no repair
-        base.clone().with_replacement(replb),            // ReplB, no repair
+        base.clone(),                         // ReplA, no repair
+        base.clone().with_replacement(replb), // ReplB, no repair
         base.clone()
             .with_mechanism(Mechanism::RelaxFault { max_ways: 4 })
-            .with_replacement(replb),                    // ReplB + repair
+            .with_replacement(replb), // ReplB + repair
     ];
     let r = run(&arms, 20_000);
     assert!(
@@ -123,7 +163,10 @@ fn replacement_anchor() {
         r[1].replacements
     );
     let saved = 1.0 - r[2].replacements as f64 / r[1].replacements as f64;
-    assert!(saved > 0.85, "paper: 87% of modules repaired transparently, got {saved:.2}");
+    assert!(
+        saved > 0.85,
+        "paper: 87% of modules repaired transparently, got {saved:.2}"
+    );
 }
 
 /// Table 1: the metadata budget is byte-exact.
@@ -143,7 +186,10 @@ fn faulty_fraction_anchor() {
     let arms = vec![Scenario::isca16_baseline().with_replacement(ReplacementPolicy::None)];
     let r = run(&arms, 12_000);
     let frac = r[0].faulty_nodes as f64 / r[0].trials as f64;
-    assert!((0.09..0.16).contains(&frac), "faulty-node fraction {frac:.3} (paper ~0.12)");
+    assert!(
+        (0.09..0.16).contains(&frac),
+        "faulty-node fraction {frac:.3} (paper ~0.12)"
+    );
 }
 
 /// §4.1.2: "applying rates from other reported systems has little impact"
@@ -163,6 +209,13 @@ fn hopper_rates_insensitivity() {
     // several points lower; "little impact" means the conclusions — not
     // the exact percentage — carry over.
     let delta = (r[0].coverage() - r[1].coverage()).abs();
-    assert!(delta < 0.12, "coverage gap between Cielo and Hopper rates: {delta:.3}");
-    assert!(r[1].coverage() > 0.75, "Hopper coverage still high: {:.3}", r[1].coverage());
+    assert!(
+        delta < 0.12,
+        "coverage gap between Cielo and Hopper rates: {delta:.3}"
+    );
+    assert!(
+        r[1].coverage() > 0.75,
+        "Hopper coverage still high: {:.3}",
+        r[1].coverage()
+    );
 }

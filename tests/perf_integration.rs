@@ -5,7 +5,10 @@ use relaxfault::perfsim::workload::catalog;
 use relaxfault::prelude::*;
 
 fn cfg(instr: u64) -> SimConfig {
-    SimConfig { instructions_per_core: instr, ..SimConfig::isca16() }
+    SimConfig {
+        instructions_per_core: instr,
+        ..SimConfig::isca16()
+    }
 }
 
 /// 100 KiB of scattered repair lines — the paper's realistic repair
@@ -15,8 +18,7 @@ fn realistic_repair_footprint_is_free() {
     let cfg = cfg(60_000);
     for w in [catalog::lulesh(), catalog::cg(), catalog::spec_mem()] {
         let full = Simulation::run(&cfg, &w, CapacityLoss::None, 3);
-        let repaired =
-            Simulation::run(&cfg, &w, CapacityLoss::RandomLines { bytes: 100 << 10 }, 3);
+        let repaired = Simulation::run(&cfg, &w, CapacityLoss::RandomLines { bytes: 100 << 10 }, 3);
         let ratio = repaired.throughput_ipc() / full.throughput_ipc();
         assert!(
             ratio > 0.95,
