@@ -1,13 +1,42 @@
 //! End-to-end node evaluation: the inner loop of every reliability
 //! experiment (sample a lifetime, classify, repair).
+//!
+//! Also guards the observability contract: with tracing and metrics
+//! disabled, the instrumentation in the hot path must cost less than 1% of
+//! a node evaluation. The guard counts the metric updates one evaluation
+//! performs (by running once with metrics on), times the disabled-path
+//! primitive (a relaxed load and a branch), and compares the product
+//! against the measured evaluation time. Exits non-zero on violation.
 
 use relaxfault_faults::sampler::FaultSampler;
 use relaxfault_relsim::node::evaluate_node;
 use relaxfault_relsim::scenario::{Mechanism, ReplacementPolicy, Scenario};
+use relaxfault_util::json::Value;
+use relaxfault_util::obs::{self, Level};
 use relaxfault_util::rng::Rng64;
 use relaxfault_util::timing::{black_box, Harness};
 
+/// Total metric updates recorded in the current snapshot: every counter
+/// increment and histogram sample.
+fn metric_updates(snapshot: &Value) -> f64 {
+    let sum_object = |v: Option<&Value>, field: Option<&str>| -> f64 {
+        let Some(Value::Object(pairs)) = v else {
+            return 0.0;
+        };
+        pairs
+            .iter()
+            .filter_map(|(_, v)| match field {
+                None => v.as_f64(),
+                Some(f) => v.get(f).and_then(Value::as_f64),
+            })
+            .sum()
+    };
+    sum_object(snapshot.get("counters"), None)
+        + sum_object(snapshot.get("histograms"), Some("count"))
+}
+
 fn main() {
+    relaxfault_bench::init();
     let mut h = Harness::new();
     let scenario = Scenario::isca16_baseline()
         .with_mechanism(Mechanism::RelaxFault { max_ways: 1 })
@@ -16,6 +45,9 @@ fn main() {
     // Pre-sample a pool of nodes, biased to include faulty ones.
     let mut rng = Rng64::seed_from_u64(9);
     let nodes: Vec<_> = (0..256).map(|_| sampler.sample_node(&mut rng)).collect();
+
+    // Baseline timings with observability hard-off, immune to RF_TRACE.
+    obs::set_force_off(true);
     let mut rng = Rng64::seed_from_u64(10);
     h.bench("sample_and_evaluate", || {
         let node = sampler.sample_node(&mut rng);
@@ -27,4 +59,46 @@ fn main() {
         i = (i + 1) % nodes.len();
         black_box(evaluate_node(&scenario, &nodes[i], &mut rng))
     });
+    obs::set_force_off(false);
+
+    // How many metric updates does one evaluation make? Run the pool once
+    // with metrics on and read the registry back.
+    obs::reset();
+    obs::set_metrics_enabled(true);
+    let mut rng = Rng64::seed_from_u64(11);
+    for node in &nodes {
+        black_box(evaluate_node(&scenario, node, &mut rng));
+    }
+    let updates_per_eval = metric_updates(&obs::snapshot()) / nodes.len() as f64;
+    obs::set_metrics_enabled(false);
+    obs::reset();
+
+    // The disabled-path primitive: one counter update plus one trace gate,
+    // both compiled down to a relaxed load and a branch.
+    let probe = obs::counter("bench.obs_probe");
+    h.bench("obs_disabled_primitive", || {
+        probe.add(1);
+        black_box(obs::enabled("relsim", Level::Debug))
+    });
+
+    let ns_of = |name: &str| {
+        h.results()
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+            .expect("bench ran")
+    };
+    let eval_ns = ns_of("evaluate_presampled_pool");
+    let primitive_ns = ns_of("obs_disabled_primitive");
+    // A handful of trace-gate checks ride along with the metric updates.
+    let overhead_pct = (updates_per_eval + 8.0) * primitive_ns / eval_ns * 100.0;
+    println!(
+        "obs disabled-path overhead: {updates_per_eval:.1} updates/eval x \
+         {primitive_ns:.2}ns = {overhead_pct:.3}% of {eval_ns:.0}ns/eval"
+    );
+    if overhead_pct >= 1.0 {
+        eprintln!("FAILED: disabled observability costs >= 1% of node_eval");
+        std::process::exit(1);
+    }
+    println!("ok: disabled observability costs < 1% of node_eval");
 }

@@ -39,6 +39,7 @@ fn run(arms: &[Scenario], trials: u64) -> Vec<relaxfault_relsim::ScenarioResult>
 }
 
 fn main() {
+    relaxfault_bench::init();
     let trials = work_arg(40_000);
 
     // 1. Refined vs uniform fault model.

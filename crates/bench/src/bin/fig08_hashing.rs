@@ -4,6 +4,7 @@
 use relaxfault_bench::{emit, fig08_hashing, work_arg};
 
 fn main() {
+    relaxfault_bench::init();
     let trials = work_arg(60_000);
     let t = fig08_hashing(trials);
     emit(

@@ -4,6 +4,7 @@
 use relaxfault_bench::{emit, fig09_sensitivity, work_arg};
 
 fn main() {
+    relaxfault_bench::init();
     let trials = work_arg(60_000);
     let (factor, fraction) = fig09_sensitivity(trials);
     emit(

@@ -4,6 +4,7 @@
 use relaxfault_bench::{coverage_curves, emit, work_arg};
 
 fn main() {
+    relaxfault_bench::init();
     let trials = work_arg(60_000);
     let t = coverage_curves(1.0, trials);
     emit(

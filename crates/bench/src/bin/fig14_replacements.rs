@@ -5,6 +5,7 @@
 use relaxfault_bench::{emit, reliability_matrix, work_arg};
 
 fn main() {
+    relaxfault_bench::init();
     let trials = work_arg(200_000);
     let r1 = reliability_matrix(1.0, trials);
     emit(

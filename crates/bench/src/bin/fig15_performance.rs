@@ -5,6 +5,7 @@ use relaxfault_bench::perf::{fig15_table, performance_sweep};
 use relaxfault_bench::{emit, work_arg};
 
 fn main() {
+    relaxfault_bench::init();
     let instr = work_arg(300_000);
     let rows = performance_sweep(instr, 2016);
     emit(

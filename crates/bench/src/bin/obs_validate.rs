@@ -1,0 +1,89 @@
+//! CI gate for observability artifacts: parses every `*.json` under the
+//! given directory (default `results/obs`) with `util::json`'s strict
+//! parser and checks the snapshot schema — required top-level keys, the
+//! shared `schema_version`, and that at least one counter or histogram is
+//! populated. Exits non-zero on any violation.
+
+use relaxfault_util::json::Value;
+use relaxfault_util::obs;
+
+const REQUIRED_KEYS: [&str; 5] = [
+    "schema_version",
+    "counters",
+    "gauges",
+    "histograms",
+    "dropped_events",
+];
+
+fn validate(path: &std::path::Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = Value::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    for key in REQUIRED_KEYS {
+        if doc.get(key).is_none() {
+            return Err(format!("missing top-level key `{key}`"));
+        }
+    }
+    let version = doc.get("schema_version").and_then(Value::as_f64);
+    if version != Some(obs::SCHEMA_VERSION as f64) {
+        return Err(format!(
+            "schema_version {version:?}, expected {}",
+            obs::SCHEMA_VERSION
+        ));
+    }
+    let counters = doc
+        .get("counters")
+        .and_then(|v| match v {
+            Value::Object(pairs) => Some(pairs.len()),
+            _ => None,
+        })
+        .ok_or("`counters` is not an object")?;
+    let histograms = doc
+        .get("histograms")
+        .and_then(|v| match v {
+            Value::Object(pairs) => Some(pairs.len()),
+            _ => None,
+        })
+        .ok_or("`histograms` is not an object")?;
+    if counters + histograms == 0 {
+        return Err("snapshot has no counters or histograms".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let dir = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| "results/obs".into());
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("obs_validate: cannot read {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut checked = 0usize;
+    let mut failed = 0usize;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        checked += 1;
+        match validate(&path) {
+            Ok(()) => println!("ok      {}", path.display()),
+            Err(e) => {
+                failed += 1;
+                eprintln!("FAILED  {}: {e}", path.display());
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!("obs_validate: no snapshots found in {dir}");
+        std::process::exit(1);
+    }
+    println!("obs_validate: {checked} snapshot(s), {failed} failure(s)");
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

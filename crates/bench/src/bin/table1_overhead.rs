@@ -8,6 +8,7 @@ use relaxfault_dram::DramConfig;
 use relaxfault_util::table::Table;
 
 fn main() {
+    relaxfault_bench::init();
     let o = StorageOverhead::for_system(
         &DramConfig::isca16_reliability(),
         &CacheConfig::isca16_llc(),

@@ -14,6 +14,7 @@
 use relaxfault_relsim::engine::{fault_population, run_scenarios, RunConfig};
 use relaxfault_relsim::scenario::{Mechanism, ReplacementPolicy, Scenario};
 use relaxfault_util::json::Value;
+use relaxfault_util::obs;
 use relaxfault_util::table::{format_bytes, format_pct, Table};
 
 pub mod perf;
@@ -21,17 +22,29 @@ pub mod perf;
 /// Nodes in the paper's evaluated system.
 pub const SYSTEM_NODES: u64 = 16_384;
 
-/// Parses the standard harness arguments: optional positional override of
-/// the work amount (trials or instructions).
+/// Standard harness start-up: `--quiet` on the command line (or
+/// `RF_OBS=off` in the environment, handled by `util::obs` itself) turns
+/// every trace/metric off regardless of `RF_TRACE`. Call first in `main`.
+pub fn init() {
+    if std::env::args().any(|a| a == "--quiet" || a == "-q") {
+        obs::set_force_off(true);
+    }
+}
+
+/// Parses the standard harness arguments: the first positional (non-flag)
+/// argument overrides the work amount (trials or instructions).
 pub fn work_arg(default: u64) -> u64 {
     std::env::args()
-        .nth(1)
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
 }
 
 /// Prints a table to stdout and mirrors it (plus CSV and JSON) into the
-/// results directory (`RF_RESULTS_DIR`, default `results/`).
+/// results directory (`RF_RESULTS_DIR`, default `results/`). When
+/// observability is enabled, a metrics snapshot is also written to
+/// `<dir>/obs/<name>.json` (see [`obs::write_snapshot`]).
 pub fn emit(name: &str, title: &str, table: &Table) {
     println!("== {title} ==");
     print!("{}", table.render());
@@ -43,8 +56,18 @@ pub fn emit(name: &str, title: &str, table: &Table) {
             format!("{title}\n{}", table.render()),
         );
         let _ = std::fs::write(format!("{dir}/{name}.csv"), table.to_csv());
-        let doc = Value::object([("title", title.into()), ("rows", table.to_json())]);
+        let doc = Value::object([
+            ("schema_version", Value::from(obs::SCHEMA_VERSION)),
+            ("title", title.into()),
+            ("rows", table.to_json()),
+        ]);
         let _ = std::fs::write(format!("{dir}/{name}.json"), doc.to_pretty());
+    }
+    if obs::metrics_enabled() {
+        match obs::write_snapshot(name) {
+            Ok(path) => println!("obs snapshot: {path}"),
+            Err(e) => eprintln!("obs snapshot failed: {e}"),
+        }
     }
 }
 

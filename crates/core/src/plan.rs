@@ -12,7 +12,78 @@ use crate::mapping::{RelaxMap, RepairLine};
 use relaxfault_cache::CacheConfig;
 use relaxfault_dram::{AddressMap, DramConfig, DramLoc};
 use relaxfault_faults::{Extent, FaultRegion};
+use relaxfault_util::obs::{self, Counter, Histogram, Level};
+use relaxfault_util::trace_event;
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
+
+/// Per-mechanism repair-planning telemetry. Updates are a relaxed load
+/// and a branch when observability is disabled.
+struct PlanMetrics {
+    attempts: Counter,
+    accepted: Counter,
+    rejected_capacity: Counter,
+    rejected_conflict: Counter,
+    lines_per_repair: Histogram,
+}
+
+impl PlanMetrics {
+    fn new(mech: &str) -> Self {
+        Self {
+            attempts: obs::counter(&format!("plan.{mech}.attempts")),
+            accepted: obs::counter(&format!("plan.{mech}.accepted")),
+            rejected_capacity: obs::counter(&format!("plan.{mech}.rejected_capacity")),
+            rejected_conflict: obs::counter(&format!("plan.{mech}.rejected_conflict")),
+            lines_per_repair: obs::histogram(&format!("plan.{mech}.lines_per_repair")),
+        }
+    }
+
+    fn record(&self, mech: &'static str, outcome: RepairOutcome, lines: u64) {
+        self.attempts.inc();
+        match outcome {
+            RepairOutcome::Accepted => {
+                self.accepted.inc();
+                self.lines_per_repair.record(lines);
+            }
+            RepairOutcome::RejectedCapacity => self.rejected_capacity.inc(),
+            RepairOutcome::RejectedConflict => self.rejected_conflict.inc(),
+        }
+        trace_event!(target: "plan", Level::Debug, "repair_attempt",
+            mech = mech, outcome = outcome.key(), lines = lines);
+    }
+}
+
+#[derive(Clone, Copy)]
+enum RepairOutcome {
+    Accepted,
+    RejectedCapacity,
+    RejectedConflict,
+}
+
+impl RepairOutcome {
+    fn key(self) -> &'static str {
+        match self {
+            RepairOutcome::Accepted => "accepted",
+            RepairOutcome::RejectedCapacity => "rejected-capacity",
+            RepairOutcome::RejectedConflict => "rejected-conflict",
+        }
+    }
+}
+
+fn relaxfault_metrics() -> &'static PlanMetrics {
+    static METRICS: OnceLock<PlanMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PlanMetrics::new("relaxfault"))
+}
+
+fn freefault_metrics() -> &'static PlanMetrics {
+    static METRICS: OnceLock<PlanMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PlanMetrics::new("freefault"))
+}
+
+fn ppr_metrics() -> &'static PlanMetrics {
+    static METRICS: OnceLock<PlanMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PlanMetrics::new("ppr"))
+}
 
 /// A fine-grained memory repair mechanism, driven one fault at a time.
 pub trait RepairMechanism {
@@ -119,8 +190,12 @@ impl RelaxFault {
     /// Panics if the configs are invalid or `max_ways_per_set` is 0 or
     /// exceeds the LLC associativity.
     pub fn new(dram: &DramConfig, llc: &CacheConfig, max_ways_per_set: u32) -> Self {
+        let map = RelaxMap::new(dram, llc);
+        if obs::metrics_enabled() {
+            obs::gauge("plan.relaxfault.coalesce_factor").set(map.coalesce_factor() as f64);
+        }
         Self {
-            map: RelaxMap::new(dram, llc),
+            map,
             dram: *dram,
             occ: LlcOccupancy::new(llc, max_ways_per_set),
         }
@@ -177,14 +252,25 @@ impl RepairMechanism for RelaxFault {
     }
 
     fn try_repair(&mut self, regions: &[FaultRegion]) -> bool {
-        if self.lines_needed(regions) > self.occ.budget_ceiling() {
-            return false; // whole-bank-scale fault: fail before enumerating
+        let need = self.lines_needed(regions);
+        if need > self.occ.budget_ceiling() {
+            // Whole-bank-scale fault: fail before enumerating.
+            relaxfault_metrics().record("RelaxFault", RepairOutcome::RejectedCapacity, need);
+            return false;
         }
         let candidates: Vec<(u64, u64)> = self
             .repair_lines(regions)
             .map(|l| (self.map.key_of(&l), self.map.set_of(&l)))
             .collect();
-        self.occ.try_add(&candidates)
+        let before = self.occ.lines_used();
+        let ok = self.occ.try_add(&candidates);
+        let outcome = if ok {
+            RepairOutcome::Accepted
+        } else {
+            RepairOutcome::RejectedConflict
+        };
+        relaxfault_metrics().record("RelaxFault", outcome, self.occ.lines_used() - before);
+        ok
     }
 
     fn lines_used(&self) -> u64 {
@@ -269,11 +355,21 @@ impl RepairMechanism for FreeFault {
     }
 
     fn try_repair(&mut self, regions: &[FaultRegion]) -> bool {
-        if self.lines_needed(regions) > self.occ.budget_ceiling() {
+        let need = self.lines_needed(regions);
+        if need > self.occ.budget_ceiling() {
+            freefault_metrics().record("FreeFault", RepairOutcome::RejectedCapacity, need);
             return false;
         }
         let candidates = self.blocks(regions);
-        self.occ.try_add(&candidates)
+        let before = self.occ.lines_used();
+        let ok = self.occ.try_add(&candidates);
+        let outcome = if ok {
+            RepairOutcome::Accepted
+        } else {
+            RepairOutcome::RejectedConflict
+        };
+        freefault_metrics().record("FreeFault", outcome, self.occ.lines_used() - before);
+        ok
     }
 
     fn lines_used(&self) -> u64 {
@@ -383,6 +479,7 @@ impl RepairMechanism for Ppr {
 
     fn try_repair(&mut self, regions: &[FaultRegion]) -> bool {
         let Some(rows) = self.rows_needed(regions) else {
+            ppr_metrics().record("PPR", RepairOutcome::RejectedCapacity, 0);
             return false;
         };
         // Count new spares needed per group.
@@ -399,16 +496,19 @@ impl RepairMechanism for Ppr {
             if self.used.get(&(flat, device, group)).copied().unwrap_or(0) + *n
                 > self.spares_per_group
             {
+                ppr_metrics().record("PPR", RepairOutcome::RejectedConflict, 0);
                 return false;
             }
             new_rows.push(row_key);
         }
+        let spares = new_rows.len() as u64;
         for row_key in new_rows {
             let (flat, device, bank, _row) = row_key;
             let group = bank / self.banks_per_group;
             *self.used.entry((flat, device, group)).or_insert(0) += 1;
             self.repaired_rows.insert(row_key);
         }
+        ppr_metrics().record("PPR", RepairOutcome::Accepted, spares);
         true
     }
 

@@ -15,7 +15,10 @@ use crate::modes::{FaultMode, FitRates, Transience, HOURS_PER_YEAR};
 use crate::region::FaultRegion;
 use relaxfault_dram::{DramConfig, RankId};
 use relaxfault_util::dist::{poisson, LogNormal};
+use relaxfault_util::obs::{self, Counter, Level};
 use relaxfault_util::rng::Rng;
+use relaxfault_util::trace_event;
+use std::sync::OnceLock;
 
 /// The reliability-variation knobs of §4.1.2.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +70,37 @@ impl VariationModel {
         }
         ((1.0 - p * self.accel_factor) / (1.0 - p)).max(0.0)
     }
+}
+
+struct InjectMetrics {
+    total: Counter,
+    permanent: Counter,
+    by_mode: [Counter; 6],
+}
+
+fn inject_metrics() -> &'static InjectMetrics {
+    static METRICS: OnceLock<InjectMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| InjectMetrics {
+        total: obs::counter("faults.injected_total"),
+        permanent: obs::counter("faults.injected_permanent"),
+        by_mode: FaultMode::ALL.map(|m| obs::counter(&format!("faults.injected.{}", m.key()))),
+    })
+}
+
+/// Records one injected fault in the observability layer (counters per
+/// mode plus a trace-level event). Free when observability is disabled.
+pub(crate) fn record_injection(event: &FaultEvent) {
+    let m = inject_metrics();
+    m.total.inc();
+    if event.is_permanent() {
+        m.permanent.inc();
+    }
+    m.by_mode[event.mode as usize].inc();
+    trace_event!(target: "faults", Level::Trace, "inject",
+        mode = event.mode.key(),
+        permanent = event.is_permanent(),
+        regions = event.regions.len(),
+        time_hours = event.time_hours);
 }
 
 /// One fault occurrence in a node's lifetime.
@@ -221,12 +255,14 @@ impl FaultModel {
                         for _ in 0..count {
                             let time_hours = rng.gen::<f64>() * hours;
                             let regions = self.sample_regions(rng, mode, cfg, rank, device);
-                            out.events.push(FaultEvent {
+                            let event = FaultEvent {
                                 time_hours,
                                 mode,
                                 transience,
                                 regions,
-                            });
+                            };
+                            record_injection(&event);
+                            out.events.push(event);
                         }
                     }
                 }

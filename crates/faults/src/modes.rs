@@ -31,6 +31,18 @@ impl FaultMode {
         FaultMode::MultiRank,
     ];
 
+    /// Kebab-case slug used in metric names and machine-readable sinks.
+    pub fn key(&self) -> &'static str {
+        match self {
+            FaultMode::SingleBitWord => "single-bit-word",
+            FaultMode::SingleRow => "single-row",
+            FaultMode::SingleColumn => "single-column",
+            FaultMode::SingleBank => "single-bank",
+            FaultMode::MultiBank => "multi-bank",
+            FaultMode::MultiRank => "multi-rank",
+        }
+    }
+
     /// Short label used in harness output.
     pub fn label(&self) -> &'static str {
         match self {
@@ -222,5 +234,10 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 6);
+        let mut keys: Vec<_> = FaultMode::ALL.iter().map(|m| m.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 6);
+        assert!(keys.iter().all(|k| !k.contains(' ') && !k.contains('/')));
     }
 }

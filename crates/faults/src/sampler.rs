@@ -147,12 +147,14 @@ impl FaultSampler {
                         for _ in 0..count {
                             let time_hours = rng.gen::<f64>() * self.hours;
                             let extent = self.model.geometry.sample_extent(rng, gate.mode, cfg);
-                            out.events.push(FaultEvent {
+                            let event = FaultEvent {
                                 time_hours,
                                 mode: gate.mode,
                                 transience: gate.transience,
                                 regions: self.regions_for(rank, device, extent, gate.mode),
-                            });
+                            };
+                            crate::inject::record_injection(&event);
+                            out.events.push(event);
                         }
                     }
                 }

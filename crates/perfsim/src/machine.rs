@@ -23,8 +23,10 @@ use crate::metrics::{CoreStats, SimResult};
 use crate::workload::{AddressStream, Workload};
 use relaxfault_cache::Cache;
 use relaxfault_dram::{AddressMap, DramCmd, OpCounts, PhysAddr, RankTiming};
+use relaxfault_util::obs::{self, Level};
 use relaxfault_util::rng::Rng;
 use relaxfault_util::rng::Rng64;
+use relaxfault_util::trace_event;
 use std::collections::VecDeque;
 
 /// One channel's banks and counters.
@@ -152,21 +154,25 @@ impl Simulation {
     pub fn run(cfg: &SimConfig, workload: &Workload, loss: CapacityLoss, seed: u64) -> SimResult {
         cfg.validate().expect("invalid SimConfig");
         workload.validate().expect("invalid Workload");
+        let _run_span = obs::span("perfsim.run_ns");
         let addr_space = cfg.dram.node_bytes();
 
         let mut llc = Cache::new(cfg.llc);
-        match loss {
-            CapacityLoss::None => {}
-            CapacityLoss::Ways(n) => llc.lock_ways_per_set(n),
+        let locked_lines = match loss {
+            CapacityLoss::None => 0,
+            CapacityLoss::Ways(n) => {
+                llc.lock_ways_per_set(n);
+                n as u64 * cfg.llc.sets()
+            }
             CapacityLoss::RandomLines { bytes } => {
                 let mut rng = Rng64::seed_from_u64(seed ^ 0x10C);
                 let lines = bytes / cfg.llc.line_bytes as u64;
                 let sets: Vec<u64> = (0..lines)
                     .map(|_| rng.gen_range(0..cfg.llc.sets()))
                     .collect();
-                llc.lock_lines_in_sets(sets);
+                llc.lock_lines_in_sets(sets)
             }
-        }
+        };
 
         let mut backend = MemoryBackend::new(cfg);
         let mut cores: Vec<CoreSim> = workload
@@ -212,14 +218,43 @@ impl Simulation {
             })
             .collect();
         let elapsed = per_core.iter().map(|c| c.cycles).fold(0.0f64, f64::max);
-        SimResult {
+        let result = SimResult {
             per_core,
             op_counts: backend.total_counts(),
             elapsed_cycles: elapsed,
             core_mhz: cfg.core_mhz,
             llc_stats: *llc.stats(),
-        }
+        };
+        record_run(workload, locked_lines, &result);
+        result
     }
+}
+
+/// Publishes one finished simulation's LLC and DRAM telemetry.
+fn record_run(workload: &Workload, locked_lines: u64, r: &SimResult) {
+    if !obs::metrics_enabled() && !obs::enabled("perfsim", Level::Info) {
+        return;
+    }
+    obs::counter("perfsim.runs").inc();
+    obs::counter("perfsim.llc.hits").add(r.llc_stats.hits);
+    obs::counter("perfsim.llc.misses").add(r.llc_stats.misses);
+    obs::counter("perfsim.llc.bypasses").add(r.llc_stats.bypasses);
+    obs::counter("perfsim.llc.writebacks").add(r.llc_stats.writebacks);
+    obs::gauge("perfsim.llc.locked_lines").set(locked_lines as f64);
+    obs::counter("perfsim.dram.reads").add(r.op_counts.reads);
+    obs::counter("perfsim.dram.writes").add(r.op_counts.writes);
+    obs::counter("perfsim.dram.activates").add(r.op_counts.activates);
+    obs::counter("perfsim.dram.precharges").add(r.op_counts.precharges);
+    obs::counter("perfsim.dram.refreshes").add(r.op_counts.refreshes);
+    trace_event!(target: "perfsim", Level::Info, "sim_run",
+        workload = workload.name.as_str(),
+        cores = workload.cores.len(),
+        locked_lines = locked_lines,
+        elapsed_cycles = r.elapsed_cycles,
+        llc_hits = r.llc_stats.hits,
+        llc_misses = r.llc_stats.misses,
+        dram_reads = r.op_counts.reads,
+        dram_writes = r.op_counts.writes);
 }
 
 /// Advances one core past its next memory operation.

@@ -9,9 +9,12 @@
 use crate::node::evaluate_node;
 use crate::scenario::Scenario;
 use relaxfault_dram::DramConfig;
-use relaxfault_faults::{FaultModel, FaultSampler};
+use relaxfault_faults::{FaultMode, FaultModel, FaultSampler};
+use relaxfault_util::obs::{self, Counter, Histogram, Level};
 use relaxfault_util::rng::{mix64, Rng64};
 use relaxfault_util::stats::{wilson_interval, Ecdf};
+use relaxfault_util::trace_event;
+use std::sync::OnceLock;
 
 /// Execution parameters for a Monte Carlo run.
 #[derive(Debug, Clone, Copy)]
@@ -166,6 +169,42 @@ impl ScenarioResult {
     }
 }
 
+/// Observability handles for the Monte Carlo hot loop, resolved once so
+/// per-trial updates are a relaxed load and a branch when disabled.
+struct EngineMetrics {
+    trial_evals: Counter,
+    faulty_nodes: Counter,
+    fully_repaired_nodes: Counter,
+    repair_fallback_nodes: Counter,
+    dues: Counter,
+    transient_dues: Counter,
+    sdcs: Counter,
+    replacements: Counter,
+    permanent_faults: Counter,
+    unrepaired_faults: Counter,
+    unrepaired_by_mode: [Counter; 6],
+    trial_ns: Histogram,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EngineMetrics {
+        trial_evals: obs::counter("relsim.trial_evals"),
+        faulty_nodes: obs::counter("relsim.faulty_nodes"),
+        fully_repaired_nodes: obs::counter("relsim.fully_repaired_nodes"),
+        repair_fallback_nodes: obs::counter("relsim.repair_fallback_nodes"),
+        dues: obs::counter("relsim.dues"),
+        transient_dues: obs::counter("relsim.transient_dues"),
+        sdcs: obs::counter("relsim.sdcs"),
+        replacements: obs::counter("relsim.replacements"),
+        permanent_faults: obs::counter("relsim.permanent_faults"),
+        unrepaired_faults: obs::counter("relsim.unrepaired_faults"),
+        unrepaired_by_mode: FaultMode::ALL
+            .map(|m| obs::counter(&format!("relsim.unrepaired.{}", m.key()))),
+        trial_ns: obs::histogram("relsim.trial_ns"),
+    })
+}
+
 /// Runs every scenario arm over `run.trials` node lifetimes.
 ///
 /// Arms with identical fault models see identical fault populations, and
@@ -183,6 +222,8 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
         scenarios.iter().all(|s| s.dram == cfg),
         "all arms must share one DRAM geometry"
     );
+    trace_event!(target: "relsim", Level::Info, "run_start",
+        arms = scenarios.len(), trials = run.trials, seed = run.seed);
     // Group arms by fault model so each group shares samples.
     let mut groups: Vec<(FaultModel, Vec<usize>)> = Vec::new();
     for (i, s) in scenarios.iter().enumerate() {
@@ -215,13 +256,50 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
                     .iter()
                     .map(|(model, _)| FaultSampler::new(model, &cfg))
                     .collect();
+                let metrics = engine_metrics();
                 for trial in lo..hi {
                     for (gi, (_, members)) in groups.iter().enumerate() {
+                        // Deterministic merge key for every event this
+                        // trial/group emits, on any worker thread.
+                        let _obs_scope = obs::scope(trial, gi as u64);
+                        let _trial_span = metrics.trial_ns.start_span();
                         let mut sample_rng = Rng64::seed_from_u64(mix64(seed, trial, gi as u64));
                         let node = samplers[gi].sample_node(&mut sample_rng);
                         for &si in members {
                             let mut eval_rng = Rng64::seed_from_u64(mix64(seed ^ 0xECC, trial, 0));
                             let out = evaluate_node(&scenarios[si], &node, &mut eval_rng);
+                            metrics.trial_evals.inc();
+                            if out.faulty {
+                                metrics.faulty_nodes.inc();
+                                if out.fully_repaired {
+                                    metrics.fully_repaired_nodes.inc();
+                                } else {
+                                    metrics.repair_fallback_nodes.inc();
+                                }
+                            }
+                            metrics.dues.add(out.dues as u64);
+                            metrics.transient_dues.add(out.transient_dues as u64);
+                            metrics.sdcs.add(out.sdcs as u64);
+                            metrics.replacements.add(out.replacements as u64);
+                            metrics.permanent_faults.add(out.permanent_faults as u64);
+                            metrics.unrepaired_faults.add(out.unrepaired_faults as u64);
+                            for (c, n) in metrics
+                                .unrepaired_by_mode
+                                .iter()
+                                .zip(out.unrepaired_by_mode)
+                            {
+                                c.add(n as u64);
+                            }
+                            if out.faulty {
+                                trace_event!(target: "relsim", Level::Debug, "trial_eval",
+                                    arm = si,
+                                    repaired = out.fully_repaired,
+                                    permanent_faults = out.permanent_faults,
+                                    unrepaired = out.unrepaired_faults,
+                                    dues = out.dues,
+                                    sdcs = out.sdcs,
+                                    replacements = out.replacements);
+                            }
                             let r = &mut local[si];
                             r.trials += 1;
                             r.faulty_nodes += out.faulty as u64;
@@ -260,6 +338,15 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
         for (r, p) in results.iter_mut().zip(partial) {
             r.merge(p);
         }
+    }
+    for r in &results {
+        trace_event!(target: "relsim", Level::Info, "arm_result",
+            label = r.label.as_str(),
+            faulty = r.faulty_nodes,
+            repaired = r.fully_repaired_nodes,
+            dues = r.dues,
+            sdcs = r.sdcs,
+            replacements = r.replacements);
     }
     results
 }
@@ -308,14 +395,19 @@ pub fn fault_population(
             handles.push(scope.spawn(move || {
                 let mut stats = PopulationStats::default();
                 let sampler = FaultSampler::new(model, cfg);
+                let population_trials = obs::counter("relsim.population_trials");
+                let population_faulty = obs::counter("relsim.population_faulty");
                 for trial in lo..hi {
+                    let _obs_scope = obs::scope(trial, 0);
                     let mut rng = Rng64::seed_from_u64(mix64(seed, trial, 0));
                     let node = sampler.sample_node(&mut rng);
                     stats.trials += 1;
+                    population_trials.inc();
                     if !node.is_faulty() {
                         continue;
                     }
                     stats.faulty_nodes += 1;
+                    population_faulty.inc();
                     let mut per_dimm: std::collections::HashMap<
                         u32,
                         std::collections::HashSet<u32>,
@@ -354,7 +446,12 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         // Bit-identical results at every threads setting: RNG streams are
-        // keyed on (seed, trial, group), never on the worker thread.
+        // keyed on (seed, trial, group), never on the worker thread. The
+        // companion contract — the merged *trace stream* is byte-identical
+        // across thread counts — is asserted in the workspace-level
+        // `tests/obs_determinism.rs`, which owns a whole process (the
+        // trace filter is process-global and would leak into the unit
+        // tests running in parallel here).
         let arms = vec![
             Scenario::isca16_baseline()
                 .with_mechanism(Mechanism::RelaxFault { max_ways: 1 })

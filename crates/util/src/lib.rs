@@ -18,6 +18,10 @@
 //!   choice stream, with shrinking) the invariant suites run on.
 //! * [`json`] — a minimal JSON value/emitter/parser for machine-readable
 //!   results and scenario dumps.
+//! * [`obs`] — structured observability: leveled event tracing with a
+//!   deterministic merged stream, a metrics registry (counters, gauges,
+//!   log-linear histograms), RAII span timers, and text/JSON sinks, all
+//!   gated to be free when disabled.
 //! * [`stats`] — streaming summaries, empirical CDFs, and binomial confidence
 //!   intervals used by every experiment harness.
 //! * [`table`] — minimal fixed-width table/CSV rendering for the
@@ -39,6 +43,7 @@
 pub mod bits;
 pub mod dist;
 pub mod json;
+pub mod obs;
 pub mod prop;
 pub mod rng;
 pub mod stats;

@@ -12,3 +12,15 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace -q
+
+# Observability gate: re-run the smoke scenario with tracing on; it must
+# emit a metrics snapshot under results/obs/ that parses with the strict
+# in-repo JSON parser and carries the required top-level keys.
+rm -rf results/obs
+RF_TRACE=relsim=debug cargo test -q --test smoke
+cargo run --release -q -p relaxfault-bench --bin obs_validate results/obs
+
+# Disabled-path guard: observability must cost <1% of the Monte Carlo
+# inner loop when off (the bench exits non-zero otherwise).
+RF_BENCH_BATCH_MS=5 RF_BENCH_BATCHES=3 \
+    cargo bench -q -p relaxfault-bench --bench node_eval

@@ -1,0 +1,111 @@
+//! The observability determinism contract, end to end: with tracing on,
+//! the merged event stream of a Monte Carlo run is *byte-identical* across
+//! thread counts, because events are merged on `(trial, group, seq)` —
+//! never on which worker thread emitted them. Lives in its own
+//! integration-test process so the process-wide trace filter cannot leak
+//! into unrelated unit tests.
+
+use relaxfault::prelude::*;
+use relaxfault::util::json::Value;
+use relaxfault::util::obs;
+
+fn smoke_arms() -> Vec<Scenario> {
+    // The smoke scenario: RelaxFault at 10x FIT rates, so a few hundred
+    // trials produce a healthy density of fault and repair events.
+    vec![Scenario::isca16_baseline()
+        .with_mechanism(Mechanism::RelaxFault { max_ways: 1 })
+        .with_replacement(ReplacementPolicy::None)
+        .with_fit_scale(10.0)]
+}
+
+#[test]
+fn merged_trace_stream_is_byte_identical_across_thread_counts() {
+    let _serial = obs::exclusive();
+    obs::reset();
+    obs::set_filter("relsim=debug,faults=trace").expect("valid filter");
+
+    let arms = smoke_arms();
+    let mut reference: Option<(Vec<ScenarioResult>, String)> = None;
+    for threads in [1usize, 2, 4] {
+        obs::reset();
+        let results = run_scenarios(
+            &arms,
+            &RunConfig {
+                trials: 200,
+                seed: 2016,
+                threads,
+            },
+        );
+        assert_eq!(obs::dropped_events(), 0, "stream truncated at {threads}");
+        let events = obs::drain_events();
+        assert!(
+            events.iter().any(|e| e.name == "trial_eval"),
+            "no per-trial events at threads={threads}"
+        );
+        assert!(events.iter().any(|e| e.name == "inject"));
+        let text = obs::render_text(&events);
+        match &reference {
+            None => reference = Some((results, text)),
+            Some((r0, t0)) => {
+                assert_eq!(&results, r0, "results diverged at threads={threads}");
+                assert_eq!(
+                    &text, t0,
+                    "merged trace stream diverged at threads={threads}"
+                );
+            }
+        }
+    }
+
+    obs::set_filter("").expect("valid filter");
+    obs::set_metrics_enabled(false);
+    obs::reset();
+}
+
+#[test]
+fn snapshot_counters_agree_with_engine_results() {
+    let _serial = obs::exclusive();
+    obs::reset();
+    obs::set_metrics_enabled(true);
+
+    let arms = smoke_arms();
+    let run = RunConfig {
+        trials: 300,
+        seed: 7,
+        threads: 4,
+    };
+    let results = run_scenarios(&arms, &run);
+
+    let snap = obs::snapshot();
+    let parsed = Value::parse(&snap.to_pretty()).expect("snapshot is valid JSON");
+    let counter = |name: &str| {
+        parsed
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("counter `{name}` missing"))
+    };
+    // Counters are exact under any thread schedule: they must equal the
+    // engine's own accounting.
+    assert_eq!(counter("relsim.trial_evals"), run.trials as f64);
+    assert_eq!(
+        counter("relsim.faulty_nodes"),
+        results[0].faulty_nodes as f64
+    );
+    assert_eq!(
+        counter("relsim.fully_repaired_nodes"),
+        results[0].fully_repaired_nodes as f64
+    );
+    assert!(counter("plan.relaxfault.attempts") > 0.0);
+    assert!(counter("faults.injected_total") > 0.0);
+    // The per-trial duration histogram saw every (trial, group) pair.
+    let trial_ns_count = parsed
+        .get("histograms")
+        .and_then(|h| h.get("relsim.trial_ns"))
+        .and_then(|h| h.get("count"))
+        .and_then(Value::as_f64)
+        .expect("relsim.trial_ns histogram");
+    assert_eq!(trial_ns_count, run.trials as f64);
+
+    obs::set_metrics_enabled(false);
+    obs::reset();
+}

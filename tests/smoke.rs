@@ -5,6 +5,7 @@
 
 use relaxfault::prelude::*;
 use relaxfault::util::json::Value;
+use relaxfault::util::obs;
 
 #[test]
 fn tiny_scenario_runs_from_json_config() {
@@ -35,4 +36,29 @@ fn tiny_scenario_runs_from_json_config() {
     assert!(r.fully_repaired_nodes <= r.faulty_nodes);
     let (lo, hi) = r.coverage_interval();
     assert!(lo <= r.coverage() && r.coverage() <= hi);
+
+    // When the run is traced (e.g. CI's `RF_TRACE=relsim=debug` pass),
+    // the engine must have emitted lifecycle events and a metrics snapshot
+    // that round-trips through the strict JSON parser.
+    if obs::enabled("relsim", obs::Level::Info) {
+        let events = obs::drain_events();
+        assert!(
+            events.iter().any(|e| e.name == "arm_result"),
+            "tracing enabled but no engine lifecycle events captured"
+        );
+        assert_eq!(obs::dropped_events(), 0);
+    }
+    if obs::metrics_enabled() {
+        let path = obs::write_snapshot("smoke").expect("snapshot written");
+        let text = std::fs::read_to_string(&path).expect("snapshot readable");
+        let doc = Value::parse(&text).expect("snapshot parses");
+        for key in ["schema_version", "counters", "gauges", "histograms"] {
+            assert!(doc.get(key).is_some(), "snapshot missing `{key}`");
+        }
+        let evals = doc
+            .get("counters")
+            .and_then(|c| c.get("relsim.trial_evals"))
+            .and_then(Value::as_f64);
+        assert_eq!(evals, Some(200.0));
+    }
 }
