@@ -36,7 +36,7 @@ fn metric_updates(snapshot: &Value) -> f64 {
 }
 
 fn main() {
-    relaxfault_bench::init();
+    relaxfault_bench::obs_init();
     let mut h = Harness::new();
     let scenario = Scenario::isca16_baseline()
         .with_mechanism(Mechanism::RelaxFault { max_ways: 1 })

@@ -18,7 +18,7 @@
 //! cargo run --release -p relaxfault-bench --bin ablation_design -- 40000
 //! ```
 
-use relaxfault_bench::{emit, work_arg, SYSTEM_NODES};
+use relaxfault_bench::{emit, SYSTEM_NODES};
 use relaxfault_faults::FaultMode;
 use relaxfault_relsim::engine::{run_scenarios, RunConfig};
 use relaxfault_relsim::scenario::{Mechanism, ReplacementPolicy, Scenario};
@@ -39,8 +39,8 @@ fn run(arms: &[Scenario], trials: u64) -> Vec<relaxfault_relsim::ScenarioResult>
 }
 
 fn main() {
-    relaxfault_bench::init();
-    let trials = work_arg(40_000);
+    let args = relaxfault_bench::obs_init();
+    let trials = args.work(40_000);
 
     // 1. Refined vs uniform fault model.
     let mut uniform = Scenario::isca16_baseline();

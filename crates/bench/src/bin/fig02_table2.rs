@@ -6,7 +6,7 @@ use relaxfault_faults::{FaultMode, FitRates, Transience};
 use relaxfault_util::table::Table;
 
 fn main() {
-    relaxfault_bench::init();
+    relaxfault_bench::obs_init();
     let mut t = Table::new(&[
         "fault mode",
         "Cielo transient",

@@ -1,11 +1,11 @@
 //! Regenerates Figure 8: repair coverage of RelaxFault vs FreeFault with
 //! and without XOR-based LLC set-index hashing (1 repair way per set).
 
-use relaxfault_bench::{emit, fig08_hashing, work_arg};
+use relaxfault_bench::{emit, fig08_hashing};
 
 fn main() {
-    relaxfault_bench::init();
-    let trials = work_arg(60_000);
+    let args = relaxfault_bench::obs_init();
+    let trials = args.work(60_000);
     let t = fig08_hashing(trials);
     emit(
         "fig08_hashing",

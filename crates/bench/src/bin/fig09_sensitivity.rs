@@ -1,11 +1,11 @@
 //! Regenerates Figure 9: sensitivity of the refined fault model to the
 //! FIT acceleration factor (9a/9b) and the accelerated fraction (9c/9d).
 
-use relaxfault_bench::{emit, fig09_sensitivity, work_arg};
+use relaxfault_bench::{emit, fig09_sensitivity};
 
 fn main() {
-    relaxfault_bench::init();
-    let trials = work_arg(60_000);
+    let args = relaxfault_bench::obs_init();
+    let trials = args.work(60_000);
     let (factor, fraction) = fig09_sensitivity(trials);
     emit(
         "fig09a_factor",

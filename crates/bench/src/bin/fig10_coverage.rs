@@ -1,11 +1,11 @@
 //! Regenerates Figure 10: cumulative repair coverage vs required LLC
 //! capacity at baseline FIT rates.
 
-use relaxfault_bench::{coverage_curves, emit, work_arg};
+use relaxfault_bench::{coverage_curves, emit};
 
 fn main() {
-    relaxfault_bench::init();
-    let trials = work_arg(60_000);
+    let args = relaxfault_bench::obs_init();
+    let trials = args.work(60_000);
     let t = coverage_curves(1.0, trials);
     emit(
         "fig10_coverage",

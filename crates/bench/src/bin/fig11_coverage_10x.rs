@@ -1,11 +1,11 @@
 //! Regenerates Figure 11: cumulative repair coverage vs required LLC
 //! capacity at 10x FIT rates.
 
-use relaxfault_bench::{coverage_curves, emit, work_arg};
+use relaxfault_bench::{coverage_curves, emit};
 
 fn main() {
-    relaxfault_bench::init();
-    let trials = work_arg(40_000);
+    let args = relaxfault_bench::obs_init();
+    let trials = args.work(40_000);
     let t = coverage_curves(10.0, trials);
     emit(
         "fig11_coverage_10x",

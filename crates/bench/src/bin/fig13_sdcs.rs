@@ -1,11 +1,11 @@
 //! Regenerates Figure 13: expected SDCs per 16,384-node system over
 //! 6 years, by mechanism and way limit, at 1x and 10x FIT.
 
-use relaxfault_bench::{emit, reliability_matrix, work_arg};
+use relaxfault_bench::{emit, reliability_matrix};
 
 fn main() {
-    relaxfault_bench::init();
-    let trials = work_arg(400_000);
+    let args = relaxfault_bench::obs_init();
+    let trials = args.work(400_000);
     let r1 = reliability_matrix(1.0, trials);
     emit(
         "fig13a_sdcs_1x",

@@ -2,11 +2,11 @@
 //! system over 6 years under ReplA (after a DUE) and ReplB (after an
 //! error-threshold crossing), at 1x and 10x FIT.
 
-use relaxfault_bench::{emit, reliability_matrix, work_arg};
+use relaxfault_bench::{emit, reliability_matrix};
 
 fn main() {
-    relaxfault_bench::init();
-    let trials = work_arg(200_000);
+    let args = relaxfault_bench::obs_init();
+    let trials = args.work(200_000);
     let r1 = reliability_matrix(1.0, trials);
     emit(
         "fig14a_repl_due_1x",

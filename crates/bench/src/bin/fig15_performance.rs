@@ -1,12 +1,12 @@
 //! Regenerates Figure 15: weighted speedup with LLC capacity dedicated to
 //! RelaxFault repair (none / 100 KiB of random lines / 1 way / 4 ways).
 
+use relaxfault_bench::emit;
 use relaxfault_bench::perf::{fig15_table, performance_sweep};
-use relaxfault_bench::{emit, work_arg};
 
 fn main() {
-    relaxfault_bench::init();
-    let instr = work_arg(300_000);
+    let args = relaxfault_bench::obs_init();
+    let instr = args.work(300_000);
     let rows = performance_sweep(instr, 2016);
     emit(
         "fig15_performance",

@@ -1,12 +1,12 @@
 //! Regenerates Figure 16: DRAM dynamic power relative to the full-LLC
 //! configuration, under the same capacity sweep as Figure 15.
 
+use relaxfault_bench::emit;
 use relaxfault_bench::perf::{fig16_table, performance_sweep};
-use relaxfault_bench::{emit, work_arg};
 
 fn main() {
-    relaxfault_bench::init();
-    let instr = work_arg(300_000);
+    let args = relaxfault_bench::obs_init();
+    let instr = args.work(300_000);
     let rows = performance_sweep(instr, 2016);
     emit(
         "fig16_power",

@@ -1,0 +1,108 @@
+//! Compares two observability snapshots and reports regressions.
+//!
+//! ```text
+//! obs_diff <baseline.json> <current.json> [--threshold 0.2] [--out verdict.json]
+//! obs_diff --latest-vs-baseline [--threshold 0.2] [--out verdict.json]
+//! ```
+//!
+//! The two-path form diffs explicit snapshot files. The registry form
+//! reads `results/runs/index.json` (honouring `RF_RESULTS_DIR`), takes the
+//! most recent run, and compares it against the committed baseline of the
+//! same run name under `results/baselines/`.
+//!
+//! Exit codes: `0` no regressions, `1` regressions found, `2` usage or
+//! I/O error. See `relaxfault_bench::diff` for the classification rules.
+
+use relaxfault_bench::diff::diff_snapshots;
+use relaxfault_util::json::Value;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Value::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e:?}"))
+}
+
+fn results_dir() -> String {
+    std::env::var("RF_RESULTS_DIR").unwrap_or_else(|_| "results".into())
+}
+
+/// Resolves the registry form: the newest run in the index as current,
+/// `results/baselines/<run>.json` as its baseline.
+fn latest_vs_baseline() -> Result<(String, String), String> {
+    let dir = results_dir();
+    let index_path = format!("{dir}/runs/index.json");
+    let index = load(&index_path)?;
+    let runs = index
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or(format!("{index_path} has no runs array"))?;
+    let last = runs.last().ok_or(format!("{index_path} lists no runs"))?;
+    let run = last
+        .get("manifest")
+        .and_then(|m| m.get("run"))
+        .and_then(Value::as_str)
+        .ok_or("latest registry entry has no manifest.run")?;
+    let snapshot = last
+        .get("snapshot")
+        .and_then(Value::as_str)
+        .ok_or("latest registry entry has no snapshot path")?;
+    Ok((format!("{dir}/baselines/{run}.json"), snapshot.to_string()))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 0.2f64;
+    let mut out: Option<String> = None;
+    let mut use_registry = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--latest-vs-baseline" => use_registry = true,
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threshold needs a number")?;
+            }
+            "--out" => out = Some(args.next().ok_or("--out needs a path")?),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let (baseline_path, current_path) = if use_registry {
+        if !paths.is_empty() {
+            return Err("--latest-vs-baseline takes no snapshot paths".into());
+        }
+        latest_vs_baseline()?
+    } else if paths.len() == 2 {
+        let mut it = paths.into_iter();
+        (it.next().expect("two paths"), it.next().expect("two paths"))
+    } else {
+        return Err("usage: obs_diff <baseline.json> <current.json> | --latest-vs-baseline".into());
+    };
+
+    let baseline = load(&baseline_path)?;
+    let current = load(&current_path)?;
+    let report = diff_snapshots(&baseline, &current, threshold)?;
+    print!("{}", report.render());
+    if let Some(out) = out {
+        let verdict = report.verdict_json(threshold).to_pretty();
+        std::fs::write(&out, verdict).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("verdict: {out}");
+    }
+    Ok(if report.regressions() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("obs_diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

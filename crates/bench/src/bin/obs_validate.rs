@@ -1,21 +1,37 @@
-//! CI gate for observability artifacts: parses every `*.json` under the
+//! CI gate for observability artifacts: scans *every* file under the
 //! given directory (default `results/obs`) with `util::json`'s strict
-//! parser and checks the snapshot schema — required top-level keys, the
-//! shared `schema_version`, and that at least one counter or histogram is
-//! populated. Exits non-zero on any violation.
+//! parser. Snapshots (`*.json`) must carry the required top-level keys,
+//! the shared `schema_version`, an embedded manifest, and at least one
+//! populated counter or histogram; exported traces (`*.trace.json`) must
+//! be Chrome trace-event arrays (`ph: "X"`, `ts` monotone per track).
+//! Mixed `schema_version`s across the scanned snapshots fail the whole
+//! directory, even if each file is self-consistent. Exits non-zero on any
+//! violation.
 
 use relaxfault_util::json::Value;
 use relaxfault_util::obs;
+use std::collections::BTreeSet;
+use std::collections::HashMap;
 
-const REQUIRED_KEYS: [&str; 5] = [
+const REQUIRED_KEYS: [&str; 7] = [
     "schema_version",
+    "manifest",
     "counters",
     "gauges",
     "histograms",
+    "benches",
     "dropped_events",
 ];
 
-fn validate(path: &std::path::Path) -> Result<(), String> {
+fn object_len(doc: &Value, key: &str) -> Result<usize, String> {
+    match doc.get(key) {
+        Some(Value::Object(pairs)) => Ok(pairs.len()),
+        _ => Err(format!("`{key}` is not an object")),
+    }
+}
+
+/// Validates one metrics snapshot, returning its schema_version.
+fn validate_snapshot(path: &std::path::Path) -> Result<u64, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let doc = Value::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
     for key in REQUIRED_KEYS {
@@ -30,22 +46,55 @@ fn validate(path: &std::path::Path) -> Result<(), String> {
             obs::SCHEMA_VERSION
         ));
     }
-    let counters = doc
-        .get("counters")
-        .and_then(|v| match v {
-            Value::Object(pairs) => Some(pairs.len()),
-            _ => None,
-        })
-        .ok_or("`counters` is not an object")?;
-    let histograms = doc
-        .get("histograms")
-        .and_then(|v| match v {
-            Value::Object(pairs) => Some(pairs.len()),
-            _ => None,
-        })
-        .ok_or("`histograms` is not an object")?;
+    let manifest_run = doc
+        .get("manifest")
+        .and_then(|m| m.get("run"))
+        .and_then(Value::as_str)
+        .ok_or("manifest has no `run`")?;
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or_default();
+    if manifest_run != stem {
+        return Err(format!(
+            "manifest.run `{manifest_run}` does not match file stem `{stem}`"
+        ));
+    }
+    let counters = object_len(&doc, "counters")?;
+    let histograms = object_len(&doc, "histograms")?;
     if counters + histograms == 0 {
         return Err("snapshot has no counters or histograms".into());
+    }
+    Ok(version.expect("checked above") as u64)
+}
+
+/// Validates one exported Chrome trace: an array of `ph: "X"` complete
+/// events whose `ts` is strictly monotone within each `tid` track.
+fn validate_trace(path: &std::path::Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = Value::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc.as_array().ok_or("trace is not a JSON array")?;
+    if events.is_empty() {
+        return Err("trace has no events".into());
+    }
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.get("ph").and_then(Value::as_str) != Some("X") {
+            return Err(format!("event {i} is not a `ph: \"X\"` complete event"));
+        }
+        let tid = e
+            .get("tid")
+            .and_then(Value::as_f64)
+            .ok_or(format!("event {i} has no tid"))? as u64;
+        let ts = e
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or(format!("event {i} has no ts"))?;
+        if let Some(prev) = last_ts.insert(tid, ts) {
+            if ts <= prev {
+                return Err(format!("event {i}: ts {ts} not monotone on track {tid}"));
+            }
+        }
     }
     Ok(())
 }
@@ -64,13 +113,26 @@ fn main() {
     };
     let mut checked = 0usize;
     let mut failed = 0usize;
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.extension().and_then(|e| e.to_str()) != Some("json") {
-            continue;
-        }
-        checked += 1;
-        match validate(&path) {
+    let mut versions: BTreeSet<u64> = BTreeSet::new();
+    let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        let result = if name.ends_with(".trace.json") {
+            checked += 1;
+            validate_trace(&path)
+        } else if name.ends_with(".json") {
+            checked += 1;
+            validate_snapshot(&path).map(|v| {
+                versions.insert(v);
+            })
+        } else {
+            continue; // .prom and friends have their own consumers
+        };
+        match result {
             Ok(()) => println!("ok      {}", path.display()),
             Err(e) => {
                 failed += 1;
@@ -82,7 +144,11 @@ fn main() {
         eprintln!("obs_validate: no snapshots found in {dir}");
         std::process::exit(1);
     }
-    println!("obs_validate: {checked} snapshot(s), {failed} failure(s)");
+    if versions.len() > 1 {
+        failed += 1;
+        eprintln!("FAILED  {dir}: mixed schema_versions across snapshots: {versions:?}");
+    }
+    println!("obs_validate: {checked} artifact(s), {failed} failure(s)");
     if failed > 0 {
         std::process::exit(1);
     }

@@ -8,7 +8,7 @@ use relaxfault_dram::DramConfig;
 use relaxfault_util::table::Table;
 
 fn main() {
-    relaxfault_bench::init();
+    relaxfault_bench::obs_init();
     let o = StorageOverhead::for_system(
         &DramConfig::isca16_reliability(),
         &CacheConfig::isca16_llc(),

@@ -5,7 +5,7 @@ use relaxfault_perfsim::SimConfig;
 use relaxfault_util::table::{format_bytes, Table};
 
 fn main() {
-    relaxfault_bench::init();
+    relaxfault_bench::obs_init();
     let c = SimConfig::isca16();
     let mut t = Table::new(&["component", "configuration"]);
     t.row(&[

@@ -4,7 +4,7 @@ use relaxfault_bench::emit;
 use relaxfault_bench::perf::table4;
 
 fn main() {
-    relaxfault_bench::init();
+    relaxfault_bench::obs_init();
     emit(
         "table4_workloads",
         "Table 4: workloads (synthetic stand-ins)",

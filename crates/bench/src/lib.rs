@@ -13,38 +13,85 @@
 
 use relaxfault_relsim::engine::{fault_population, run_scenarios, RunConfig};
 use relaxfault_relsim::scenario::{Mechanism, ReplacementPolicy, Scenario};
+use relaxfault_util::export;
 use relaxfault_util::json::Value;
 use relaxfault_util::obs;
 use relaxfault_util::table::{format_bytes, format_pct, Table};
+use std::sync::OnceLock;
 
+pub mod diff;
 pub mod perf;
 
 /// Nodes in the paper's evaluated system.
 pub const SYSTEM_NODES: u64 = 16_384;
 
-/// Standard harness start-up: `--quiet` on the command line (or
-/// `RF_OBS=off` in the environment, handled by `util::obs` itself) turns
-/// every trace/metric off regardless of `RF_TRACE`. Call first in `main`.
-pub fn init() {
-    if std::env::args().any(|a| a == "--quiet" || a == "-q") {
-        obs::set_force_off(true);
+/// `--run NAME` override captured by [`obs_init`], consulted by [`emit`].
+static RUN_OVERRIDE: OnceLock<String> = OnceLock::new();
+
+/// Standard harness arguments parsed by [`obs_init`].
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    work: Option<u64>,
+}
+
+impl BenchArgs {
+    /// The work amount (trials or instructions): the first positional
+    /// numeric argument, or `default` when none was given.
+    pub fn work(&self, default: u64) -> u64 {
+        self.work.unwrap_or(default)
     }
 }
 
-/// Parses the standard harness arguments: the first positional (non-flag)
-/// argument overrides the work amount (trials or instructions).
-pub fn work_arg(default: u64) -> u64 {
-    std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with('-'))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+/// Standard harness start-up, called first in every `fig*`/`table*` main:
+///
+/// * `--quiet`/`-q` (or `RF_OBS=off` in the environment, handled by
+///   `util::obs` itself) turns every trace/metric off regardless of
+///   `RF_TRACE`;
+/// * `--run NAME` (or `--run=NAME`, or `RF_RUN_NAME` in the environment)
+///   overrides the run name [`emit`] uses for the obs snapshot, trace, and
+///   Prometheus files — this is how CI writes `drift_a`/`drift_b` from the
+///   same binary;
+/// * the first positional numeric argument overrides the work amount
+///   (read it back with [`BenchArgs::work`]);
+/// * unknown flags (e.g. the `--bench` cargo passes to bench targets) are
+///   ignored.
+pub fn obs_init() -> BenchArgs {
+    let mut parsed = BenchArgs::default();
+    let mut run = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--quiet" || a == "-q" {
+            obs::set_force_off(true);
+        } else if a == "--run" {
+            run = args.next();
+        } else if let Some(r) = a.strip_prefix("--run=") {
+            run = Some(r.to_string());
+        } else if parsed.work.is_none() && !a.starts_with('-') {
+            parsed.work = a.parse().ok();
+        }
+    }
+    if let Some(r) = run {
+        let _ = RUN_OVERRIDE.set(r);
+    }
+    parsed
+}
+
+/// The run name [`emit`] files observability output under: the `--run`
+/// flag if given, else `RF_RUN_NAME`, else the emitting table's name.
+fn run_name(default: &str) -> String {
+    RUN_OVERRIDE
+        .get()
+        .cloned()
+        .or_else(|| std::env::var("RF_RUN_NAME").ok())
+        .unwrap_or_else(|| default.to_string())
 }
 
 /// Prints a table to stdout and mirrors it (plus CSV and JSON) into the
 /// results directory (`RF_RESULTS_DIR`, default `results/`). When
-/// observability is enabled, a metrics snapshot is also written to
-/// `<dir>/obs/<name>.json` (see [`obs::write_snapshot`]).
+/// observability is enabled, the run's metrics snapshot (with its
+/// manifest), a Prometheus text exposition (`<run>.prom`), and — if any
+/// events were captured by the `RF_TRACE` filter — a Perfetto-loadable
+/// Chrome trace (`<run>.trace.json`) land under `<dir>/obs/`.
 pub fn emit(name: &str, title: &str, table: &Table) {
     println!("== {title} ==");
     print!("{}", table.render());
@@ -63,10 +110,22 @@ pub fn emit(name: &str, title: &str, table: &Table) {
         ]);
         let _ = std::fs::write(format!("{dir}/{name}.json"), doc.to_pretty());
     }
+    let run = run_name(name);
     if obs::metrics_enabled() {
-        match obs::write_snapshot(name) {
+        match obs::write_snapshot(&run) {
             Ok(path) => println!("obs snapshot: {path}"),
             Err(e) => eprintln!("obs snapshot failed: {e}"),
+        }
+        if std::fs::create_dir_all(format!("{dir}/obs")).is_ok() {
+            let _ = std::fs::write(format!("{dir}/obs/{run}.prom"), export::prometheus_text());
+        }
+    }
+    let events = obs::drain_events();
+    if !events.is_empty() && std::fs::create_dir_all(format!("{dir}/obs")).is_ok() {
+        let path = format!("{dir}/obs/{run}.trace.json");
+        match std::fs::write(&path, export::chrome_trace(&events).to_pretty()) {
+            Ok(()) => println!("trace: {path}"),
+            Err(e) => eprintln!("trace export failed: {e}"),
         }
     }
 }

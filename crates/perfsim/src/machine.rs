@@ -225,16 +225,23 @@ impl Simulation {
             core_mhz: cfg.core_mhz,
             llc_stats: *llc.stats(),
         };
-        record_run(workload, locked_lines, &result);
+        record_run(cfg, workload, locked_lines, seed, &result);
         result
     }
 }
 
 /// Publishes one finished simulation's LLC and DRAM telemetry.
-fn record_run(workload: &Workload, locked_lines: u64, r: &SimResult) {
+fn record_run(cfg: &SimConfig, workload: &Workload, locked_lines: u64, seed: u64, r: &SimResult) {
     if !obs::metrics_enabled() && !obs::enabled("perfsim", Level::Info) {
         return;
     }
+    // Fold the machine config and workload into the run manifest so a
+    // snapshot records what produced it. perfsim is single-threaded.
+    obs::note_run_context(
+        seed,
+        1,
+        obs::fnv1a(format!("{cfg:?}|{workload:?}").as_bytes()),
+    );
     obs::counter("perfsim.runs").inc();
     obs::counter("perfsim.llc.hits").add(r.llc_stats.hits);
     obs::counter("perfsim.llc.misses").add(r.llc_stats.misses);

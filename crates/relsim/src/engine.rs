@@ -224,6 +224,21 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
     );
     trace_event!(target: "relsim", Level::Info, "run_start",
         arms = scenarios.len(), trials = run.trials, seed = run.seed);
+    if obs::metrics_enabled() || obs::enabled("relsim", Level::Info) {
+        // Fold the full scenario configuration (and trial count) into one
+        // hash so the run manifest records *what* was simulated. Gated so
+        // the disabled path stays free of JSON serialization.
+        let mut config = String::new();
+        for s in scenarios {
+            config.push_str(&s.to_json().to_pretty());
+        }
+        config.push_str(&run.trials.to_string());
+        obs::note_run_context(
+            run.seed,
+            run.threads.max(1) as u64,
+            obs::fnv1a(config.as_bytes()),
+        );
+    }
     // Group arms by fault model so each group shares samples.
     let mut groups: Vec<(FaultModel, Vec<usize>)> = Vec::new();
     for (i, s) in scenarios.iter().enumerate() {

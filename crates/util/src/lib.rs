@@ -22,6 +22,9 @@
 //!   deterministic merged stream, a metrics registry (counters, gauges,
 //!   log-linear histograms), RAII span timers, and text/JSON sinks, all
 //!   gated to be free when disabled.
+//! * [`export`] — exporters from the [`obs`] model to external tool
+//!   formats: Chrome trace-event JSON (Perfetto-loadable) and Prometheus
+//!   text exposition, both built on the in-repo JSON/text code.
 //! * [`stats`] — streaming summaries, empirical CDFs, and binomial confidence
 //!   intervals used by every experiment harness.
 //! * [`table`] — minimal fixed-width table/CSV rendering for the
@@ -42,6 +45,7 @@
 
 pub mod bits;
 pub mod dist;
+pub mod export;
 pub mod json;
 pub mod obs;
 pub mod prop;

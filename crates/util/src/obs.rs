@@ -20,6 +20,16 @@
 //! * **Sinks** — [`render_text`] for humans, [`events_to_json`] and
 //!   [`snapshot`]/[`write_snapshot`] for machines (via [`crate::json`],
 //!   written under `results/obs/<run>.json`).
+//! * **Run manifests** — every snapshot embeds a [`Manifest`] (git SHA,
+//!   cargo profile, thread count, RNG seeds, scenario config hash,
+//!   wall-clock from an injectable clock) and [`write_snapshot`] appends
+//!   the run to the `results/runs/index.json` registry atomically, so any
+//!   two runs can be compared long after the processes that produced them
+//!   are gone (the `obs_diff` reporter consumes exactly this metadata).
+//!   Simulators publish their parameters through [`note_run_context`];
+//!   bench harnesses publish medians through [`record_bench`]. External
+//!   tool formats (Perfetto traces, Prometheus exposition) are produced by
+//!   [`crate::export`] from [`drain_events`] and [`metric_snaps`].
 //!
 //! # Gating and cost when disabled
 //!
@@ -74,9 +84,11 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 /// Schema marker shared by every machine-readable artifact this workspace
-/// emits (metrics snapshots and the bench tables' JSON mirrors), so
-/// downstream tooling can evolve both in lockstep.
-pub const SCHEMA_VERSION: u64 = 1;
+/// emits (metrics snapshots, the bench tables' JSON mirrors, the run
+/// registry, and obs_diff verdicts), so downstream tooling can evolve all
+/// of them in lockstep. Version 2 added the embedded [`Manifest`] and the
+/// `benches` snapshot section.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Scope key meaning "not inside any [`scope`] guard".
 pub const UNSCOPED: u64 = u64::MAX;
@@ -279,7 +291,7 @@ impl std::fmt::Display for FieldValue {
 }
 
 impl FieldValue {
-    fn to_json(&self) -> Value {
+    pub(crate) fn to_json(&self) -> Value {
         match self {
             FieldValue::U64(v) => Value::Number(*v as f64),
             FieldValue::I64(v) => Value::Number(*v as f64),
@@ -374,8 +386,24 @@ struct Global {
     metrics: Mutex<Vec<(String, Metric)>>,
     dropped: AtomicU64,
     buf_cap: usize,
+    /// Simulator-published run parameters folded into the [`Manifest`].
+    run_ctx: Mutex<RunContext>,
+    /// Bench medians published by `timing::Harness` for the snapshot.
+    benches: Mutex<Vec<BenchRecord>>,
+    /// Injected wall clock (tests pin it; `None` = `SystemTime::now`).
+    clock_ms: Mutex<Option<fn() -> u64>>,
+    /// Serializes appends to the run registry within this process.
+    index_lock: Mutex<()>,
     /// Serializes tests that reconfigure the process-wide state.
     test_lock: Mutex<()>,
+}
+
+#[derive(Default)]
+struct RunContext {
+    seeds: Vec<u64>,
+    threads: u64,
+    config_hash: u64,
+    sim_runs: u64,
 }
 
 impl Global {
@@ -425,6 +453,10 @@ fn global() -> &'static Global {
             metrics: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
             buf_cap,
+            run_ctx: Mutex::new(RunContext::default()),
+            benches: Mutex::new(Vec::new()),
+            clock_ms: Mutex::new(None),
+            index_lock: Mutex::new(()),
             test_lock: Mutex::new(()),
         };
         g.recompute_gates();
@@ -866,6 +898,266 @@ pub fn span(name: &str) -> SpanTimer {
 }
 
 // ---------------------------------------------------------------------------
+// Run manifests and cross-run context
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a byte string: the workspace's stable config-hash function
+/// (manifests record it so two runs can be checked for comparability).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Publishes one simulator run's parameters into the process manifest:
+/// the RNG seed, worker thread count, and a hash of the scenario/machine
+/// configuration. Call once per run, before or after the work — the
+/// manifest accumulates every distinct seed and folds config hashes in
+/// call order (the instrumented binaries invoke simulators serially).
+pub fn note_run_context(seed: u64, threads: u64, config_hash: u64) {
+    let mut ctx = global().run_ctx.lock().expect("run context");
+    if !ctx.seeds.contains(&seed) {
+        ctx.seeds.push(seed);
+    }
+    ctx.threads = ctx.threads.max(threads);
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&ctx.config_hash.to_le_bytes());
+    bytes[8..].copy_from_slice(&config_hash.to_le_bytes());
+    ctx.config_hash = fnv1a(&bytes);
+    ctx.sim_runs += 1;
+}
+
+/// Installs (or with `None`, removes) an injected wall clock for
+/// [`Manifest::collect`]. Tests pin it so manifests are reproducible.
+pub fn set_clock_ms(clock: Option<fn() -> u64>) {
+    *global().clock_ms.lock().expect("clock") = clock;
+}
+
+/// Milliseconds since the Unix epoch, from the injected clock if one is
+/// installed (see [`set_clock_ms`]).
+pub fn now_ms() -> u64 {
+    let injected = *global().clock_ms.lock().expect("clock");
+    match injected {
+        Some(f) => f(),
+        None => std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+    }
+}
+
+/// The commit this binary was built from: `RF_GIT_SHA` if set, otherwise
+/// resolved by walking up from the working directory to a `.git/HEAD`
+/// (plain file reads — no `git` subprocess), `"unknown"` when neither
+/// works.
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("RF_GIT_SHA") {
+        return sha.trim().to_string();
+    }
+    let mut dir = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(_) => return "unknown".into(),
+    };
+    for _ in 0..6 {
+        let head = dir.join(".git/HEAD");
+        if let Ok(text) = std::fs::read_to_string(&head) {
+            let text = text.trim();
+            let Some(reference) = text.strip_prefix("ref: ") else {
+                return text.to_string(); // detached HEAD: the SHA itself
+            };
+            if let Ok(sha) = std::fs::read_to_string(dir.join(".git").join(reference)) {
+                return sha.trim().to_string();
+            }
+            // Ref may only exist packed.
+            if let Ok(packed) = std::fs::read_to_string(dir.join(".git/packed-refs")) {
+                for line in packed.lines() {
+                    if let Some(sha) = line.strip_suffix(reference) {
+                        return sha.trim().to_string();
+                    }
+                }
+            }
+            return "unknown".into();
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    "unknown".into()
+}
+
+/// What produced a snapshot: enough metadata to decide whether two runs
+/// are comparable (same config and seeds) and to trace a result back to a
+/// commit. Embedded in every snapshot and appended to the run registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Run name (the snapshot's file stem).
+    pub run: String,
+    /// Commit SHA the binary was built from (`"unknown"` if unresolvable).
+    pub git_sha: String,
+    /// Cargo profile: `"release"` or `"debug"`.
+    pub profile: &'static str,
+    /// Worker threads the simulators used (0 when none ran).
+    pub threads: u64,
+    /// Every distinct RNG seed the simulators were given, in first-use order.
+    pub seeds: Vec<u64>,
+    /// Order-sensitive FNV-1a fold of every simulator configuration.
+    pub config_hash: u64,
+    /// How many simulator runs contributed to this snapshot.
+    pub sim_runs: u64,
+    /// Wall-clock milliseconds since the epoch, from [`now_ms`].
+    pub wall_clock_ms: u64,
+}
+
+impl Manifest {
+    /// Gathers the manifest for the current process state.
+    pub fn collect(run: &str) -> Manifest {
+        let ctx = global().run_ctx.lock().expect("run context");
+        Manifest {
+            run: run.to_string(),
+            git_sha: git_sha(),
+            profile: if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+            threads: ctx.threads,
+            seeds: ctx.seeds.clone(),
+            config_hash: ctx.config_hash,
+            sim_runs: ctx.sim_runs,
+            wall_clock_ms: now_ms(),
+        }
+    }
+
+    /// JSON form. `config_hash` is emitted as a 16-digit hex string — JSON
+    /// numbers are doubles and would silently round a 64-bit hash.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("run", Value::from(self.run.as_str())),
+            ("git_sha", Value::from(self.git_sha.as_str())),
+            ("profile", Value::from(self.profile)),
+            ("threads", Value::from(self.threads)),
+            (
+                "seeds",
+                Value::Array(self.seeds.iter().map(|&s| Value::from(s)).collect()),
+            ),
+            (
+                "config_hash",
+                Value::from(format!("{:016x}", self.config_hash)),
+            ),
+            ("sim_runs", Value::from(self.sim_runs)),
+            ("wall_clock_ms", Value::from(self.wall_clock_ms)),
+        ])
+    }
+}
+
+/// One benchmark outcome published by `timing::Harness` (see
+/// [`record_bench`]): the snapshot keeps the raw per-batch samples so
+/// `obs_diff` can put a confidence interval on the median.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name.
+    pub name: String,
+    /// Median nanoseconds per iteration across batches.
+    pub median_ns: f64,
+    /// Iterations per batch after calibration.
+    pub iters: u64,
+    /// Per-batch nanoseconds per iteration, sorted ascending.
+    pub batch_ns: Vec<f64>,
+}
+
+/// Publishes a bench median (plus its batch samples) into the snapshot's
+/// `benches` section. No-op while metrics are disabled. A repeated name
+/// replaces the earlier record.
+pub fn record_bench(name: &str, median_ns: f64, iters: u64, batch_ns: &[f64]) {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut benches = global().benches.lock().expect("bench records");
+    let record = BenchRecord {
+        name: name.to_string(),
+        median_ns,
+        iters,
+        batch_ns: batch_ns.to_vec(),
+    };
+    if let Some(slot) = benches.iter_mut().find(|b| b.name == name) {
+        *slot = record;
+    } else {
+        benches.push(record);
+    }
+}
+
+/// Every bench record published so far, in publication order.
+pub fn bench_records() -> Vec<BenchRecord> {
+    global().benches.lock().expect("bench records").clone()
+}
+
+/// One metric's current state, for exporters (see [`metric_snaps`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnap {
+    /// A counter's value.
+    Counter(u64),
+    /// A gauge's value.
+    Gauge(f64),
+    /// A histogram's totals plus its non-empty buckets.
+    Histogram {
+        /// Values recorded.
+        count: u64,
+        /// Sum of recorded values.
+        sum: u64,
+        /// Largest recorded value (exact).
+        max: u64,
+        /// `(inclusive upper bound, count)` per non-empty bucket in
+        /// ascending order; `None` marks the unbounded last bucket.
+        buckets: Vec<(Option<u64>, u64)>,
+    },
+}
+
+/// Reads every registered metric, sorted by name — the exporter-facing
+/// view of the registry (Prometheus exposition is built from exactly
+/// this; see [`crate::export::prometheus_text`]).
+pub fn metric_snaps() -> Vec<(String, MetricSnap)> {
+    let metrics = global().metrics.lock().expect("metrics registry");
+    let mut out: Vec<(String, MetricSnap)> = metrics
+        .iter()
+        .map(|(name, m)| {
+            let snap = match m {
+                Metric::Counter(c) => MetricSnap::Counter(c.load(Ordering::Relaxed)),
+                Metric::Gauge(bits) => {
+                    MetricSnap::Gauge(f64::from_bits(bits.load(Ordering::Relaxed)))
+                }
+                Metric::Histogram(h) => {
+                    let buckets = h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(idx, b)| {
+                            let n = b.load(Ordering::Relaxed);
+                            if n == 0 {
+                                return None;
+                            }
+                            let le = (idx + 1 < HIST_BUCKETS).then(|| bucket_floor(idx + 1) - 1);
+                            Some((le, n))
+                        })
+                        .collect();
+                    MetricSnap::Histogram {
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: h.sum.load(Ordering::Relaxed),
+                        max: h.max.load(Ordering::Relaxed),
+                        buckets,
+                    }
+                }
+            };
+            (name.clone(), snap)
+        })
+        .collect();
+    out.sort_by(|(a, _), (b, _)| a.cmp(b));
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Snapshot sink
 // ---------------------------------------------------------------------------
 
@@ -873,11 +1165,17 @@ pub fn span(name: &str) -> SpanTimer {
 /// name so emitted files diff cleanly:
 ///
 /// ```json
-/// {"schema_version": 1, "counters": {...}, "gauges": {...},
+/// {"schema_version": 2, "manifest": {...}, "counters": {...},
+///  "gauges": {...},
 ///  "histograms": {"relsim.trial_ns": {"count":…, "p50":…, …}},
+///  "benches": {"node_eval": {"median_ns":…, "iters":…, "batch_ns":[…]}},
 ///  "dropped_events": 0}
 /// ```
 pub fn snapshot() -> Value {
+    snapshot_for_run("")
+}
+
+fn snapshot_for_run(run: &str) -> Value {
     let g = global();
     let metrics = g.metrics.lock().expect("metrics registry");
     let mut counters: Vec<(String, Value)> = Vec::new();
@@ -921,27 +1219,126 @@ pub fn snapshot() -> Value {
     for list in [&mut counters, &mut gauges, &mut hists] {
         list.sort_by(|(a, _), (b, _)| a.cmp(b));
     }
+    let mut benches: Vec<(String, Value)> = bench_records()
+        .into_iter()
+        .map(|b| {
+            (
+                b.name,
+                Value::object([
+                    ("median_ns", Value::from(b.median_ns)),
+                    ("iters", Value::from(b.iters)),
+                    (
+                        "batch_ns",
+                        Value::Array(b.batch_ns.iter().map(|&ns| Value::from(ns)).collect()),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    benches.sort_by(|(a, _), (b, _)| a.cmp(b));
     Value::object([
         ("schema_version", Value::from(SCHEMA_VERSION)),
+        ("manifest", Manifest::collect(run).to_json()),
         ("counters", Value::Object(counters)),
         ("gauges", Value::Object(gauges)),
         ("histograms", Value::Object(hists)),
+        ("benches", Value::Object(benches)),
         ("dropped_events", Value::from(dropped_events())),
     ])
 }
 
-/// Writes [`snapshot`] to `<RF_RESULTS_DIR|results>/obs/<run>.json`,
-/// returning the path written.
+fn results_dir() -> String {
+    std::env::var("RF_RESULTS_DIR").unwrap_or_else(|_| "results".into())
+}
+
+fn io_context(what: &str, e: std::io::Error) -> std::io::Error {
+    std::io::Error::new(e.kind(), format!("{what}: {e}"))
+}
+
+/// Checks a run name for use as a file stem: non-empty, only
+/// `[A-Za-z0-9._-]`, no path separators, no leading `.`, no `..`.
 ///
 /// # Errors
 ///
-/// Propagates directory-creation and file-write failures.
+/// Returns a message naming the offending run name and rule.
+pub fn validate_run_name(run: &str) -> Result<(), String> {
+    if run.is_empty() {
+        return Err("run name is empty".into());
+    }
+    if run.starts_with('.') || run.contains("..") {
+        return Err(format!(
+            "run name `{run}` must not start with `.` or contain `..`"
+        ));
+    }
+    if let Some(c) = run
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+    {
+        return Err(format!(
+            "run name `{run}` contains `{c}`; only [A-Za-z0-9._-] are allowed"
+        ));
+    }
+    Ok(())
+}
+
+/// Writes [`snapshot`] (with `run` recorded in its [`Manifest`]) to
+/// `<RF_RESULTS_DIR|results>/obs/<run>.json` and appends the run to the
+/// `<RF_RESULTS_DIR|results>/runs/index.json` registry, returning the
+/// snapshot path.
+///
+/// # Errors
+///
+/// Rejects run names that fail [`validate_run_name`] with
+/// [`std::io::ErrorKind::InvalidInput`]; directory-creation and file-write
+/// failures are returned with the failing path in the message.
 pub fn write_snapshot(run: &str) -> std::io::Result<String> {
-    let dir = std::env::var("RF_RESULTS_DIR").unwrap_or_else(|_| "results".into());
-    let dir = format!("{dir}/obs");
-    std::fs::create_dir_all(&dir)?;
+    validate_run_name(run)
+        .map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))?;
+    let dir = format!("{}/obs", results_dir());
+    std::fs::create_dir_all(&dir).map_err(|e| io_context("creating snapshot dir", e))?;
     let path = format!("{dir}/{run}.json");
-    std::fs::write(&path, snapshot().to_pretty())?;
+    let doc = snapshot_for_run(run);
+    std::fs::write(&path, doc.to_pretty())
+        .map_err(|e| io_context(&format!("writing snapshot {path}"), e))?;
+    let manifest = doc.get("manifest").cloned().unwrap_or(Value::Null);
+    append_run_index(manifest, &path)?;
+    Ok(path)
+}
+
+/// Appends one run (its manifest plus the snapshot path) to the
+/// `<RF_RESULTS_DIR|results>/runs/index.json` registry, returning the
+/// registry path. The write is atomic (temp file + rename), so a crashed
+/// or concurrent run can never leave the registry unparsable.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures with context.
+fn append_run_index(manifest: Value, snapshot_path: &str) -> std::io::Result<String> {
+    let _serial = global().index_lock.lock().expect("index lock");
+    let dir = format!("{}/runs", results_dir());
+    std::fs::create_dir_all(&dir).map_err(|e| io_context("creating runs dir", e))?;
+    let path = format!("{dir}/index.json");
+    let mut runs: Vec<Value> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| Value::parse(&text).ok())
+        .and_then(|doc| {
+            doc.get("runs")
+                .and_then(Value::as_array)
+                .map(<[Value]>::to_vec)
+        })
+        .unwrap_or_default();
+    runs.push(Value::object([
+        ("manifest", manifest),
+        ("snapshot", Value::from(snapshot_path)),
+    ]));
+    let doc = Value::object([
+        ("schema_version", Value::from(SCHEMA_VERSION)),
+        ("runs", Value::Array(runs)),
+    ]);
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, doc.to_pretty())
+        .map_err(|e| io_context(&format!("writing registry {tmp}"), e))?;
+    std::fs::rename(&tmp, &path).map_err(|e| io_context(&format!("renaming into {path}"), e))?;
     Ok(path)
 }
 
@@ -973,6 +1370,9 @@ pub fn reset() {
     }
     buffers.retain(|b| Arc::strong_count(b) > 1);
     g.dropped.store(0, Ordering::Relaxed);
+    drop(buffers);
+    *g.run_ctx.lock().expect("run context") = RunContext::default();
+    g.benches.lock().expect("bench records").clear();
 }
 
 #[cfg(test)]
@@ -1118,6 +1518,205 @@ mod tests {
         assert_eq!(h.max(), 1000);
         // Nearest-rank p50 of 11 values is the 6th smallest.
         assert_eq!(h.percentile(50.0), 6);
+    }
+
+    #[test]
+    fn histogram_empty_and_extreme_percentiles() {
+        let _x = exclusive();
+        let _dark = Dark;
+        set_metrics_enabled(true);
+        let h = histogram("test.edge_hist");
+        // Empty histogram: every percentile (including the endpoints) is 0.
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(h.percentile(p), 0);
+        }
+        assert_eq!(h.max(), 0);
+        // p=0.0 clamps to rank 1 (smallest); p=100.0 to rank count.
+        h.record(7);
+        assert_eq!(h.percentile(0.0), 7);
+        assert_eq!(h.percentile(100.0), 7);
+        h.record(3);
+        assert_eq!(h.percentile(0.0), 3);
+        assert_eq!(h.percentile(100.0), 7);
+        // Saturation: u64::MAX lands in the final bucket; the percentile
+        // reports that bucket's floor while max stays exact.
+        h.record(u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(h.percentile(100.0), bucket_floor(HIST_BUCKETS - 1));
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_consistent() {
+        // Every bucket's floor maps back to the same bucket, including the
+        // linear/log seam at 15/16 and the saturated final bucket.
+        for idx in 0..HIST_BUCKETS {
+            assert_eq!(bucket_index(bucket_floor(idx)), idx, "bucket {idx}");
+        }
+        // The seam itself: 15 is the last exact value, 16 the first
+        // log-linear one.
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_floor(bucket_index(17)), 16);
+    }
+
+    #[test]
+    fn filter_parse_rejects_malformed_specs() {
+        for bad in [
+            "a==debug",     // empty-looking level `=debug`
+            "=info",        // empty target
+            "a=",           // empty level
+            "a=shout",      // unknown level
+            "verbose",      // unknown bare directive
+            "a=debug,=off", // malformed second directive
+            "a=b=c",        // level is not a level
+            "relsim>debug", // not a directive at all
+        ] {
+            assert!(Filter::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Cosmetic empties between commas stay accepted.
+        assert!(Filter::parse("a=debug,,b=info,").is_ok());
+    }
+
+    #[test]
+    fn run_names_are_sanitized() {
+        for bad in ["", "a/b", "..", "a..b", ".hidden", "a\\b", "a b", "a\nb"] {
+            let err = validate_run_name(bad).expect_err(bad);
+            assert!(err.contains("run name"), "unclear error `{err}`");
+            let io_err = write_snapshot(bad).expect_err(bad);
+            assert_eq!(io_err.kind(), std::io::ErrorKind::InvalidInput);
+        }
+        for good in ["smoke", "drift_a", "fig10-coverage", "v2.1"] {
+            assert_eq!(validate_run_name(good), Ok(()), "{good}");
+        }
+    }
+
+    #[test]
+    fn manifest_uses_injected_clock_and_run_context() {
+        let _x = exclusive();
+        let _dark = Dark;
+        reset();
+        set_clock_ms(Some(|| 1_234_567));
+        note_run_context(2016, 4, fnv1a(b"scenario-a"));
+        note_run_context(2016, 8, fnv1a(b"scenario-b"));
+        note_run_context(99, 2, fnv1a(b"scenario-a"));
+        let m = Manifest::collect("demo");
+        assert_eq!(m.run, "demo");
+        assert_eq!(m.wall_clock_ms, 1_234_567);
+        assert_eq!(m.seeds, vec![2016, 99], "distinct seeds in first-use order");
+        assert_eq!(m.threads, 8, "max thread count wins");
+        assert_eq!(m.sim_runs, 3);
+        assert!(!cfg!(debug_assertions) || m.profile == "debug");
+        // Same calls in the same order reproduce the same config hash.
+        let hash = m.config_hash;
+        reset();
+        note_run_context(2016, 4, fnv1a(b"scenario-a"));
+        note_run_context(2016, 8, fnv1a(b"scenario-b"));
+        note_run_context(99, 2, fnv1a(b"scenario-a"));
+        assert_eq!(Manifest::collect("demo").config_hash, hash);
+        // And a different config stream does not.
+        reset();
+        note_run_context(2016, 4, fnv1a(b"scenario-b"));
+        assert_ne!(Manifest::collect("demo").config_hash, hash);
+        // JSON form parses and keeps the hash exact via the hex string.
+        let json = m.to_json();
+        let parsed = Value::parse(&json.to_pretty()).expect("manifest JSON parses");
+        assert_eq!(
+            parsed.get("config_hash").and_then(Value::as_str),
+            Some(format!("{hash:016x}").as_str())
+        );
+        set_clock_ms(None);
+    }
+
+    #[test]
+    fn write_snapshot_embeds_manifest_and_appends_registry() {
+        let _x = exclusive();
+        let _dark = Dark;
+        reset();
+        set_metrics_enabled(true);
+        set_clock_ms(Some(|| 42));
+        let dir = std::env::temp_dir().join(format!("rf_obs_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let prev = std::env::var("RF_RESULTS_DIR").ok();
+        std::env::set_var("RF_RESULTS_DIR", &dir);
+        let restore = |prev: &Option<String>| match prev {
+            Some(v) => std::env::set_var("RF_RESULTS_DIR", v),
+            None => std::env::remove_var("RF_RESULTS_DIR"),
+        };
+
+        counter("test.registry_counter").add(5);
+        note_run_context(7, 2, 0xDEAD);
+        let path_a = write_snapshot("reg_a").expect("snapshot a");
+        let path_b = write_snapshot("reg_b").expect("snapshot b");
+        let snap = Value::parse(&std::fs::read_to_string(&path_a).expect("readable"))
+            .expect("snapshot parses");
+        let manifest = snap.get("manifest").expect("manifest embedded");
+        assert_eq!(manifest.get("run").and_then(Value::as_str), Some("reg_a"));
+        assert_eq!(
+            manifest.get("wall_clock_ms").and_then(Value::as_f64),
+            Some(42.0)
+        );
+        assert!(snap.get("benches").is_some(), "benches section present");
+
+        let index_path = dir.join("runs/index.json");
+        let index = Value::parse(&std::fs::read_to_string(&index_path).expect("index readable"))
+            .expect("index parses");
+        let runs = index
+            .get("runs")
+            .and_then(Value::as_array)
+            .expect("runs array");
+        assert_eq!(runs.len(), 2, "one entry per instrumented run");
+        assert_eq!(
+            runs[1].get("snapshot").and_then(Value::as_str),
+            Some(path_b.as_str())
+        );
+        assert_eq!(
+            runs[0]
+                .get("manifest")
+                .and_then(|m| m.get("run"))
+                .and_then(Value::as_str),
+            Some("reg_a")
+        );
+
+        restore(&prev);
+        set_clock_ms(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_records_land_in_snapshot() {
+        let _x = exclusive();
+        let _dark = Dark;
+        reset();
+        set_metrics_enabled(true);
+        record_bench("test.bench", 120.0, 1000, &[110.0, 120.0, 130.0]);
+        record_bench("test.bench", 125.0, 1000, &[115.0, 125.0, 135.0]);
+        let snap = snapshot();
+        let b = snap
+            .get("benches")
+            .and_then(|b| b.get("test.bench"))
+            .expect("bench record in snapshot");
+        assert_eq!(b.get("median_ns").and_then(Value::as_f64), Some(125.0));
+        assert_eq!(
+            b.get("batch_ns")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(3),
+            "latest record replaces the earlier one"
+        );
+        // Disabled metrics drop records.
+        set_metrics_enabled(false);
+        reset();
+        record_bench("test.bench2", 1.0, 1, &[1.0]);
+        assert!(bench_records().is_empty());
+    }
+
+    #[test]
+    fn fnv1a_known_answers() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

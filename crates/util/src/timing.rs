@@ -35,6 +35,10 @@ pub struct BenchResult {
     pub median_ns: f64,
     /// Iterations per batch after calibration.
     pub iters: u64,
+    /// Per-batch nanoseconds per iteration, in run order. The regression
+    /// reporter feeds these to [`crate::stats::median_ci`] to decide
+    /// whether two runs' medians are statistically distinguishable.
+    pub batch_ns: Vec<f64>,
 }
 
 /// Runs and reports a sequence of named benchmarks.
@@ -71,7 +75,7 @@ impl Harness {
     /// passed through [`black_box`] so the work is not optimized away.
     pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
         let iters = self.calibrate(&mut f);
-        let mut per_iter: Vec<f64> = (0..self.batches)
+        let batch_ns: Vec<f64> = (0..self.batches)
             .map(|_| {
                 let start = Instant::now();
                 for _ in 0..iters {
@@ -80,17 +84,20 @@ impl Harness {
                 start.elapsed().as_nanos() as f64 / iters as f64
             })
             .collect();
-        per_iter.sort_by(|a, b| a.total_cmp(b));
-        let median_ns = per_iter[per_iter.len() / 2];
+        let mut sorted = batch_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = sorted[sorted.len() / 2];
         println!(
             "{name:<40} {:>12}/iter  ({iters} iters x {} batches)",
             format_ns(median_ns),
             self.batches
         );
+        crate::obs::record_bench(name, median_ns, iters, &batch_ns);
         self.results.push(BenchResult {
             name: name.to_string(),
             median_ns,
             iters,
+            batch_ns,
         });
     }
 
@@ -158,6 +165,10 @@ mod tests {
         assert_eq!(r.name, "spin");
         assert!(r.median_ns > 0.0);
         assert!(r.iters >= 1);
+        assert_eq!(r.batch_ns.len(), 3);
+        let mut sorted = r.batch_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(r.median_ns, sorted[1]);
     }
 
     #[test]

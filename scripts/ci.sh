@@ -16,9 +16,39 @@ cargo test --workspace -q
 # Observability gate: re-run the smoke scenario with tracing on; it must
 # emit a metrics snapshot under results/obs/ that parses with the strict
 # in-repo JSON parser and carries the required top-level keys.
-rm -rf results/obs
+rm -rf results/obs results/runs
 RF_TRACE=relsim=debug cargo test -q --test smoke
 cargo run --release -q -p relaxfault-bench --bin obs_validate results/obs
+
+# Determinism drift gate: the same pinned-seed scenario twice must produce
+# identical counters (timings may jitter — the generous threshold ignores
+# them; the exact counter comparison is the determinism signal). The
+# obs_diff verdict JSON is kept under results/ci/ as a build artifact.
+rm -rf results/ci
+RF_OBS=on RF_RESULTS_DIR=results/ci RF_RUN_NAME=drift_a \
+    cargo run --release -q -p relaxfault-bench --bin fig08_hashing -- 4000
+RF_OBS=on RF_RESULTS_DIR=results/ci RF_RUN_NAME=drift_b \
+    cargo run --release -q -p relaxfault-bench --bin fig08_hashing -- 4000
+cargo run --release -q -p relaxfault-bench --bin obs_diff -- \
+    results/ci/obs/drift_a.json results/ci/obs/drift_b.json \
+    --threshold 10 --out results/ci/obs_diff_verdict.json
+
+# Baseline regression gate, active only when a baseline snapshot has been
+# committed. Record one at the same pinned trial count CI replays (counters
+# are deterministic in the seed, so they match across machines; only
+# timings vary):
+#   RF_OBS=on cargo run --release -p relaxfault-bench --bin fig08_hashing -- 4000
+#   mkdir -p results/baselines && cp results/obs/fig08_hashing.json results/baselines/
+# The newest registered run is compared against the committed baseline of
+# the same run name; regressions beyond the CI threshold fail the build.
+if [ -d results/baselines ]; then
+    RF_OBS=on RF_RESULTS_DIR=results/ci RF_RUN_NAME=fig08_hashing \
+        cargo run --release -q -p relaxfault-bench --bin fig08_hashing -- 4000
+    mkdir -p results/ci/baselines
+    cp results/baselines/*.json results/ci/baselines/
+    RF_RESULTS_DIR=results/ci cargo run --release -q -p relaxfault-bench --bin obs_diff -- \
+        --latest-vs-baseline --threshold 0.5 --out results/ci/obs_diff_baseline_verdict.json
+fi
 
 # Disabled-path guard: observability must cost <1% of the Monte Carlo
 # inner loop when off (the bench exits non-zero otherwise).
