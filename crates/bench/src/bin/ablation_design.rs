@@ -34,6 +34,7 @@ fn run(arms: &[Scenario], trials: u64) -> Vec<relaxfault_relsim::ScenarioResult>
             trials,
             seed: 0xAB1A,
             threads,
+            chunk_size: 0,
         },
     )
 }

@@ -5,7 +5,7 @@ use relaxfault_bench::{coverage_curves, emit};
 
 fn main() {
     let args = relaxfault_bench::obs_init();
-    let trials = args.work(60_000);
+    let trials = args.work(600_000);
     let t = coverage_curves(1.0, trials);
     emit(
         "fig10_coverage",

@@ -5,7 +5,7 @@ use relaxfault_bench::{coverage_curves, emit};
 
 fn main() {
     let args = relaxfault_bench::obs_init();
-    let trials = args.work(40_000);
+    let trials = args.work(400_000);
     let t = coverage_curves(10.0, trials);
     emit(
         "fig11_coverage_10x",

@@ -5,7 +5,7 @@ use relaxfault_bench::{emit, reliability_matrix};
 
 fn main() {
     let args = relaxfault_bench::obs_init();
-    let trials = args.work(200_000);
+    let trials = args.work(2_000_000);
     let r1 = reliability_matrix(1.0, trials);
     emit(
         "fig12a_dues_1x",

@@ -5,7 +5,7 @@ use relaxfault_bench::{emit, reliability_matrix};
 
 fn main() {
     let args = relaxfault_bench::obs_init();
-    let trials = args.work(400_000);
+    let trials = args.work(4_000_000);
     let r1 = reliability_matrix(1.0, trials);
     emit(
         "fig13a_sdcs_1x",

@@ -76,6 +76,14 @@ pub fn obs_init() -> BenchArgs {
     parsed
 }
 
+/// The run name observability output files under: the `--run` flag if
+/// given, else `RF_RUN_NAME`, else `default`. Public so `harness = false`
+/// bench targets that write their own snapshots (e.g. `engine_hot`) name
+/// runs by the same rules as [`emit`].
+pub fn resolved_run_name(default: &str) -> String {
+    run_name(default)
+}
+
 /// The run name [`emit`] files observability output under: the `--run`
 /// flag if given, else `RF_RUN_NAME`, else the emitting table's name.
 fn run_name(default: &str) -> String {
@@ -135,6 +143,7 @@ fn default_run(trials: u64) -> RunConfig {
         trials,
         seed: 2016,
         threads: num_threads(),
+        chunk_size: 0,
     }
 }
 

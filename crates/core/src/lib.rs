@@ -45,4 +45,4 @@ pub mod overhead;
 pub mod plan;
 
 pub use mapping::{RelaxMap, RepairLine};
-pub use plan::{FreeFault, Ppr, RelaxFault, RepairMechanism};
+pub use plan::{FreeFault, PlanScratch, Ppr, RelaxFault, RepairMechanism};

@@ -10,11 +10,11 @@
 
 use crate::mapping::{RelaxMap, RepairLine};
 use relaxfault_cache::CacheConfig;
-use relaxfault_dram::{AddressMap, DramConfig, DramLoc};
+use relaxfault_dram::{AddressMap, DramConfig, DramLoc, RankId};
 use relaxfault_faults::{Extent, FaultRegion};
+use relaxfault_util::hash::{FxHashMap, FxHashSet};
 use relaxfault_util::obs::{self, Counter, Histogram, Level};
 use relaxfault_util::trace_event;
-use std::collections::{HashMap, HashSet};
 use std::sync::OnceLock;
 
 /// Per-mechanism repair-planning telemetry. Updates are a relaxed load
@@ -85,14 +85,55 @@ fn ppr_metrics() -> &'static PlanMetrics {
     METRICS.get_or_init(|| PlanMetrics::new("ppr"))
 }
 
+/// Reusable scratch buffers for repair planning. The Monte Carlo engine
+/// offers millions of faults per run; routing every enumeration through
+/// one of these (owned per worker thread) keeps the planners free of
+/// per-call allocation. The buffers carry no state between calls — any
+/// `PlanScratch` works with any planner.
+#[derive(Debug, Clone, Default)]
+pub struct PlanScratch {
+    /// `(set, key)` candidate repair lines for the LLC planners.
+    cand: Vec<(u64, u64)>,
+    /// `(flat rank, device, bank, row)` rows for the PPR planner.
+    rows: Vec<(u32, u32, u32, u32)>,
+    /// Per-set fresh-line counts for the current `try_add` call, indexed
+    /// by set. Zeroed (via `touched`) before the call returns.
+    set_counts: Vec<u32>,
+    /// Sets with a nonzero entry in `set_counts`.
+    touched: Vec<u32>,
+    /// Keys inserted by the current `try_add` call, for rollback.
+    keys: Vec<u64>,
+}
+
+impl PlanScratch {
+    /// Creates an empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A fine-grained memory repair mechanism, driven one fault at a time.
 pub trait RepairMechanism {
     /// Short mechanism name for reports.
     fn name(&self) -> &'static str;
 
-    /// Attempts to repair a fault (all of its regions). Returns whether the
-    /// repair succeeded; on failure the planner state is unchanged.
-    fn try_repair(&mut self, regions: &[FaultRegion]) -> bool;
+    /// Attempts to repair a fault (all of its regions) without allocating,
+    /// using caller-provided scratch buffers. Returns whether the repair
+    /// succeeded; on failure the planner state is unchanged.
+    fn try_repair_with(&mut self, regions: &[FaultRegion], scratch: &mut PlanScratch) -> bool;
+
+    /// Convenience form of [`RepairMechanism::try_repair_with`] that
+    /// allocates fresh scratch. Fine for one-off calls; hot loops should
+    /// hold a [`PlanScratch`] and use `try_repair_with`.
+    fn try_repair(&mut self, regions: &[FaultRegion]) -> bool {
+        let mut scratch = PlanScratch::default();
+        self.try_repair_with(regions, &mut scratch)
+    }
+
+    /// Forgets all repairs, returning to the freshly-constructed state
+    /// while keeping internal capacity for reuse across Monte Carlo
+    /// trials.
+    fn reset(&mut self);
 
     /// LLC lines currently locked for repair (0 for PPR).
     fn lines_used(&self) -> u64;
@@ -110,8 +151,12 @@ struct LlcOccupancy {
     max_ways: u32,
     line_bytes: u64,
     sets: u64,
-    lines: HashSet<u64>,
-    per_set: HashMap<u64, u32>,
+    lines: FxHashSet<u64>,
+    /// Lines locked per set, indexed by set (32 KiB at 8192 sets — flat
+    /// array beats a hash map in the per-candidate admission check).
+    per_set: Vec<u32>,
+    /// Sets with a nonzero `per_set` entry, for sparse reset.
+    dirty_sets: Vec<u32>,
     max_used: u32,
 }
 
@@ -125,10 +170,20 @@ impl LlcOccupancy {
             max_ways,
             line_bytes: llc.line_bytes as u64,
             sets: llc.sets(),
-            lines: HashSet::new(),
-            per_set: HashMap::new(),
+            lines: FxHashSet::default(),
+            per_set: vec![0; llc.sets() as usize],
+            dirty_sets: Vec::new(),
             max_used: 0,
         }
+    }
+
+    fn reset(&mut self) {
+        self.lines.clear();
+        for &s in &self.dirty_sets {
+            self.per_set[s as usize] = 0;
+        }
+        self.dirty_sets.clear();
+        self.max_used = 0;
     }
 
     /// Absolute ceiling on additional lines; used to reject huge faults
@@ -137,29 +192,58 @@ impl LlcOccupancy {
         self.sets * self.max_ways as u64
     }
 
-    /// Tries to add the given (key, set) pairs atomically.
-    fn try_add(&mut self, candidates: &[(u64, u64)]) -> bool {
-        let mut new_lines: Vec<(u64, u64)> = Vec::new();
-        let mut seen = HashSet::new();
-        let mut increments: HashMap<u64, u32> = HashMap::new();
-        for &(key, set) in candidates {
-            if self.lines.contains(&key) || !seen.insert(key) {
-                continue; // already repaired by an earlier fault, or duplicate
-            }
-            let inc = increments.entry(set).or_insert(0);
-            *inc += 1;
-            if self.per_set.get(&set).copied().unwrap_or(0) + *inc > self.max_ways {
-                return false;
-            }
-            new_lines.push((key, set));
+    /// Tries to add the `(set, key)` pairs in `scratch.cand` atomically:
+    /// either every new line fits under the per-set way limit and all are
+    /// committed, or nothing changes. One pass, no sort: keys go straight
+    /// into `lines` (which doubles as the duplicate filter), fresh counts
+    /// accumulate in a flat per-set array, and the first overfull set
+    /// aborts the scan and rolls the inserted keys back. Whether *any*
+    /// set overflows is independent of candidate order, so the verdict —
+    /// and the committed state — match an exhaustive check exactly.
+    fn try_add(&mut self, scratch: &mut PlanScratch) -> bool {
+        if scratch.set_counts.len() < self.sets as usize {
+            scratch.set_counts.resize(self.sets as usize, 0);
         }
-        for (key, set) in new_lines {
-            self.lines.insert(key);
-            let e = self.per_set.entry(set).or_insert(0);
-            *e += 1;
-            self.max_used = self.max_used.max(*e);
+        scratch.keys.clear();
+        debug_assert!(scratch.touched.is_empty());
+        let mut ok = true;
+        for &(set, key) in &scratch.cand {
+            if !self.lines.insert(key) {
+                continue; // already repaired, or a duplicate candidate
+            }
+            scratch.keys.push(key);
+            let si = set as usize;
+            let c = &mut scratch.set_counts[si];
+            if *c == 0 {
+                scratch.touched.push(set as u32);
+            }
+            *c += 1;
+            if self.per_set[si] + *c > self.max_ways {
+                ok = false;
+                break;
+            }
         }
-        true
+        if ok {
+            for &s in &scratch.touched {
+                let si = s as usize;
+                let was = self.per_set[si];
+                if was == 0 {
+                    self.dirty_sets.push(s);
+                }
+                let now = was + scratch.set_counts[si];
+                self.per_set[si] = now;
+                self.max_used = self.max_used.max(now);
+            }
+        } else {
+            for &k in &scratch.keys {
+                self.lines.remove(&k);
+            }
+        }
+        for &s in &scratch.touched {
+            scratch.set_counts[s as usize] = 0;
+        }
+        scratch.touched.clear();
+        ok
     }
 
     fn lines_used(&self) -> u64 {
@@ -171,6 +255,54 @@ impl LlcOccupancy {
     }
 }
 
+/// Precomputed XOR deltas for enumerating the `(set, key)` pairs of a
+/// rectangular fault footprint without re-encoding every block.
+///
+/// Both address layouts here ([`AddressMap::encode`] and
+/// [`RelaxMap::repair_addr`]) deposit each coordinate's bits at fixed
+/// positions, and the only cross-coordinate interaction is an XOR (the
+/// bank⊕row hash); the LLC set index is likewise a canonical bit-extract
+/// or an XOR fold. All of it is linear over GF(2), so
+/// `addr(bank, row, col) = addr(bank, 0, 0) ⊕ Δ(row) ⊕ Δ(col)` exactly,
+/// and the same holds for the set index. Rows split further into low/high
+/// halves (`Δ(row) = Δ(row & 255) ⊕ Δ(row & !255)`), keeping the tables
+/// a few KiB even for 64Ki-row devices. Unit tests pin the fast
+/// enumeration against the direct per-block encoding.
+#[derive(Debug, Clone)]
+struct LineDeltas {
+    /// `(addr, set)` delta per column index (colblock or colgroup).
+    col: Vec<(u64, u64)>,
+    /// `(addr, set)` delta per `row & 255`.
+    row_lo: Vec<(u64, u64)>,
+    /// `(addr, set)` delta per `row >> 8`.
+    row_hi: Vec<(u64, u64)>,
+}
+
+impl LineDeltas {
+    /// Builds the tables from `addr_of(row, col)`, the layout's address
+    /// for row/col with every other coordinate zero (which must itself
+    /// map to address 0).
+    fn new(llc: &CacheConfig, rows: u32, cols: u32, addr_of: impl Fn(u32, u32) -> u64) -> Self {
+        debug_assert_eq!(addr_of(0, 0), 0, "layout must be origin-zero");
+        let pair = |a: u64| (a, llc.set_of(a));
+        Self {
+            col: (0..cols).map(|c| pair(addr_of(0, c))).collect(),
+            row_lo: (0..rows.min(256)).map(|r| pair(addr_of(r, 0))).collect(),
+            row_hi: (0..rows.div_ceil(256))
+                .map(|h| pair(addr_of(h << 8, 0)))
+                .collect(),
+        }
+    }
+
+    /// The `(addr, set)` delta of `row` relative to row 0.
+    #[inline]
+    fn row(&self, row: u32) -> (u64, u64) {
+        let (la, ls) = self.row_lo[(row & 255) as usize];
+        let (ha, hs) = self.row_hi[(row >> 8) as usize];
+        (la ^ ha, ls ^ hs)
+    }
+}
+
 /// The paper's contribution: coalescing repair in the LLC (Figure 7c
 /// mapping). One repair line covers `data_devices_per_rank` consecutive
 /// sub-blocks of the faulty device, so a full device row needs only
@@ -179,6 +311,8 @@ impl LlcOccupancy {
 pub struct RelaxFault {
     map: RelaxMap,
     dram: DramConfig,
+    llc: CacheConfig,
+    deltas: LineDeltas,
     occ: LlcOccupancy,
 }
 
@@ -194,9 +328,25 @@ impl RelaxFault {
         if obs::metrics_enabled() {
             obs::gauge("plan.relaxfault.coalesce_factor").set(map.coalesce_factor() as f64);
         }
+        let origin = RankId {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+        };
+        let deltas = LineDeltas::new(llc, dram.rows, map.colgroups_per_row(), |row, colgroup| {
+            map.repair_addr(&RepairLine {
+                rank: origin,
+                device: 0,
+                bank: 0,
+                row,
+                colgroup,
+            })
+        });
         Self {
             map,
             dram: *dram,
+            llc: *llc,
+            deltas,
             occ: LlcOccupancy::new(llc, max_ways_per_set),
         }
     }
@@ -251,19 +401,42 @@ impl RepairMechanism for RelaxFault {
         "RelaxFault"
     }
 
-    fn try_repair(&mut self, regions: &[FaultRegion]) -> bool {
+    fn try_repair_with(&mut self, regions: &[FaultRegion], scratch: &mut PlanScratch) -> bool {
         let need = self.lines_needed(regions);
         if need > self.occ.budget_ceiling() {
             // Whole-bank-scale fault: fail before enumerating.
             relaxfault_metrics().record("RelaxFault", RepairOutcome::RejectedCapacity, need);
             return false;
         }
-        let candidates: Vec<(u64, u64)> = self
-            .repair_lines(regions)
-            .map(|l| (self.map.key_of(&l), self.map.set_of(&l)))
-            .collect();
+        // Enumerate candidate lines with the XOR-delta tables: one full
+        // `repair_addr` per (region, bank), then two XORs per line.
+        scratch.cand.clear();
+        let off = self.llc.offset_bits();
+        for r in regions {
+            for rect in r.footprint(&self.dram).rects {
+                let groups = rect.colblocks.divided(self.map.coalesce_factor());
+                for bank in rect.banks.iter() {
+                    let base = self.map.repair_addr(&RepairLine {
+                        rank: r.rank,
+                        device: r.device,
+                        bank,
+                        row: 0,
+                        colgroup: 0,
+                    });
+                    let set_base = self.llc.set_of(base);
+                    for row in rect.rows.iter() {
+                        let (ra, rs) = self.deltas.row(row);
+                        let (row_addr, row_set) = (base ^ ra, set_base ^ rs);
+                        for colgroup in groups.iter() {
+                            let (ca, cs) = self.deltas.col[colgroup as usize];
+                            scratch.cand.push((row_set ^ cs, (row_addr ^ ca) >> off));
+                        }
+                    }
+                }
+            }
+        }
         let before = self.occ.lines_used();
-        let ok = self.occ.try_add(&candidates);
+        let ok = self.occ.try_add(scratch);
         let outcome = if ok {
             RepairOutcome::Accepted
         } else {
@@ -271,6 +444,10 @@ impl RepairMechanism for RelaxFault {
         };
         relaxfault_metrics().record("RelaxFault", outcome, self.occ.lines_used() - before);
         ok
+    }
+
+    fn reset(&mut self) {
+        self.occ.reset();
     }
 
     fn lines_used(&self) -> u64 {
@@ -295,6 +472,7 @@ pub struct FreeFault {
     dram: DramConfig,
     dram_map: AddressMap,
     llc: CacheConfig,
+    deltas: LineDeltas,
     occ: LlcOccupancy,
 }
 
@@ -306,10 +484,27 @@ impl FreeFault {
     ///
     /// Panics on invalid configs or way limits (see [`RelaxFault::new`]).
     pub fn new(dram: &DramConfig, llc: &CacheConfig, max_ways_per_set: u32) -> Self {
+        let dram_map = AddressMap::nehalem_like(dram, true);
+        let deltas = LineDeltas::new(llc, dram.rows, dram.blocks_per_row(), |row, colblock| {
+            dram_map
+                .encode(
+                    DramLoc {
+                        channel: 0,
+                        dimm: 0,
+                        rank: 0,
+                        bank: 0,
+                        row,
+                        colblock,
+                    },
+                    0,
+                )
+                .0
+        });
         Self {
             dram: *dram,
-            dram_map: AddressMap::nehalem_like(dram, true),
+            dram_map,
             llc: *llc,
+            deltas,
             occ: LlcOccupancy::new(llc, max_ways_per_set),
         }
     }
@@ -323,29 +518,42 @@ impl FreeFault {
             .sum()
     }
 
-    fn blocks(&self, regions: &[FaultRegion]) -> Vec<(u64, u64)> {
-        let mut out = Vec::new();
+    /// Enumerates the `(set, key)` pairs of every faulty physical block
+    /// into `out`.
+    fn blocks(&self, regions: &[FaultRegion], out: &mut Vec<(u64, u64)>) {
+        out.clear();
+        let off = self.llc.offset_bits();
         for r in regions {
             for rect in r.footprint(&self.dram).rects {
                 for bank in rect.banks.iter() {
-                    for row in rect.rows.iter() {
-                        for colblock in rect.colblocks.iter() {
-                            let loc = DramLoc {
+                    // One full encode per (region, bank); every other
+                    // block is two XORs via the delta tables.
+                    let base = self
+                        .dram_map
+                        .encode(
+                            DramLoc {
                                 channel: r.rank.channel,
                                 dimm: r.rank.dimm,
                                 rank: r.rank.rank,
                                 bank,
-                                row,
-                                colblock,
-                            };
-                            let addr = self.dram_map.encode(loc, 0).0;
-                            out.push((addr >> 6, self.llc.set_of(addr)));
+                                row: 0,
+                                colblock: 0,
+                            },
+                            0,
+                        )
+                        .0;
+                    let set_base = self.llc.set_of(base);
+                    for row in rect.rows.iter() {
+                        let (ra, rs) = self.deltas.row(row);
+                        let (row_addr, row_set) = (base ^ ra, set_base ^ rs);
+                        for colblock in rect.colblocks.iter() {
+                            let (ca, cs) = self.deltas.col[colblock as usize];
+                            out.push((row_set ^ cs, (row_addr ^ ca) >> off));
                         }
                     }
                 }
             }
         }
-        out
     }
 }
 
@@ -354,15 +562,15 @@ impl RepairMechanism for FreeFault {
         "FreeFault"
     }
 
-    fn try_repair(&mut self, regions: &[FaultRegion]) -> bool {
+    fn try_repair_with(&mut self, regions: &[FaultRegion], scratch: &mut PlanScratch) -> bool {
         let need = self.lines_needed(regions);
         if need > self.occ.budget_ceiling() {
             freefault_metrics().record("FreeFault", RepairOutcome::RejectedCapacity, need);
             return false;
         }
-        let candidates = self.blocks(regions);
+        self.blocks(regions, &mut scratch.cand);
         let before = self.occ.lines_used();
-        let ok = self.occ.try_add(&candidates);
+        let ok = self.occ.try_add(scratch);
         let outcome = if ok {
             RepairOutcome::Accepted
         } else {
@@ -370,6 +578,10 @@ impl RepairMechanism for FreeFault {
         };
         freefault_metrics().record("FreeFault", outcome, self.occ.lines_used() - before);
         ok
+    }
+
+    fn reset(&mut self) {
+        self.occ.reset();
     }
 
     fn lines_used(&self) -> u64 {
@@ -395,10 +607,10 @@ pub struct Ppr {
     banks_per_group: u32,
     spares_per_group: u32,
     /// Spares consumed, keyed by (flat rank, device, bank group).
-    used: HashMap<(u32, u32, u32), u32>,
+    used: FxHashMap<(u32, u32, u32), u32>,
     /// Rows already repaired, keyed by (flat rank, device, bank, row) —
     /// a later fault inside a substituted row costs nothing.
-    repaired_rows: HashSet<(u32, u32, u32, u32)>,
+    repaired_rows: FxHashSet<(u32, u32, u32, u32)>,
 }
 
 impl Ppr {
@@ -420,8 +632,8 @@ impl Ppr {
             dram: *dram,
             banks_per_group,
             spares_per_group,
-            used: HashMap::new(),
-            repaired_rows: HashSet::new(),
+            used: FxHashMap::default(),
+            repaired_rows: FxHashSet::default(),
         }
     }
 
@@ -430,18 +642,21 @@ impl Ppr {
         self.used.values().map(|&v| v as u64).sum()
     }
 
-    /// The faulty rows a fault needs substituted, or `None` if the fault is
-    /// not row-shaped (whole banks).
-    fn rows_needed(&self, regions: &[FaultRegion]) -> Option<Vec<(u32, u32, u32, u32)>> {
+    /// Collects the faulty rows a fault needs substituted into `rows`.
+    /// Returns `false` if the fault is not row-shaped (whole banks) or is
+    /// too large to ever fit the spare budget.
+    fn rows_needed(&self, regions: &[FaultRegion], rows: &mut Vec<(u32, u32, u32, u32)>) -> bool {
         // Cap: a fault needing more rows than the device has spares in
         // total can never be repaired; avoid enumerating huge clusters.
         let total_spares =
             (self.dram.banks / self.banks_per_group).max(1) as u64 * self.spares_per_group as u64;
-        let mut rows = Vec::new();
+        rows.clear();
         for r in regions {
-            let per_bank = r.extent.rows_per_bank(&self.dram)?;
+            let Some(per_bank) = r.extent.rows_per_bank(&self.dram) else {
+                return false;
+            };
             if per_bank > total_spares {
-                return None;
+                return false;
             }
             let flat = r.rank.flat_index(&self.dram);
             match r.extent {
@@ -463,12 +678,12 @@ impl Ppr {
                         rows.push((flat, r.device, bank, row));
                     }
                 }
-                Extent::Banks { .. } => return None,
+                Extent::Banks { .. } => return false,
             }
         }
         rows.sort_unstable();
         rows.dedup();
-        Some(rows)
+        true
     }
 }
 
@@ -477,39 +692,56 @@ impl RepairMechanism for Ppr {
         "PPR"
     }
 
-    fn try_repair(&mut self, regions: &[FaultRegion]) -> bool {
-        let Some(rows) = self.rows_needed(regions) else {
+    fn try_repair_with(&mut self, regions: &[FaultRegion], scratch: &mut PlanScratch) -> bool {
+        if !self.rows_needed(regions, &mut scratch.rows) {
             ppr_metrics().record("PPR", RepairOutcome::RejectedCapacity, 0);
             return false;
-        };
-        // Count new spares needed per group.
-        let mut needed: HashMap<(u32, u32, u32), u32> = HashMap::new();
-        let mut new_rows = Vec::new();
-        for row_key in rows {
-            if self.repaired_rows.contains(&row_key) {
-                continue;
-            }
-            let (flat, device, bank, _row) = row_key;
+        }
+        // Check pass: rows are sorted, so each (rank, device, bank group)
+        // is a contiguous run; count the genuinely new rows per group
+        // against its remaining spares.
+        let rows = &scratch.rows;
+        let mut i = 0;
+        while i < rows.len() {
+            let (flat, device, bank, _) = rows[i];
             let group = bank / self.banks_per_group;
-            let n = needed.entry((flat, device, group)).or_insert(0);
-            *n += 1;
-            if self.used.get(&(flat, device, group)).copied().unwrap_or(0) + *n
-                > self.spares_per_group
+            let mut fresh = 0u32;
+            let mut j = i;
+            while j < rows.len() {
+                let (f2, d2, b2, _) = rows[j];
+                if (f2, d2, b2 / self.banks_per_group) != (flat, device, group) {
+                    break;
+                }
+                fresh += !self.repaired_rows.contains(&rows[j]) as u32;
+                j += 1;
+            }
+            if fresh > 0
+                && self.used.get(&(flat, device, group)).copied().unwrap_or(0) + fresh
+                    > self.spares_per_group
             {
                 ppr_metrics().record("PPR", RepairOutcome::RejectedConflict, 0);
                 return false;
             }
-            new_rows.push(row_key);
+            i = j;
         }
-        let spares = new_rows.len() as u64;
-        for row_key in new_rows {
-            let (flat, device, bank, _row) = row_key;
-            let group = bank / self.banks_per_group;
-            *self.used.entry((flat, device, group)).or_insert(0) += 1;
-            self.repaired_rows.insert(row_key);
+        let mut spares = 0u64;
+        for &row_key in rows.iter() {
+            if self.repaired_rows.insert(row_key) {
+                let (flat, device, bank, _row) = row_key;
+                *self
+                    .used
+                    .entry((flat, device, bank / self.banks_per_group))
+                    .or_insert(0) += 1;
+                spares += 1;
+            }
         }
         ppr_metrics().record("PPR", RepairOutcome::Accepted, spares);
         true
+    }
+
+    fn reset(&mut self) {
+        self.used.clear();
+        self.repaired_rows.clear();
     }
 
     fn lines_used(&self) -> u64 {
@@ -671,6 +903,101 @@ mod tests {
         };
         assert!(rf.try_repair(&[ecc_dev]));
         assert_eq!(rf.lines_used(), 16);
+    }
+
+    // --- delta-table enumeration ---
+
+    /// Extents chosen to cross every table boundary: the row low/high
+    /// split at 256, multi-row and multi-column rects, and off-origin
+    /// rank/device coordinates.
+    fn delta_probe_regions() -> Vec<FaultRegion> {
+        let far_rank = RankId {
+            channel: 3,
+            dimm: 1,
+            rank: 0,
+        };
+        vec![
+            region(Extent::Bit {
+                bank: 5,
+                row: 777,
+                col: 129,
+            }),
+            region(Extent::Row { bank: 2, row: 300 }),
+            FaultRegion {
+                rank: far_rank,
+                device: 11,
+                extent: Extent::Column {
+                    bank: 1,
+                    col: 40,
+                    row_start: 200,
+                    row_count: 120,
+                },
+            },
+            FaultRegion {
+                rank: far_rank,
+                device: 7,
+                extent: Extent::RowCluster {
+                    bank: 7,
+                    row_start: 250,
+                    row_count: 12,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn freefault_delta_blocks_match_direct_encode() {
+        let d = dram();
+        let c = llc();
+        let ff = FreeFault::new(&d, &c, 16);
+        let map = AddressMap::nehalem_like(&d, true);
+        for r in delta_probe_regions() {
+            let mut fast = Vec::new();
+            ff.blocks(std::slice::from_ref(&r), &mut fast);
+            let mut naive = Vec::new();
+            for rect in r.footprint(&d).rects {
+                for bank in rect.banks.iter() {
+                    for row in rect.rows.iter() {
+                        for colblock in rect.colblocks.iter() {
+                            let addr = map
+                                .encode(
+                                    DramLoc {
+                                        channel: r.rank.channel,
+                                        dimm: r.rank.dimm,
+                                        rank: r.rank.rank,
+                                        bank,
+                                        row,
+                                        colblock,
+                                    },
+                                    0,
+                                )
+                                .0;
+                            naive.push((c.set_of(addr), addr >> c.offset_bits()));
+                        }
+                    }
+                }
+            }
+            assert_eq!(fast, naive, "extent {:?}", r.extent);
+        }
+    }
+
+    #[test]
+    fn relaxfault_delta_lines_match_direct_mapping() {
+        let d = dram();
+        let c = llc();
+        for r in delta_probe_regions() {
+            let mut rf = RelaxFault::new(&d, &c, 16);
+            let mut scratch = PlanScratch::new();
+            rf.try_repair_with(std::slice::from_ref(&r), &mut scratch);
+            let mut fast = scratch.cand.clone();
+            fast.sort_unstable();
+            let mut naive: Vec<(u64, u64)> = rf
+                .repair_lines(std::slice::from_ref(&r))
+                .map(|l| (rf.map.set_of(&l), rf.map.key_of(&l)))
+                .collect();
+            naive.sort_unstable();
+            assert_eq!(fast, naive, "extent {:?}", r.extent);
+        }
     }
 
     // --- FreeFault ---

@@ -12,7 +12,7 @@
 
 use crate::geometry::FaultGeometry;
 use crate::modes::{FaultMode, FitRates, Transience, HOURS_PER_YEAR};
-use crate::region::FaultRegion;
+use crate::region::{FaultRegion, RegionList};
 use relaxfault_dram::{DramConfig, RankId};
 use relaxfault_util::dist::{poisson, LogNormal};
 use relaxfault_util::obs::{self, Counter, Level};
@@ -113,8 +113,8 @@ pub struct FaultEvent {
     /// Whether the fault persists.
     pub transience: Transience,
     /// The affected regions (one per rank; multi-rank faults on multi-rank
-    /// DIMMs produce several).
-    pub regions: Vec<FaultRegion>,
+    /// DIMMs produce several). Stored inline for the common 1-region case.
+    pub regions: RegionList,
 }
 
 impl FaultEvent {
@@ -137,6 +137,13 @@ pub struct NodeFaults {
 }
 
 impl NodeFaults {
+    /// Resets to the empty lifetime, keeping allocations for reuse.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.node_accelerated = false;
+        self.accelerated_dimms.clear();
+    }
+
     /// Whether the node has at least one permanent fault — the paper's
     /// definition of a *faulty node*.
     pub fn is_faulty(&self) -> bool {
@@ -283,7 +290,7 @@ impl FaultModel {
         cfg: &DramConfig,
         rank: RankId,
         device: u32,
-    ) -> Vec<FaultRegion> {
+    ) -> RegionList {
         let extent = self.geometry.sample_extent(rng, mode, cfg);
         if mode == FaultMode::MultiRank && cfg.ranks_per_dimm > 1 {
             // The fault is visible on every rank of the DIMM at the same
@@ -296,11 +303,11 @@ impl FaultModel {
                 })
                 .collect()
         } else {
-            vec![FaultRegion {
+            RegionList::one(FaultRegion {
                 rank,
                 device,
                 extent,
-            }]
+            })
         }
     }
 }

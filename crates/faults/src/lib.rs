@@ -42,5 +42,5 @@ pub mod sampler;
 pub use geometry::FaultGeometry;
 pub use inject::{FaultEvent, FaultModel, NodeFaults, VariationModel};
 pub use modes::{FaultMode, FitRates, Transience};
-pub use region::{BankSet, Extent, FaultRegion, Footprint, IdxSet, Rect};
+pub use region::{BankSet, Extent, FaultRegion, Footprint, IdxSet, Rect, RegionList};
 pub use sampler::FaultSampler;

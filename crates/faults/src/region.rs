@@ -375,6 +375,147 @@ pub struct FaultRegion {
     pub extent: Extent,
 }
 
+/// Regions kept inline before [`RegionList`] spills to the heap. Almost
+/// every fault has exactly one region; multi-rank faults have one per rank
+/// of the DIMM, and deployed DIMMs have at most four ranks.
+const REGIONS_INLINE: usize = 4;
+
+const REGION_FILLER: FaultRegion = FaultRegion {
+    rank: RankId {
+        channel: 0,
+        dimm: 0,
+        rank: 0,
+    },
+    device: 0,
+    extent: Extent::Row { bank: 0, row: 0 },
+};
+
+/// The regions of one fault, with small-vector inline storage.
+///
+/// The Monte Carlo sampler constructs one of these per fault event in the
+/// hottest loop of the simulator; keeping the common 1–4 region case
+/// inline means a fault event allocates nothing. Dereferences to
+/// `[FaultRegion]`, so slice-taking consumers (`ecc::classify_arrival`,
+/// the repair planners) are oblivious to the representation.
+///
+/// # Examples
+///
+/// ```
+/// use relaxfault_faults::{Extent, FaultRegion, RegionList};
+/// use relaxfault_dram::RankId;
+///
+/// let r = FaultRegion {
+///     rank: RankId { channel: 0, dimm: 0, rank: 0 },
+///     device: 3,
+///     extent: Extent::Row { bank: 0, row: 5 },
+/// };
+/// let list = RegionList::one(r);
+/// assert_eq!(list.len(), 1);
+/// assert_eq!(list[0], r);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionList {
+    len: u32,
+    inline: [FaultRegion; REGIONS_INLINE],
+    /// Holds *all* regions once `len > REGIONS_INLINE`.
+    spill: Vec<FaultRegion>,
+}
+
+impl RegionList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self {
+            len: 0,
+            inline: [REGION_FILLER; REGIONS_INLINE],
+            spill: Vec::new(),
+        }
+    }
+
+    /// A single-region list (the overwhelmingly common case).
+    pub fn one(region: FaultRegion) -> Self {
+        let mut list = Self::new();
+        list.push(region);
+        list
+    }
+
+    /// Appends a region, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, region: FaultRegion) {
+        let n = self.len as usize;
+        if n < REGIONS_INLINE {
+            self.inline[n] = region;
+        } else {
+            if n == REGIONS_INLINE {
+                self.spill.clear();
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(region);
+        }
+        self.len += 1;
+    }
+
+    /// Empties the list, keeping any spill capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The regions as a slice.
+    pub fn as_slice(&self) -> &[FaultRegion] {
+        let n = self.len as usize;
+        if n <= REGIONS_INLINE {
+            &self.inline[..n]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl Default for RegionList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for RegionList {
+    type Target = [FaultRegion];
+
+    fn deref(&self) -> &[FaultRegion] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for RegionList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for RegionList {}
+
+impl From<Vec<FaultRegion>> for RegionList {
+    fn from(regions: Vec<FaultRegion>) -> Self {
+        regions.into_iter().collect()
+    }
+}
+
+impl FromIterator<FaultRegion> for RegionList {
+    fn from_iter<I: IntoIterator<Item = FaultRegion>>(iter: I) -> Self {
+        let mut list = Self::new();
+        for r in iter {
+            list.push(r);
+        }
+        list
+    }
+}
+
+impl<'a> IntoIterator for &'a RegionList {
+    type Item = &'a FaultRegion;
+    type IntoIter = std::slice::Iter<'a, FaultRegion>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 impl FaultRegion {
     /// Footprint of the region in block coordinates.
     pub fn footprint(&self, cfg: &DramConfig) -> Footprint {
@@ -650,6 +791,37 @@ mod tests {
             .cell_count(&c),
             4u64 << 30
         );
+    }
+
+    #[test]
+    fn region_list_inline_and_spill() {
+        let mk = |d: u32| FaultRegion {
+            rank: rank0(),
+            device: d,
+            extent: Extent::Row { bank: 0, row: d },
+        };
+        let mut list = RegionList::new();
+        assert!(list.is_empty());
+        for d in 0..7 {
+            list.push(mk(d));
+            assert_eq!(list.len(), d as usize + 1);
+            // Contents survive the inline→spill transition.
+            for (i, r) in list.iter().enumerate() {
+                assert_eq!(*r, mk(i as u32));
+            }
+        }
+        // Slice coercion and equality.
+        let collected: RegionList = (0..7).map(mk).collect();
+        assert_eq!(list, collected);
+        let slice: &[FaultRegion] = &list;
+        assert_eq!(slice.len(), 7);
+        // Clearing resets but the list remains usable.
+        list.clear();
+        assert!(list.is_empty());
+        list.push(mk(9));
+        assert_eq!(list[0], mk(9));
+        assert_eq!(RegionList::one(mk(1)).as_slice(), &[mk(1)]);
+        assert_eq!(RegionList::from(vec![mk(2), mk(3)]).len(), 2);
     }
 
     #[test]

@@ -3,23 +3,43 @@
 //! [`crate::FaultModel::sample_node`] draws one lognormal and one Poisson
 //! per (device, fault-process) pair — 1,728 heavy samples per node for the
 //! paper's geometry, nearly all of which return zero faults. This sampler
-//! short-circuits the zero case with a single uniform draw against a
-//! precomputed `P(N = 0)` gate:
+//! short-circuits the zero cases at two granularities:
 //!
-//! * `q₀ = E_m[exp(−λm)]` is evaluated once per (process, acceleration
-//!   class) by numeric quadrature over the lognormal mixing variable;
-//! * when the gate fails (probability ≈ λ), `m` is drawn from the
-//!   *size-biased* lognormal (the exact conditional in the λ→0 limit,
-//!   error `O(λ²)`), and the remaining count from `Poisson(λm)`;
-//! * processes with `λ > SLOW_PATH_THRESHOLD` (FIT-accelerated devices at
-//!   10× rates) fall back to the exact two-stage draw, so the
-//!   approximation only ever applies where it is provably negligible.
+//! * **per cell** (one (device, process) pair): `q₀ = E_m[exp(−λm)]` is
+//!   evaluated once per (process, acceleration class) by numeric
+//!   quadrature over the lognormal mixing variable. When the gate fails
+//!   (probability ≈ λ), `m` is drawn from the *size-biased* lognormal
+//!   (the exact conditional in the λ→0 limit, error `O(λ²)`), and the
+//!   remaining count from `Poisson(λm)`. Processes with
+//!   `λ > SLOW_PATH_THRESHOLD` (FIT-accelerated devices at 10× rates)
+//!   fall back to the exact two-stage draw, so the approximation only
+//!   ever applies where it is provably negligible.
+//! * **per node** (the zero-fault fast path): the per-cell gates compose
+//!   into one precomputed `P(node lifetime has zero events)` =
+//!   [`FaultSampler::p_clean`]. [`FaultSampler::trial_is_clean`] spends a
+//!   *single* uniform draw on that aggregate gate — for the paper's
+//!   default model ~87% of trials finish right there, with no region,
+//!   event, or extent machinery touched. When the gate fails, the
+//!   remaining lifetime is drawn from the exact conditional distribution
+//!   given ≥ 1 event, by first-success decomposition: walk the DIMMs with
+//!   the hazard `P(this dimm is first nonzero | none yet, ≥1 remaining)`,
+//!   then walk the forced DIMM's cells the same way (using precomputed
+//!   suffix clean-products), force the first nonzero cell's count to be
+//!   ≥ 1, and sample everything after the first success unconditionally.
 //!
-//! `tests::matches_reference_sampler` checks the fast and reference
-//! samplers agree statistically.
+//! The only approximation in the conditional path is reusing the
+//! quadrature `q₀` for slow-path gates, whose true zero probability it
+//! matches to the quadrature error (≪ 1e-6). Acceleration flags of clean
+//! DIMMs are drawn from their exact posteriors so the bookkeeping
+//! distribution is preserved too.
+//!
+//! `tests::matches_reference_sampler` and
+//! `tests::clean_gate_matches_reference_zero_rate` check the fast and
+//! reference samplers agree statistically.
 
 use crate::inject::{FaultEvent, FaultModel, NodeFaults};
 use crate::modes::{FaultMode, Transience, HOURS_PER_YEAR};
+use crate::region::RegionList;
 use relaxfault_dram::{DramConfig, RankId};
 use relaxfault_util::dist::{poisson, LogNormal};
 use relaxfault_util::rng::Rng;
@@ -55,6 +75,9 @@ struct ProcessGate {
 /// let mut rng = Rng64::seed_from_u64(1);
 /// let node = sampler.sample_node(&mut rng);
 /// assert!(node.events.len() < 100);
+/// // Most lifetimes are event-free, and the sampler knows exactly
+/// // how many: one uniform draw decides it.
+/// assert!(sampler.p_clean() > 0.5);
 /// ```
 #[derive(Debug, Clone)]
 pub struct FaultSampler {
@@ -67,6 +90,17 @@ pub struct FaultSampler {
     factors: [f64; 2],
     /// Lognormal of the rate multiplier, and its size-biased counterpart.
     lognorm: Option<(LogNormal, LogNormal)>,
+    /// Per class: P(every cell of one DIMM is event-free).
+    q_dimm: [f64; 2],
+    /// Per class: suffix clean-products over one DIMM's cell sequence
+    /// (rank-major, then device, then gate); `suffix[c][k]` =
+    /// P(cells `k..` are all zero), with a trailing `1.0` sentinel.
+    suffix: [Vec<f64>; 2],
+    /// P(one DIMM is clean) when the node is not accelerated:
+    /// `p_dimm_acc · q_dimm[0] + (1 − p_dimm_acc) · q_dimm[1]`.
+    e_dimm: f64,
+    /// P(the whole node lifetime has zero events) — the fast-path gate.
+    q_node: f64,
 }
 
 impl FaultSampler {
@@ -105,67 +139,251 @@ impl FaultSampler {
                 })
                 .collect()
         };
+        let gates = [make_gates(factors[0]), make_gates(factors[1])];
+
+        // Zero-fault fast-path precomputation: fold the per-cell gates
+        // into per-DIMM and per-node clean probabilities, and suffix
+        // products for the conditional first-success walk.
+        let cells_per_dimm =
+            (cfg.ranks_per_dimm * cfg.devices_per_rank()) as usize * gates[0].len();
+        let mut q_dimm = [1.0f64; 2];
+        let mut suffix = [Vec::new(), Vec::new()];
+        for class in 0..2 {
+            let g = &gates[class];
+            let mut s = vec![1.0f64; cells_per_dimm + 1];
+            for k in (0..cells_per_dimm).rev() {
+                s[k] = s[k + 1] * g[k % g.len()].q0;
+            }
+            q_dimm[class] = s[0];
+            suffix[class] = s;
+        }
+        let d = cfg.dimms_per_node() as i32;
+        let e_dimm = v.accel_dimm_fraction * q_dimm[0] + (1.0 - v.accel_dimm_fraction) * q_dimm[1];
+        let q_node = v.accel_node_fraction * q_dimm[0].powi(d)
+            + (1.0 - v.accel_node_fraction) * e_dimm.powi(d);
+
         Self {
             model: *model,
             cfg: *cfg,
             hours,
-            gates: [make_gates(factors[0]), make_gates(factors[1])],
+            gates,
             factors,
             lognorm,
+            q_dimm,
+            suffix,
+            e_dimm,
+            q_node,
         }
+    }
+
+    /// Exact probability that a node lifetime contains zero fault events
+    /// (transient or permanent) — the zero-fault fast-path gate.
+    pub fn p_clean(&self) -> f64 {
+        self.q_node
+    }
+
+    /// Spends one uniform draw on the aggregate zero-fault gate. This is
+    /// defined to be the *first* draw of [`FaultSampler::sample_node`]'s
+    /// stream: callers that observe `true` may skip sampling entirely and
+    /// get bit-identical results to a full `sample_node` call (which
+    /// would have returned an empty lifetime from the same stream).
+    pub fn trial_is_clean<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen::<f64>() < self.q_node
     }
 
     /// Samples one node lifetime (drop-in replacement for
     /// [`FaultModel::sample_node`]).
     pub fn sample_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeFaults {
+        let mut out = NodeFaults::default();
+        self.sample_node_into(rng, &mut out);
+        out
+    }
+
+    /// Samples one node lifetime into a caller-owned buffer, reusing its
+    /// allocations. Equivalent to [`FaultSampler::sample_node`].
+    pub fn sample_node_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut NodeFaults) {
+        out.clear();
+        if !self.trial_is_clean(rng) {
+            self.sample_faulty_into(rng, out);
+        }
+    }
+
+    /// Samples a node lifetime *conditioned on having at least one event*,
+    /// continuing the stream after a failed [`FaultSampler::trial_is_clean`]
+    /// gate. Calling the gate and then this on one stream is exactly
+    /// [`FaultSampler::sample_node_into`].
+    pub fn sample_faulty_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut NodeFaults) {
+        out.clear();
         let v = &self.model.variation;
-        let cfg = &self.cfg;
-        let node_acc = v.accel_node_fraction > 0.0 && rng.gen_bool(v.accel_node_fraction);
-        let mut out = NodeFaults {
-            events: Vec::new(),
-            node_accelerated: node_acc,
-            accelerated_dimms: Vec::new(),
+        let d = self.cfg.dimms_per_node();
+        let p_d = v.accel_dimm_fraction;
+
+        // Node acceleration from its posterior given ≥ 1 event.
+        let q_acc_node = self.q_dimm[0].powi(d as i32);
+        let p_acc = if v.accel_node_fraction > 0.0 {
+            v.accel_node_fraction * (1.0 - q_acc_node) / (1.0 - self.q_node)
+        } else {
+            0.0
         };
-        for dimm_flat in 0..cfg.dimms_per_node() {
-            let dimm_acc = v.accel_dimm_fraction > 0.0 && rng.gen_bool(v.accel_dimm_fraction);
-            if dimm_acc {
-                out.accelerated_dimms.push(dimm_flat);
-            }
-            let class = if node_acc || dimm_acc { 0 } else { 1 };
-            if self.factors[class] == 0.0 {
+        let node_acc = p_acc > 0.0 && rng.gen::<f64>() < p_acc;
+        out.node_accelerated = node_acc;
+
+        let mut forced_done = false;
+        for dimm_flat in 0..d {
+            if forced_done {
+                // Everything after the first success is unconditional —
+                // identical to the legacy per-DIMM sampling.
+                let dimm_acc = p_d > 0.0 && rng.gen_bool(p_d);
+                if dimm_acc {
+                    out.accelerated_dimms.push(dimm_flat);
+                }
+                let class = if node_acc || dimm_acc { 0 } else { 1 };
+                if self.factors[class] != 0.0 {
+                    self.sample_dimm_unconditional(class, dimm_flat, rng, out);
+                }
                 continue;
             }
-            for rank_in_dimm in 0..cfg.ranks_per_dimm {
-                let rank = RankId {
-                    channel: dimm_flat / cfg.dimms_per_channel,
-                    dimm: dimm_flat % cfg.dimms_per_channel,
-                    rank: rank_in_dimm,
-                };
-                for device in 0..cfg.devices_per_rank() {
-                    for gate in &self.gates[class] {
-                        let count = self.sample_count(gate, rng);
-                        for _ in 0..count {
-                            let time_hours = rng.gen::<f64>() * self.hours;
-                            let extent = self.model.geometry.sample_extent(rng, gate.mode, cfg);
-                            let event = FaultEvent {
-                                time_hours,
-                                mode: gate.mode,
-                                transience: gate.transience,
-                                regions: self.regions_for(rank, device, extent, gate.mode),
-                            };
-                            crate::inject::record_injection(&event);
-                            out.events.push(event);
-                        }
+            let remaining = (d - dimm_flat) as i32;
+            if node_acc {
+                // Class is 0 regardless of the dimm flag, so the flag is
+                // independent bookkeeping.
+                let dimm_acc = p_d > 0.0 && rng.gen_bool(p_d);
+                if dimm_acc {
+                    out.accelerated_dimms.push(dimm_flat);
+                }
+                let e = self.q_dimm[0];
+                let p_forced = (1.0 - e) / (1.0 - e.powi(remaining));
+                if rng.gen::<f64>() < p_forced {
+                    forced_done = true;
+                    self.sample_dimm_forced(0, dimm_flat, rng, out);
+                }
+            } else {
+                let e = self.e_dimm;
+                let p_forced = (1.0 - e) / (1.0 - e.powi(remaining));
+                if rng.gen::<f64>() < p_forced {
+                    // The forced DIMM's acceleration flag, given ≥ 1 event.
+                    let p_acc = if p_d > 0.0 {
+                        p_d * (1.0 - self.q_dimm[0]) / (1.0 - e)
+                    } else {
+                        0.0
+                    };
+                    let dimm_acc = p_acc > 0.0 && rng.gen::<f64>() < p_acc;
+                    if dimm_acc {
+                        out.accelerated_dimms.push(dimm_flat);
+                    }
+                    forced_done = true;
+                    self.sample_dimm_forced(if dimm_acc { 0 } else { 1 }, dimm_flat, rng, out);
+                } else {
+                    // Clean DIMM: acceleration flag from its posterior.
+                    let p_acc = if p_d > 0.0 {
+                        p_d * self.q_dimm[0] / e
+                    } else {
+                        0.0
+                    };
+                    if p_acc > 0.0 && rng.gen::<f64>() < p_acc {
+                        out.accelerated_dimms.push(dimm_flat);
                     }
                 }
             }
         }
+        debug_assert!(forced_done, "conditional walk must force one DIMM");
         out.events.sort_by(|a, b| {
             a.time_hours
                 .partial_cmp(&b.time_hours)
                 .expect("finite times")
         });
-        out
+    }
+
+    /// Legacy unconditional scan of one DIMM's cells.
+    fn sample_dimm_unconditional<R: Rng + ?Sized>(
+        &self,
+        class: usize,
+        dimm_flat: u32,
+        rng: &mut R,
+        out: &mut NodeFaults,
+    ) {
+        let cfg = &self.cfg;
+        for rank_in_dimm in 0..cfg.ranks_per_dimm {
+            let rank = RankId {
+                channel: dimm_flat / cfg.dimms_per_channel,
+                dimm: dimm_flat % cfg.dimms_per_channel,
+                rank: rank_in_dimm,
+            };
+            for device in 0..cfg.devices_per_rank() {
+                for gate in &self.gates[class] {
+                    let count = self.sample_count(gate, rng);
+                    self.emit_events(gate, count, rank, device, rng, out);
+                }
+            }
+        }
+    }
+
+    /// Scan of one DIMM's cells conditioned on the DIMM containing the
+    /// node's first nonzero cell: first-success hazards up to the forced
+    /// cell, unconditional sampling after it.
+    fn sample_dimm_forced<R: Rng + ?Sized>(
+        &self,
+        class: usize,
+        dimm_flat: u32,
+        rng: &mut R,
+        out: &mut NodeFaults,
+    ) {
+        let cfg = &self.cfg;
+        let suffix = &self.suffix[class];
+        let mut cell = 0usize;
+        let mut forced = false;
+        for rank_in_dimm in 0..cfg.ranks_per_dimm {
+            let rank = RankId {
+                channel: dimm_flat / cfg.dimms_per_channel,
+                dimm: dimm_flat % cfg.dimms_per_channel,
+                rank: rank_in_dimm,
+            };
+            for device in 0..cfg.devices_per_rank() {
+                for gate in &self.gates[class] {
+                    if forced {
+                        let count = self.sample_count(gate, rng);
+                        self.emit_events(gate, count, rank, device, rng, out);
+                    } else if gate.q0 < 1.0 {
+                        // P(this cell is the first nonzero | none yet,
+                        // ≥ 1 in the remaining cells). At the last
+                        // possible cell this is exactly 1.
+                        let p = (1.0 - gate.q0) / (1.0 - suffix[cell]);
+                        if rng.gen::<f64>() < p {
+                            forced = true;
+                            let count = self.sample_count_nonzero(gate, rng);
+                            self.emit_events(gate, count, rank, device, rng, out);
+                        }
+                    }
+                    // q0 == 1 cells (λ == 0) consume no randomness on
+                    // either path.
+                    cell += 1;
+                }
+            }
+        }
+        debug_assert!(forced, "forced DIMM produced no event");
+    }
+
+    fn emit_events<R: Rng + ?Sized>(
+        &self,
+        gate: &ProcessGate,
+        count: u64,
+        rank: RankId,
+        device: u32,
+        rng: &mut R,
+        out: &mut NodeFaults,
+    ) {
+        for _ in 0..count {
+            let time_hours = rng.gen::<f64>() * self.hours;
+            let extent = self.model.geometry.sample_extent(rng, gate.mode, &self.cfg);
+            let event = FaultEvent {
+                time_hours,
+                mode: gate.mode,
+                transience: gate.transience,
+                regions: self.regions_for(rank, device, extent, gate.mode),
+            };
+            crate::inject::record_injection(&event);
+            out.events.push(event);
+        }
     }
 
     fn sample_count<R: Rng + ?Sized>(&self, gate: &ProcessGate, rng: &mut R) -> u64 {
@@ -182,6 +400,26 @@ impl FaultSampler {
         }
         if rng.gen::<f64>() < gate.q0 {
             return 0;
+        }
+        self.sample_count_nonzero(gate, rng)
+    }
+
+    /// The count distribution conditioned on being nonzero: the gate
+    /// path's own ≥ 1 branch for fast gates, exact rejection for slow
+    /// ones (accepts with probability `1 − q0` per attempt, so the loop
+    /// is short for every gate past the slow threshold).
+    fn sample_count_nonzero<R: Rng + ?Sized>(&self, gate: &ProcessGate, rng: &mut R) -> u64 {
+        if gate.slow {
+            loop {
+                let m = match &self.lognorm {
+                    None => 1.0,
+                    Some((base, _)) => base.sample(rng),
+                };
+                let count = poisson(rng, gate.lambda * m);
+                if count > 0 {
+                    return count;
+                }
+            }
         }
         // N >= 1: the conditional mixing variable is size-biased in the
         // small-λ limit.
@@ -200,7 +438,7 @@ impl FaultSampler {
         device: u32,
         extent: crate::region::Extent,
         mode: FaultMode,
-    ) -> Vec<crate::region::FaultRegion> {
+    ) -> RegionList {
         if mode == FaultMode::MultiRank && self.cfg.ranks_per_dimm > 1 {
             (0..self.cfg.ranks_per_dimm)
                 .map(|rk| crate::region::FaultRegion {
@@ -210,11 +448,11 @@ impl FaultSampler {
                 })
                 .collect()
         } else {
-            vec![crate::region::FaultRegion {
+            RegionList::one(crate::region::FaultRegion {
                 rank,
                 device,
                 extent,
-            }]
+            })
         }
     }
 }
@@ -270,6 +508,66 @@ mod tests {
     }
 
     #[test]
+    fn clean_probability_composes_from_gates() {
+        // Without variation or acceleration, P(clean) has a closed form:
+        // exp(-Σλ) over every cell of the node.
+        let model = FaultModel::uniform(FitRates::cielo(), 6.0);
+        let c = cfg();
+        let s = FaultSampler::new(&model, &c);
+        let lambda_total: f64 = s.gates[1].iter().map(|g| g.lambda).sum();
+        let expected = (-lambda_total * c.devices_per_node() as f64).exp();
+        assert!(
+            (s.p_clean() - expected).abs() < 1e-9,
+            "q_node {} vs closed form {}",
+            s.p_clean(),
+            expected
+        );
+    }
+
+    #[test]
+    fn clean_gate_matches_reference_zero_rate() {
+        // The aggregate gate probability must match the reference
+        // sampler's empirical zero-event rate.
+        let model = FaultModel::isca16(FitRates::cielo(), 6.0);
+        let c = cfg();
+        let s = FaultSampler::new(&model, &c);
+        assert!((0.5..1.0).contains(&s.p_clean()), "p_clean {}", s.p_clean());
+        let n = 40_000;
+        let mut rng = Rng64::seed_from_u64(777);
+        let clean = (0..n)
+            .filter(|_| model.sample_node(&c, &mut rng).events.is_empty())
+            .count();
+        let frac = clean as f64 / n as f64;
+        assert!(
+            (frac - s.p_clean()).abs() < 0.01,
+            "empirical clean rate {frac} vs gate {}",
+            s.p_clean()
+        );
+    }
+
+    #[test]
+    fn gate_then_conditional_reproduces_sample_node() {
+        // The engine's fast path (gate draw, then conditional sampling
+        // only when the gate fails) must be bit-identical to a plain
+        // sample_node call on the same stream.
+        let model = FaultModel::isca16(FitRates::cielo(), 6.0);
+        let s = FaultSampler::new(&model, &cfg());
+        let mut saw_faulty = 0;
+        for seed in 0..300u64 {
+            let mut full_rng = Rng64::seed_from_u64(seed);
+            let full = s.sample_node(&mut full_rng);
+            let mut gated_rng = Rng64::seed_from_u64(seed);
+            let mut gated = NodeFaults::default();
+            if !s.trial_is_clean(&mut gated_rng) {
+                s.sample_faulty_into(&mut gated_rng, &mut gated);
+                saw_faulty += 1;
+            }
+            assert_eq!(full, gated, "seed {seed} diverged");
+        }
+        assert!(saw_faulty > 10, "only {saw_faulty} faulty trials");
+    }
+
+    #[test]
     fn matches_reference_sampler() {
         let model = FaultModel::isca16(FitRates::cielo(), 6.0);
         let c = cfg();
@@ -319,6 +617,20 @@ mod tests {
             for w in node.events.windows(2) {
                 assert!(w[0].time_hours <= w[1].time_hours);
             }
+        }
+    }
+
+    #[test]
+    fn buffer_reuse_is_equivalent() {
+        let model = FaultModel::isca16(FitRates::cielo().scaled(10.0), 6.0);
+        let s = FaultSampler::new(&model, &cfg());
+        let mut rng_a = Rng64::seed_from_u64(21);
+        let mut rng_b = Rng64::seed_from_u64(21);
+        let mut buf = NodeFaults::default();
+        for _ in 0..200 {
+            let fresh = s.sample_node(&mut rng_a);
+            s.sample_node_into(&mut rng_b, &mut buf);
+            assert_eq!(fresh, buf);
         }
     }
 }

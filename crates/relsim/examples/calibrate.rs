@@ -49,6 +49,7 @@ fn main() {
             trials,
             seed: 2016,
             threads: 16,
+            chunk_size: 0,
         },
     );
     println!(

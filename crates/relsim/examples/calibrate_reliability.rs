@@ -43,6 +43,7 @@ fn main() {
                 trials,
                 seed: 77,
                 threads: 1,
+                chunk_size: 0,
             },
         );
         println!("== {label} (trials={trials}, {:?}) ==", t0.elapsed());

@@ -6,14 +6,15 @@
 //! Trials are deterministic in `(seed, trial index)` regardless of thread
 //! count.
 
-use crate::node::evaluate_node;
+use crate::node::{evaluate_node_with, EvalScratch};
 use crate::scenario::Scenario;
 use relaxfault_dram::DramConfig;
-use relaxfault_faults::{FaultMode, FaultModel, FaultSampler};
+use relaxfault_faults::{FaultMode, FaultModel, FaultSampler, NodeFaults};
 use relaxfault_util::obs::{self, Counter, Histogram, Level};
 use relaxfault_util::rng::{mix64, Rng64};
 use relaxfault_util::stats::{wilson_interval, Ecdf};
 use relaxfault_util::trace_event;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Execution parameters for a Monte Carlo run.
@@ -25,6 +26,12 @@ pub struct RunConfig {
     pub seed: u64,
     /// Worker threads (0 or 1 = single-threaded).
     pub threads: usize,
+    /// Trials per work-stealing chunk. `0` (the default) picks
+    /// automatically: `max(trials / (64 × threads), 256)` — small enough
+    /// that a run splits into ~64 chunks per worker for load balancing,
+    /// large enough that the atomic claim is noise. Any positive value is
+    /// honoured as-is; results are bit-identical at every setting.
+    pub chunk_size: u64,
 }
 
 impl RunConfig {
@@ -34,6 +41,17 @@ impl RunConfig {
             trials,
             seed: 0x5EED,
             threads: 4,
+            chunk_size: 0,
+        }
+    }
+
+    /// The effective work-stealing chunk size for `threads` workers,
+    /// resolving the `0` = auto default.
+    pub fn resolved_chunk_size(&self, threads: usize) -> u64 {
+        if self.chunk_size > 0 {
+            self.chunk_size
+        } else {
+            (self.trials / (64 * threads.max(1) as u64)).max(256)
         }
     }
 }
@@ -173,6 +191,7 @@ impl ScenarioResult {
 /// per-trial updates are a relaxed load and a branch when disabled.
 struct EngineMetrics {
     trial_evals: Counter,
+    fast_path_skips: Counter,
     faulty_nodes: Counter,
     fully_repaired_nodes: Counter,
     repair_fallback_nodes: Counter,
@@ -190,6 +209,7 @@ fn engine_metrics() -> &'static EngineMetrics {
     static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
     METRICS.get_or_init(|| EngineMetrics {
         trial_evals: obs::counter("relsim.trial_evals"),
+        fast_path_skips: obs::counter("relsim.fast_path_skips"),
         faulty_nodes: obs::counter("relsim.faulty_nodes"),
         fully_repaired_nodes: obs::counter("relsim.fully_repaired_nodes"),
         repair_fallback_nodes: obs::counter("relsim.repair_fallback_nodes"),
@@ -240,7 +260,7 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
         );
     }
     // Group arms by fault model so each group shares samples.
-    let mut groups: Vec<(FaultModel, Vec<usize>)> = Vec::new();
+    let mut groups: Vec<(FaultModel, Vec<usize>)> = Vec::with_capacity(scenarios.len());
     for (i, s) in scenarios.iter().enumerate() {
         if let Some((_, idxs)) = groups.iter_mut().find(|(m, _)| *m == s.fault_model) {
             idxs.push(i);
@@ -250,18 +270,22 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
     }
 
     let threads = run.threads.max(1);
-    let chunk = run.trials.div_ceil(threads as u64);
-    let mut partials: Vec<Vec<ScenarioResult>> = Vec::new();
+    let chunk = run.resolved_chunk_size(threads);
+    // Work-stealing chunk queue: workers claim contiguous trial ranges
+    // from one atomic cursor. Which worker runs a trial never affects its
+    // result (RNG streams are keyed on the trial index and every local
+    // accumulation merges commutatively), so dynamic scheduling keeps
+    // determinism while absorbing the skew between all-clean chunks and
+    // chunks dense in faulty nodes.
+    let next_chunk = AtomicU64::new(0);
+    let mut partials: Vec<Vec<ScenarioResult>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t as u64 * chunk;
-            let hi = (lo + chunk).min(run.trials);
-            if lo >= hi {
-                continue;
-            }
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
             let groups = &groups;
+            let next_chunk = &next_chunk;
             let seed = run.seed;
+            let trials = run.trials;
             handles.push(scope.spawn(move || {
                 let mut local: Vec<ScenarioResult> = scenarios
                     .iter()
@@ -271,42 +295,87 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
                     .iter()
                     .map(|(model, _)| FaultSampler::new(model, &cfg))
                     .collect();
+                // Per-worker reusable state: the sampled lifetime and one
+                // evaluation scratch (planner included) per arm.
+                let mut node = NodeFaults::default();
+                let mut scratches: Vec<EvalScratch> =
+                    scenarios.iter().map(|_| EvalScratch::new()).collect();
                 let metrics = engine_metrics();
-                for trial in lo..hi {
-                    for (gi, (_, members)) in groups.iter().enumerate() {
-                        // Deterministic merge key for every event this
-                        // trial/group emits, on any worker thread.
-                        let _obs_scope = obs::scope(trial, gi as u64);
-                        let _trial_span = metrics.trial_ns.start_span();
-                        let mut sample_rng = Rng64::seed_from_u64(mix64(seed, trial, gi as u64));
-                        let node = samplers[gi].sample_node(&mut sample_rng);
-                        for &si in members {
-                            let mut eval_rng = Rng64::seed_from_u64(mix64(seed ^ 0xECC, trial, 0));
-                            let out = evaluate_node(&scenarios[si], &node, &mut eval_rng);
-                            metrics.trial_evals.inc();
-                            if out.faulty {
-                                metrics.faulty_nodes.inc();
-                                if out.fully_repaired {
-                                    metrics.fully_repaired_nodes.inc();
-                                } else {
-                                    metrics.repair_fallback_nodes.inc();
+                // One enabled-check per worker instead of ~20 per trial:
+                // obs state is fixed before the run starts, so the gated
+                // no-op loads inside every Counter::add would be pure
+                // overhead on the (common) disabled path.
+                let metrics_on = obs::metrics_enabled();
+                loop {
+                    let lo = next_chunk.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= trials {
+                        break;
+                    }
+                    let hi = (lo + chunk).min(trials);
+                    for trial in lo..hi {
+                        for (gi, (_, members)) in groups.iter().enumerate() {
+                            let mut sample_rng =
+                                Rng64::seed_from_u64(mix64(seed, trial, gi as u64));
+                            // Zero-fault fast path: one precomputed-
+                            // probability draw (the first of this trial's
+                            // stream) decides whether the lifetime is
+                            // empty. A clean trial contributes nothing but
+                            // its trial count, so skip sampling and
+                            // evaluation entirely; a full sample_node call
+                            // would return the empty lifetime from this
+                            // same stream, and evaluate_node never touches
+                            // its RNG on empty lifetimes — bit-for-bit
+                            // identical results either way.
+                            if samplers[gi].trial_is_clean(&mut sample_rng) {
+                                if metrics_on {
+                                    metrics.fast_path_skips.inc();
+                                    metrics.trial_evals.add(members.len() as u64);
                                 }
+                                for &si in members {
+                                    local[si].trials += 1;
+                                }
+                                continue;
                             }
-                            metrics.dues.add(out.dues as u64);
-                            metrics.transient_dues.add(out.transient_dues as u64);
-                            metrics.sdcs.add(out.sdcs as u64);
-                            metrics.replacements.add(out.replacements as u64);
-                            metrics.permanent_faults.add(out.permanent_faults as u64);
-                            metrics.unrepaired_faults.add(out.unrepaired_faults as u64);
-                            for (c, n) in metrics
-                                .unrepaired_by_mode
-                                .iter()
-                                .zip(out.unrepaired_by_mode)
-                            {
-                                c.add(n as u64);
-                            }
-                            if out.faulty {
-                                trace_event!(target: "relsim", Level::Debug, "trial_eval",
+                            // Deterministic merge key for every event this
+                            // trial/group emits, on any worker thread.
+                            let _obs_scope = obs::scope(trial, gi as u64);
+                            let _trial_span = metrics.trial_ns.start_span();
+                            samplers[gi].sample_faulty_into(&mut sample_rng, &mut node);
+                            for &si in members {
+                                let mut eval_rng =
+                                    Rng64::seed_from_u64(mix64(seed ^ 0xECC, trial, 0));
+                                let out = evaluate_node_with(
+                                    &scenarios[si],
+                                    &node,
+                                    &mut eval_rng,
+                                    &mut scratches[si],
+                                );
+                                if metrics_on {
+                                    metrics.trial_evals.inc();
+                                    if out.faulty {
+                                        metrics.faulty_nodes.inc();
+                                        if out.fully_repaired {
+                                            metrics.fully_repaired_nodes.inc();
+                                        } else {
+                                            metrics.repair_fallback_nodes.inc();
+                                        }
+                                    }
+                                    metrics.dues.add(out.dues as u64);
+                                    metrics.transient_dues.add(out.transient_dues as u64);
+                                    metrics.sdcs.add(out.sdcs as u64);
+                                    metrics.replacements.add(out.replacements as u64);
+                                    metrics.permanent_faults.add(out.permanent_faults as u64);
+                                    metrics.unrepaired_faults.add(out.unrepaired_faults as u64);
+                                    for (c, n) in metrics
+                                        .unrepaired_by_mode
+                                        .iter()
+                                        .zip(out.unrepaired_by_mode)
+                                    {
+                                        c.add(n as u64);
+                                    }
+                                }
+                                if out.faulty {
+                                    trace_event!(target: "relsim", Level::Debug, "trial_eval",
                                     arm = si,
                                     repaired = out.fully_repaired,
                                     permanent_faults = out.permanent_faults,
@@ -314,25 +383,26 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
                                     dues = out.dues,
                                     sdcs = out.sdcs,
                                     replacements = out.replacements);
-                            }
-                            let r = &mut local[si];
-                            r.trials += 1;
-                            r.faulty_nodes += out.faulty as u64;
-                            r.fully_repaired_nodes += out.fully_repaired as u64;
-                            if out.fully_repaired {
-                                r.repair_bytes.add(out.repair_bytes as f64);
-                            }
-                            r.dues += out.dues as u64;
-                            r.transient_dues += out.transient_dues as u64;
-                            r.sdcs += out.sdcs as u64;
-                            r.replacements += out.replacements as u64;
-                            r.unrepaired_faults += out.unrepaired_faults as u64;
-                            r.permanent_faults += out.permanent_faults as u64;
-                            r.max_ways_seen = r.max_ways_seen.max(out.max_ways);
-                            for (a, b) in
-                                r.unrepaired_by_mode.iter_mut().zip(out.unrepaired_by_mode)
-                            {
-                                *a += b as u64;
+                                }
+                                let r = &mut local[si];
+                                r.trials += 1;
+                                r.faulty_nodes += out.faulty as u64;
+                                r.fully_repaired_nodes += out.fully_repaired as u64;
+                                if out.fully_repaired {
+                                    r.repair_bytes.add(out.repair_bytes as f64);
+                                }
+                                r.dues += out.dues as u64;
+                                r.transient_dues += out.transient_dues as u64;
+                                r.sdcs += out.sdcs as u64;
+                                r.replacements += out.replacements as u64;
+                                r.unrepaired_faults += out.unrepaired_faults as u64;
+                                r.permanent_faults += out.permanent_faults as u64;
+                                r.max_ways_seen = r.max_ways_seen.max(out.max_ways);
+                                for (a, b) in
+                                    r.unrepaired_by_mode.iter_mut().zip(out.unrepaired_by_mode)
+                                {
+                                    *a += b as u64;
+                                }
                             }
                         }
                     }
@@ -397,47 +467,65 @@ pub fn fault_population(
     threads: usize,
 ) -> PopulationStats {
     let threads = threads.max(1);
-    let chunk = trials.div_ceil(threads as u64);
+    let chunk = (trials / (64 * threads as u64)).max(256);
+    let next_chunk = AtomicU64::new(0);
     let mut totals = PopulationStats::default();
     std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t as u64 * chunk;
-            let hi = (lo + chunk).min(trials);
-            if lo >= hi {
-                continue;
-            }
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next_chunk = &next_chunk;
             handles.push(scope.spawn(move || {
                 let mut stats = PopulationStats::default();
                 let sampler = FaultSampler::new(model, cfg);
+                let mut node = NodeFaults::default();
+                // Sorted (dimm, device) scratch replacing a per-trial
+                // HashMap<dimm, HashSet<device>>.
+                let mut devs: Vec<(u32, u32)> = Vec::new();
                 let population_trials = obs::counter("relsim.population_trials");
                 let population_faulty = obs::counter("relsim.population_faulty");
-                for trial in lo..hi {
-                    let _obs_scope = obs::scope(trial, 0);
-                    let mut rng = Rng64::seed_from_u64(mix64(seed, trial, 0));
-                    let node = sampler.sample_node(&mut rng);
-                    stats.trials += 1;
-                    population_trials.inc();
-                    if !node.is_faulty() {
-                        continue;
+                loop {
+                    let lo = next_chunk.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= trials {
+                        break;
                     }
-                    stats.faulty_nodes += 1;
-                    population_faulty.inc();
-                    let mut per_dimm: std::collections::HashMap<
-                        u32,
-                        std::collections::HashSet<u32>,
-                    > = Default::default();
-                    for e in node.permanent() {
-                        for r in &e.regions {
-                            per_dimm
-                                .entry(r.rank.dimm_index(cfg))
-                                .or_default()
-                                .insert(r.device);
+                    let hi = (lo + chunk).min(trials);
+                    for trial in lo..hi {
+                        let mut rng = Rng64::seed_from_u64(mix64(seed, trial, 0));
+                        stats.trials += 1;
+                        population_trials.inc();
+                        // Zero-fault fast path (see run_scenarios).
+                        if sampler.trial_is_clean(&mut rng) {
+                            continue;
+                        }
+                        let _obs_scope = obs::scope(trial, 0);
+                        sampler.sample_faulty_into(&mut rng, &mut node);
+                        if !node.is_faulty() {
+                            continue;
+                        }
+                        stats.faulty_nodes += 1;
+                        population_faulty.inc();
+                        devs.clear();
+                        for e in node.permanent() {
+                            for r in &e.regions {
+                                devs.push((r.rank.dimm_index(cfg), r.device));
+                            }
+                        }
+                        devs.sort_unstable();
+                        devs.dedup();
+                        // Each DIMM is now a contiguous run of distinct
+                        // devices.
+                        let mut i = 0;
+                        while i < devs.len() {
+                            let dimm = devs[i].0;
+                            let mut j = i;
+                            while j < devs.len() && devs[j].0 == dimm {
+                                j += 1;
+                            }
+                            stats.faulty_dimms += 1;
+                            stats.multi_device_dimms += (j - i >= 2) as u64;
+                            i = j;
                         }
                     }
-                    stats.faulty_dimms += per_dimm.len() as u64;
-                    stats.multi_device_dimms +=
-                        per_dimm.values().filter(|d| d.len() >= 2).count() as u64;
                 }
                 stats
             }));
@@ -479,6 +567,7 @@ mod tests {
                 trials: 300,
                 seed: 42,
                 threads: 1,
+                chunk_size: 0,
             },
         );
         for threads in [2, 4, 7] {
@@ -488,6 +577,7 @@ mod tests {
                     trials: 300,
                     seed: 42,
                     threads,
+                    chunk_size: 0,
                 },
             );
             assert_eq!(r, reference, "threads={threads} diverged from threads=1");
@@ -499,9 +589,67 @@ mod tests {
                 trials: 300,
                 seed: 43,
                 threads: 1,
+                chunk_size: 0,
             },
         );
         assert_ne!(other, reference);
+    }
+
+    #[test]
+    fn deterministic_across_chunk_sizes() {
+        // The work-stealing chunk queue changes only *which worker* runs a
+        // trial, never its RNG stream, so any (threads, chunk_size) pair
+        // must reproduce the single-threaded result bit for bit — including
+        // a pathological chunk of 1 (maximal stealing) and a chunk larger
+        // than the whole run (one worker does everything).
+        let arms = vec![
+            Scenario::isca16_baseline()
+                .with_mechanism(Mechanism::RelaxFault { max_ways: 1 })
+                .with_replacement(ReplacementPolicy::None),
+            Scenario::isca16_baseline().with_mechanism(Mechanism::Ppr),
+        ];
+        let reference = run_scenarios(
+            &arms,
+            &RunConfig {
+                trials: 300,
+                seed: 42,
+                threads: 1,
+                chunk_size: 0,
+            },
+        );
+        for threads in [1usize, 2, 4] {
+            for chunk_size in [1u64, 257, 8192] {
+                let r = run_scenarios(
+                    &arms,
+                    &RunConfig {
+                        trials: 300,
+                        seed: 42,
+                        threads,
+                        chunk_size,
+                    },
+                );
+                assert_eq!(
+                    r, reference,
+                    "threads={threads} chunk_size={chunk_size} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_size_resolution() {
+        // 0 = auto: trials/(64*threads), floored at 256. Explicit values
+        // pass through untouched.
+        let cfg = |trials, chunk_size| RunConfig {
+            trials,
+            seed: 0,
+            threads: 1,
+            chunk_size,
+        };
+        assert_eq!(cfg(1_000_000, 0).resolved_chunk_size(4), 3906);
+        assert_eq!(cfg(1_000, 0).resolved_chunk_size(4), 256);
+        assert_eq!(cfg(1_000, 0).resolved_chunk_size(0), 256);
+        assert_eq!(cfg(1_000, 7).resolved_chunk_size(4), 7);
     }
 
     #[test]

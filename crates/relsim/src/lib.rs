@@ -25,7 +25,7 @@
 //!     base.clone().with_mechanism(Mechanism::None),
 //!     base.with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
 //! ];
-//! let results = run_scenarios(&arms, &RunConfig { trials: 200, seed: 7, threads: 2 });
+//! let results = run_scenarios(&arms, &RunConfig { trials: 200, seed: 7, threads: 2 , chunk_size: 0});
 //! assert_eq!(results.len(), 2);
 //! ```
 
@@ -34,5 +34,5 @@ pub mod node;
 pub mod scenario;
 
 pub use engine::{run_scenarios, RunConfig, ScenarioResult};
-pub use node::{evaluate_node, NodeOutcome};
+pub use node::{evaluate_node, evaluate_node_with, EvalScratch, NodeOutcome};
 pub use scenario::{Mechanism, ReplacementPolicy, Scenario};

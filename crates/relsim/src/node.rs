@@ -1,7 +1,7 @@
 //! Replays one node's fault timeline against a scenario.
 
 use crate::scenario::{Mechanism, ReplacementPolicy, Scenario};
-use relaxfault_core::plan::{FreeFault, Ppr, RelaxFault, RepairMechanism};
+use relaxfault_core::plan::{FreeFault, PlanScratch, Ppr, RelaxFault, RepairMechanism};
 use relaxfault_ecc::EccOutcome;
 use relaxfault_faults::{FaultRegion, NodeFaults};
 use relaxfault_util::rng::Rng;
@@ -60,12 +60,21 @@ impl Planner {
         }
     }
 
-    fn try_repair(&mut self, regions: &[FaultRegion]) -> bool {
+    fn try_repair(&mut self, regions: &[FaultRegion], scratch: &mut PlanScratch) -> bool {
         match self {
             Planner::None => false,
-            Planner::Relax(p) => p.try_repair(regions),
-            Planner::Free(p) => p.try_repair(regions),
-            Planner::Ppr(p) => p.try_repair(regions),
+            Planner::Relax(p) => p.try_repair_with(regions, scratch),
+            Planner::Free(p) => p.try_repair_with(regions, scratch),
+            Planner::Ppr(p) => p.try_repair_with(regions, scratch),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Planner::None => {}
+            Planner::Relax(p) => p.reset(),
+            Planner::Free(p) => p.reset(),
+            Planner::Ppr(p) => p.reset(),
         }
     }
 
@@ -88,6 +97,50 @@ impl Planner {
     }
 }
 
+/// Reusable per-(worker, scenario) evaluation state. Holding one of these
+/// across trials removes every allocation from the replay loop *and* lets
+/// the repair planner keep its warmed-up hash-table capacity: the engine
+/// resets it between trials instead of rebuilding it.
+///
+/// A scratch is bound to the scenario of its first use (the planner it
+/// caches is mechanism-specific); reuse across scenarios is rejected by a
+/// debug assertion.
+#[derive(Default)]
+pub struct EvalScratch {
+    /// Planner constructed lazily on the first permanent fault ever seen,
+    /// then reset and reused across trials.
+    planner: Option<Planner>,
+    /// Mechanism the cached planner was built for.
+    mech: Option<Mechanism>,
+    /// Live (unrepaired) permanent regions, tagged with their DIMM index.
+    live: Vec<(u32, FaultRegion)>,
+    /// Flat copy of `live`'s regions for ECC classification.
+    live_regions: Vec<FaultRegion>,
+    /// DIMM indices of the current event's regions.
+    event_dimms: Vec<u32>,
+    /// Scratch for the repair planners.
+    plan: PlanScratch,
+}
+
+impl EvalScratch {
+    /// Creates an empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Replays `node`'s timeline under `scenario` (see
+/// [`evaluate_node_with`]), allocating fresh scratch. Hot loops should
+/// hold an [`EvalScratch`] per scenario and call `evaluate_node_with`.
+pub fn evaluate_node<R: Rng + ?Sized>(
+    scenario: &Scenario,
+    node: &NodeFaults,
+    rng: &mut R,
+) -> NodeOutcome {
+    let mut scratch = EvalScratch::default();
+    evaluate_node_with(scenario, node, rng, &mut scratch)
+}
+
 /// Replays `node`'s timeline under `scenario`.
 ///
 /// For each fault arrival, in time order:
@@ -101,20 +154,26 @@ impl Planner {
 ///    leave it live;
 /// 4. under ReplB, an unrepaired permanent fault trips the corrected-error
 ///    threshold with the policy's probability and replaces the DIMM.
-pub fn evaluate_node<R: Rng + ?Sized>(
+pub fn evaluate_node_with<R: Rng + ?Sized>(
     scenario: &Scenario,
     node: &NodeFaults,
     rng: &mut R,
+    scratch: &mut EvalScratch,
 ) -> NodeOutcome {
     let cfg = &scenario.dram;
     let mut out = NodeOutcome::default();
     if node.events.is_empty() {
         return out;
     }
-    // Constructed lazily: ~86% of nodes never see a permanent fault.
-    let mut planner: Option<Planner> = None;
-    // Live (unrepaired) permanent regions, tagged with their DIMM index.
-    let mut live: Vec<(u32, FaultRegion)> = Vec::new();
+    debug_assert!(
+        scratch.mech.is_none() || scratch.mech == Some(scenario.mechanism),
+        "EvalScratch reused across scenarios"
+    );
+    // Whether this trial touched the planner: ~86% of nodes never see a
+    // permanent fault, so the planner is prepared lazily — constructed on
+    // the first permanent fault ever, reset on the first of each trial.
+    let mut planner_live = false;
+    scratch.live.clear();
 
     for event in &node.events {
         let permanent = event.is_permanent();
@@ -124,22 +183,39 @@ pub fn evaluate_node<R: Rng + ?Sized>(
         }
 
         // 1. ECC classification against live faults of the same ranks.
-        let live_regions: Vec<FaultRegion> = live.iter().map(|(_, r)| *r).collect();
-        let mut outcome =
-            scenario
-                .ecc
-                .classify_arrival(cfg, &event.regions, permanent, &live_regions, rng);
-        let event_dimms: Vec<u32> = event
-            .regions
-            .iter()
-            .map(|r| r.rank.dimm_index(cfg))
-            .collect();
+        scratch.live_regions.clear();
+        scratch
+            .live_regions
+            .extend(scratch.live.iter().map(|(_, r)| *r));
+        let mut outcome = scenario.ecc.classify_arrival(
+            cfg,
+            &event.regions,
+            permanent,
+            &scratch.live_regions,
+            rng,
+        );
+        scratch.event_dimms.clear();
+        scratch
+            .event_dimms
+            .extend(event.regions.iter().map(|r| r.rank.dimm_index(cfg)));
 
         // 2. Repair attempt (permanent faults only; transient faults leave
         //    nothing to repair).
         let repaired = permanent && {
-            let planner = planner.get_or_insert_with(|| Planner::new(scenario));
-            planner.try_repair(&event.regions)
+            let planner = match &mut scratch.planner {
+                Some(p) => {
+                    if !planner_live {
+                        p.reset();
+                    }
+                    p
+                }
+                slot @ None => {
+                    scratch.mech = Some(scenario.mechanism);
+                    slot.insert(Planner::new(scenario))
+                }
+            };
+            planner_live = true;
+            planner.try_repair(&event.regions, &mut scratch.plan)
         };
 
         // A fault that got repaired sometimes wins the race: detection via
@@ -159,9 +235,9 @@ pub fn evaluate_node<R: Rng + ?Sized>(
                 out.dues += 1;
                 if permanent {
                     if scenario.replacement == ReplacementPolicy::AfterDue {
-                        for &dimm in &event_dimms {
+                        for &dimm in &scratch.event_dimms {
                             out.replacements += 1;
-                            live.retain(|(d, _)| *d != dimm);
+                            scratch.live.retain(|(d, _)| *d != dimm);
                         }
                         // The faulty DIMM is gone; nothing of this event
                         // survives (any repair lines it claimed are simply
@@ -184,25 +260,27 @@ pub fn evaluate_node<R: Rng + ?Sized>(
         out.unrepaired_faults += 1;
         out.unrepaired_by_mode[event.mode as usize] += 1;
         for r in &event.regions {
-            live.push((r.rank.dimm_index(cfg), *r));
+            scratch.live.push((r.rank.dimm_index(cfg), *r));
         }
 
         // 3. ReplB: the unrepaired fault may trip the corrected-error
         //    threshold.
         if let ReplacementPolicy::AfterErrors { trigger_prob } = scenario.replacement {
             if rng.gen_bool(trigger_prob) {
-                for &dimm in &event_dimms {
+                for &dimm in &scratch.event_dimms {
                     out.replacements += 1;
-                    live.retain(|(d, _)| *d != dimm);
+                    scratch.live.retain(|(d, _)| *d != dimm);
                 }
             }
         }
     }
 
     out.fully_repaired = out.faulty && out.unrepaired_faults == 0;
-    if let Some(p) = &planner {
-        out.repair_bytes = p.bytes_used();
-        out.max_ways = p.max_ways_used();
+    if planner_live {
+        if let Some(p) = &scratch.planner {
+            out.repair_bytes = p.bytes_used();
+            out.max_ways = p.max_ways_used();
+        }
     }
     out
 }
@@ -228,11 +306,11 @@ mod tests {
             time_hours: time,
             mode: FaultMode::SingleBitWord,
             transience,
-            regions: vec![FaultRegion {
+            regions: relaxfault_faults::RegionList::one(FaultRegion {
                 rank: rank0(),
                 device,
                 extent,
-            }],
+            }),
         }
     }
 

@@ -1,0 +1,150 @@
+//! A fast, deterministic hasher for hot-loop hash maps.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is keyed and
+//! DoS-resistant, which the Monte Carlo kernels neither need nor can
+//! afford: repair planning inserts hundreds of `u64` line keys per faulty
+//! node, and SipHash dominates the profile. [`FxHasher`] is the
+//! multiply-fold hasher used by rustc (public domain algorithm): one
+//! multiply and a rotate per word, deterministic across runs and
+//! platforms of equal word size.
+//!
+//! Determinism matters here beyond speed: iteration order of these maps
+//! must never leak into simulation results (the planners only iterate for
+//! aggregate counts), but a fixed hasher also keeps any accidental
+//! order-dependence reproducible instead of flaky.
+//!
+//! # Examples
+//!
+//! ```
+//! use relaxfault_util::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+//! m.insert(42, 1);
+//! assert_eq!(m.get(&42), Some(&1));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-style multiply-fold hasher. Not cryptographic; do not use
+/// where an attacker controls the keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// The odd multiplier from the original Firefox/rustc implementation
+/// (derived from the golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_one<T: std::hash::Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_one(12345u64), hash_one(12345u64));
+        assert_ne!(hash_one(12345u64), hash_one(12346u64));
+    }
+
+    #[test]
+    fn byte_tail_handling() {
+        // write() must fold trailing bytes, not drop them.
+        assert_ne!(hash_one([1u8, 2, 3]), hash_one([1u8, 2, 4]));
+        assert_ne!(hash_one([1u8; 9].as_slice()), hash_one([1u8; 8].as_slice()));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 2), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(500, 1000)), Some(&500));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000u64 {
+            assert!(s.insert(i * 7));
+            assert!(!s.insert(i * 7));
+        }
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Sequential u64 keys (the common line-key pattern) should not
+        // collide in the low bits the table indexes with.
+        let mut low: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..256u64 {
+            low.insert(hash_one(i) >> 56);
+        }
+        assert!(low.len() > 64, "only {} distinct high bytes", low.len());
+    }
+}

@@ -25,6 +25,8 @@
 //! * [`export`] — exporters from the [`obs`] model to external tool
 //!   formats: Chrome trace-event JSON (Perfetto-loadable) and Prometheus
 //!   text exposition, both built on the in-repo JSON/text code.
+//! * [`hash`] — a fast deterministic (non-cryptographic) hasher plus
+//!   `HashMap`/`HashSet` aliases for hot-loop lookups.
 //! * [`stats`] — streaming summaries, empirical CDFs, and binomial confidence
 //!   intervals used by every experiment harness.
 //! * [`table`] — minimal fixed-width table/CSV rendering for the
@@ -46,6 +48,7 @@
 pub mod bits;
 pub mod dist;
 pub mod export;
+pub mod hash;
 pub mod json;
 pub mod obs;
 pub mod prop;

@@ -113,6 +113,7 @@ fn main() {
             trials,
             seed: 7,
             threads,
+            chunk_size: 0,
         },
     );
     let mut t2 = Table::new(&["way limit", "coverage", "LLC @ p90", "LLC @ p99"]);

@@ -45,6 +45,7 @@ fn main() {
             trials,
             seed: 42,
             threads,
+            chunk_size: 0,
         },
     );
     println!("done in {:?}\n", t0.elapsed());

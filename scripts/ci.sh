@@ -24,7 +24,9 @@ cargo run --release -q -p relaxfault-bench --bin obs_validate results/obs
 # identical counters (timings may jitter — the generous threshold ignores
 # them; the exact counter comparison is the determinism signal). The
 # obs_diff verdict JSON is kept under results/ci/ as a build artifact.
-rm -rf results/ci
+# Committed artifacts (the engine_hot pre-PR snapshot and verdict) stay;
+# only the run registry and snapshots are scrubbed.
+rm -rf results/ci/obs results/ci/runs
 RF_OBS=on RF_RESULTS_DIR=results/ci RF_RUN_NAME=drift_a \
     cargo run --release -q -p relaxfault-bench --bin fig08_hashing -- 4000
 RF_OBS=on RF_RESULTS_DIR=results/ci RF_RUN_NAME=drift_b \
@@ -41,7 +43,7 @@ cargo run --release -q -p relaxfault-bench --bin obs_diff -- \
 #   mkdir -p results/baselines && cp results/obs/fig08_hashing.json results/baselines/
 # The newest registered run is compared against the committed baseline of
 # the same run name; regressions beyond the CI threshold fail the build.
-if [ -d results/baselines ]; then
+if [ -f results/baselines/fig08_hashing.json ]; then
     RF_OBS=on RF_RESULTS_DIR=results/ci RF_RUN_NAME=fig08_hashing \
         cargo run --release -q -p relaxfault-bench --bin fig08_hashing -- 4000
     mkdir -p results/ci/baselines
@@ -54,3 +56,18 @@ fi
 # inner loop when off (the bench exits non-zero otherwise).
 RF_BENCH_BATCH_MS=5 RF_BENCH_BATCHES=3 \
     cargo bench -q -p relaxfault-bench --bench node_eval
+
+# Engine hot-loop regression gate: replay the per-trial pipeline bench and
+# compare against the committed baseline snapshot. Cargo runs bench
+# binaries with the bench crate as cwd, so RF_RESULTS_DIR must be
+# absolute. A regression verdict (obs_diff exit 1) fails the build with
+# exit 2; the verdict JSON is kept under results/ci/ either way.
+if [ -f results/baselines/engine_hot.json ]; then
+    RF_OBS=on RF_RESULTS_DIR="$PWD/results/ci" RF_RUN_NAME=engine_hot \
+        RF_BENCH_BATCH_MS=40 RF_BENCH_BATCHES=5 \
+        cargo bench -q -p relaxfault-bench --bench engine_hot
+    cargo run --release -q -p relaxfault-bench --bin obs_diff -- \
+        results/baselines/engine_hot.json results/ci/obs/engine_hot.json \
+        --threshold 0.5 --out results/ci/engine_hot_regression_verdict.json \
+        || exit 2
+fi

@@ -52,7 +52,7 @@
 //!     Scenario::isca16_baseline(),
 //!     Scenario::isca16_baseline().with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
 //! ];
-//! let results = run_scenarios(&arms, &RunConfig { trials: 500, seed: 1, threads: 2 });
+//! let results = run_scenarios(&arms, &RunConfig { trials: 500, seed: 1, threads: 2 , chunk_size: 0});
 //! assert!(results[1].fully_repaired_nodes > 0 || results[1].faulty_nodes == 0);
 //! ```
 //!
@@ -81,7 +81,7 @@ pub mod prelude {
     pub use crate::relsim::scenario::{Mechanism, ReplacementPolicy, Scenario};
     pub use crate::repair::datapath::{FaultyDram, RepairController};
     pub use crate::repair::overhead::StorageOverhead;
-    pub use crate::repair::plan::{FreeFault, Ppr, RelaxFault, RepairMechanism};
+    pub use crate::repair::plan::{FreeFault, PlanScratch, Ppr, RelaxFault, RepairMechanism};
     pub use crate::repair::{RelaxMap, RepairLine};
 }
 

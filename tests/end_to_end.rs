@@ -138,6 +138,7 @@ fn engine_accounts_for_every_fault() {
             trials: 1500,
             seed: 99,
             threads: 2,
+            chunk_size: 0,
         },
     );
     // Same population.

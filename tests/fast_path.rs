@@ -1,0 +1,114 @@
+//! The zero-fault fast path contract: gating a trial on one
+//! `trial_is_clean` draw and then (only when dirty) sampling the
+//! conditional lifetime must be *bit-identical* to the unconditional
+//! `sample_node` path — same events, same outcomes, same RNG stream
+//! position. The engine relies on this to skip clean trials entirely.
+
+use relaxfault::prelude::*;
+use relaxfault::relsim::{evaluate_node, evaluate_node_with, EvalScratch};
+use relaxfault::util::rng::{mix64, Rng64};
+
+/// A small pool of scenario shapes spanning the mechanisms, replacement
+/// policies, and FIT scalings the figures exercise. Crossed with ~170
+/// seeds each, this gives the ISSUE's ~1k random (scenario, seed) cases.
+fn scenario_pool() -> Vec<Scenario> {
+    vec![
+        Scenario::isca16_baseline()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 1 })
+            .with_replacement(ReplacementPolicy::None),
+        Scenario::isca16_baseline()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 4 })
+            .with_fit_scale(10.0),
+        Scenario::isca16_baseline()
+            .with_mechanism(Mechanism::Ppr)
+            .with_fit_scale(10.0)
+            .with_replacement(ReplacementPolicy::AfterErrors { trigger_prob: 0.9 }),
+        Scenario::isca16_baseline()
+            .with_mechanism(Mechanism::FreeFault { max_ways: 16 })
+            .with_fit_scale(30.0)
+            .with_replacement(ReplacementPolicy::None),
+        Scenario::isca16_baseline()
+            .with_mechanism(Mechanism::None)
+            .with_fit_scale(3.0),
+        Scenario::isca16_baseline()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 2 })
+            .with_fit_scale(100.0),
+    ]
+}
+
+#[test]
+fn fast_path_agrees_with_slow_path_on_1k_random_cases() {
+    let mut cases = 0u32;
+    let mut dirty = 0u32;
+    for (si, scenario) in scenario_pool().iter().enumerate() {
+        let sampler = FaultSampler::new(&scenario.fault_model, &scenario.dram);
+        let mut node_fast = NodeFaults::default();
+        let mut scratch = EvalScratch::new();
+        for trial in 0..170u64 {
+            cases += 1;
+            let seed = mix64(0xFA57_9A7E, si as u64, trial);
+
+            // Slow path: unconditional sample, fresh evaluation scratch.
+            let mut rng_slow = Rng64::seed_from_u64(seed);
+            let node_slow = sampler.sample_node(&mut rng_slow);
+
+            // Fast path: one gate draw, conditional sample only when
+            // dirty, reused buffers throughout — exactly the engine loop.
+            let mut rng_fast = Rng64::seed_from_u64(seed);
+            node_fast.clear();
+            if !sampler.trial_is_clean(&mut rng_fast) {
+                sampler.sample_faulty_into(&mut rng_fast, &mut node_fast);
+            }
+
+            assert_eq!(
+                node_fast, node_slow,
+                "lifetimes diverged: scenario {si}, trial {trial}"
+            );
+            if node_slow.events.is_empty() {
+                continue;
+            }
+            dirty += 1;
+
+            let eval_seed = mix64(seed ^ 0xECC, trial, 0);
+            let out_slow =
+                evaluate_node(scenario, &node_slow, &mut Rng64::seed_from_u64(eval_seed));
+            let out_fast = evaluate_node_with(
+                scenario,
+                &node_fast,
+                &mut Rng64::seed_from_u64(eval_seed),
+                &mut scratch,
+            );
+            // Whole-outcome equality covers the ISSUE's named fields
+            // (faulty, dues, repair_bytes) and everything else besides.
+            assert_eq!(
+                out_fast, out_slow,
+                "outcomes diverged: scenario {si}, trial {trial}"
+            );
+        }
+    }
+    assert_eq!(cases, 1020);
+    // The pool's elevated FIT scales guarantee both branches are
+    // exercised heavily.
+    assert!(dirty >= 100, "only {dirty} dirty trials of {cases}");
+    assert!(cases - dirty >= 100, "only {} clean trials", cases - dirty);
+}
+
+#[test]
+fn clean_probability_matches_empirical_gate_rate() {
+    // `p_clean` is the same number the gate draws against, so the
+    // empirical clean rate over many seeds must match it closely.
+    let scenario = Scenario::isca16_baseline().with_fit_scale(10.0);
+    let sampler = FaultSampler::new(&scenario.fault_model, &scenario.dram);
+    let n = 20_000u64;
+    let mut clean = 0u64;
+    for trial in 0..n {
+        let mut rng = Rng64::seed_from_u64(mix64(0xC1EA, trial, 0));
+        clean += sampler.trial_is_clean(&mut rng) as u64;
+    }
+    let rate = clean as f64 / n as f64;
+    assert!(
+        (rate - sampler.p_clean()).abs() < 0.01,
+        "empirical {rate} vs p_clean {}",
+        sampler.p_clean()
+    );
+}

@@ -13,6 +13,7 @@ fn run(arms: &[Scenario], trials: u64) -> Vec<ScenarioResult> {
             trials,
             seed: 1609,
             threads: 2,
+            chunk_size: 0,
         },
     )
 }

@@ -23,6 +23,7 @@ fn tiny_scenario_runs_from_json_config() {
         trials: 200,
         seed: 2016,
         threads: 2,
+        chunk_size: 0,
     };
     let results = run_scenarios(&[arm], &run);
     assert_eq!(results.len(), 1);
