@@ -5,9 +5,13 @@
 //! populated counter or histogram; exported traces (`*.trace.json`) must
 //! be Chrome trace-event arrays (`ph: "X"`, `ts` monotone per track).
 //! Mixed `schema_version`s across the scanned snapshots fail the whole
-//! directory, even if each file is self-consistent. Exits non-zero on any
-//! violation.
+//! directory, even if each file is self-consistent. Relcheck repro cases
+//! (top-level `kind: "relcheck_repro"`, e.g. under `results/relcheck`) are
+//! validated against their own schema via the strict
+//! [`ReproCase`] deserializer and kept out of the obs version check.
+//! Exits non-zero on any violation.
 
+use relaxfault_relsim::repro::{ReproCase, REPRO_KIND};
 use relaxfault_util::json::Value;
 use relaxfault_util::obs;
 use std::collections::BTreeSet;
@@ -30,10 +34,27 @@ fn object_len(doc: &Value, key: &str) -> Result<usize, String> {
     }
 }
 
+/// Whether a parsed document is a relcheck repro case rather than an obs
+/// snapshot.
+fn is_repro(doc: &Value) -> bool {
+    doc.get("kind").and_then(Value::as_str) == Some(REPRO_KIND)
+}
+
+/// Validates one relcheck repro case: the strict deserializer accepts it
+/// and the recorded reason is non-empty.
+fn validate_repro(doc: &Value) -> Result<(), String> {
+    let case = ReproCase::from_json(doc)?;
+    if case.reason.is_empty() {
+        return Err("repro case has an empty reason".into());
+    }
+    if case.scenarios.is_empty() && case.prop_choices.is_empty() {
+        return Err("repro case carries neither scenarios nor a choice stream".into());
+    }
+    Ok(())
+}
+
 /// Validates one metrics snapshot, returning its schema_version.
-fn validate_snapshot(path: &std::path::Path) -> Result<u64, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
-    let doc = Value::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+fn validate_snapshot(doc: &Value, path: &std::path::Path) -> Result<u64, String> {
     for key in REQUIRED_KEYS {
         if doc.get(key).is_none() {
             return Err(format!("missing top-level key `{key}`"));
@@ -60,8 +81,8 @@ fn validate_snapshot(path: &std::path::Path) -> Result<u64, String> {
             "manifest.run `{manifest_run}` does not match file stem `{stem}`"
         ));
     }
-    let counters = object_len(&doc, "counters")?;
-    let histograms = object_len(&doc, "histograms")?;
+    let counters = object_len(doc, "counters")?;
+    let histograms = object_len(doc, "histograms")?;
     if counters + histograms == 0 {
         return Err("snapshot has no counters or histograms".into());
     }
@@ -126,9 +147,16 @@ fn main() {
             validate_trace(&path)
         } else if name.ends_with(".json") {
             checked += 1;
-            validate_snapshot(&path).map(|v| {
-                versions.insert(v);
-            })
+            match std::fs::read_to_string(&path)
+                .map_err(|e| format!("read failed: {e}"))
+                .and_then(|text| Value::parse(&text).map_err(|e| format!("invalid JSON: {e}")))
+            {
+                Ok(doc) if is_repro(&doc) => validate_repro(&doc),
+                Ok(doc) => validate_snapshot(&doc, &path).map(|v| {
+                    versions.insert(v);
+                }),
+                Err(e) => Err(e),
+            }
         } else {
             continue; // .prom and friends have their own consumers
         };

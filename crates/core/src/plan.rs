@@ -253,6 +253,58 @@ impl LlcOccupancy {
     fn bytes_used(&self) -> u64 {
         self.lines_used() * self.line_bytes
     }
+
+    /// Verifies the occupancy bookkeeping against itself: the sparse
+    /// `dirty_sets` view, the flat `per_set` array, the locked-line set,
+    /// and the `max_used` high-water mark must all tell the same story.
+    /// O(sets) — meant for tests and the `RF_CHECK=1` engine hook, not the
+    /// hot path.
+    fn check_invariants(&self) -> Result<(), String> {
+        let mut sum = 0u64;
+        let mut seen = FxHashSet::default();
+        for &s in &self.dirty_sets {
+            if s as u64 >= self.sets {
+                return Err(format!("dirty set {s} out of range ({})", self.sets));
+            }
+            if !seen.insert(s) {
+                return Err(format!("set {s} appears twice in dirty_sets"));
+            }
+            let c = self.per_set[s as usize];
+            if c == 0 {
+                return Err(format!("dirty set {s} has zero occupancy"));
+            }
+            if c > self.max_ways {
+                return Err(format!(
+                    "set {s} holds {c} lines, over the {}-way limit",
+                    self.max_ways
+                ));
+            }
+            sum += c as u64;
+        }
+        if sum != self.lines.len() as u64 {
+            return Err(format!(
+                "per-set occupancy sums to {sum} but {} lines are locked",
+                self.lines.len()
+            ));
+        }
+        let nonzero = self.per_set.iter().filter(|&&c| c != 0).count();
+        if nonzero != self.dirty_sets.len() {
+            return Err(format!(
+                "{nonzero} sets occupied but only {} tracked dirty",
+                self.dirty_sets.len()
+            ));
+        }
+        // Lines only accumulate between resets, so the high-water mark must
+        // equal the current maximum exactly.
+        let max = self.per_set.iter().copied().max().unwrap_or(0);
+        if self.max_used != max {
+            return Err(format!(
+                "max_used {} disagrees with per-set maximum {max}",
+                self.max_used
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Precomputed XOR deltas for enumerating the `(set, key)` pairs of a
@@ -354,6 +406,30 @@ impl RelaxFault {
     /// The repair mapping in use.
     pub fn mapping(&self) -> &RelaxMap {
         &self.map
+    }
+
+    /// The keys of every locked repair line, in arbitrary order. Read-only
+    /// view for differential oracles and regression tests.
+    pub fn line_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.occ.lines.iter().copied()
+    }
+
+    /// `(set, lines locked)` for every occupied set, in arbitrary order.
+    pub fn occupied_sets(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.occ
+            .dirty_sets
+            .iter()
+            .map(|&s| (s, self.occ.per_set[s as usize]))
+    }
+
+    /// Verifies the planner's occupancy bookkeeping (see
+    /// `LlcOccupancy::check_invariants`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.occ.check_invariants()
     }
 
     /// Analytic count of repair lines a fault would need in isolation.
@@ -518,6 +594,29 @@ impl FreeFault {
             .sum()
     }
 
+    /// The keys of every locked repair line, in arbitrary order.
+    pub fn line_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.occ.lines.iter().copied()
+    }
+
+    /// `(set, lines locked)` for every occupied set, in arbitrary order.
+    pub fn occupied_sets(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.occ
+            .dirty_sets
+            .iter()
+            .map(|&s| (s, self.occ.per_set[s as usize]))
+    }
+
+    /// Verifies the planner's occupancy bookkeeping (see
+    /// `LlcOccupancy::check_invariants`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.occ.check_invariants()
+    }
+
     /// Enumerates the `(set, key)` pairs of every faulty physical block
     /// into `out`.
     fn blocks(&self, regions: &[FaultRegion], out: &mut Vec<(u64, u64)>) {
@@ -640,6 +739,50 @@ impl Ppr {
     /// Spare rows consumed so far.
     pub fn spares_used(&self) -> u64 {
         self.used.values().map(|&v| v as u64).sum()
+    }
+
+    /// The substituted rows, as `(flat rank, device, bank, row)` keys in
+    /// arbitrary order.
+    pub fn repaired_rows(&self) -> impl Iterator<Item = (u32, u32, u32, u32)> + '_ {
+        self.repaired_rows.iter().copied()
+    }
+
+    /// Verifies the spare accounting: every group's consumed-spare count
+    /// must equal its substituted-row count and respect the per-group
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut counts: FxHashMap<(u32, u32, u32), u32> = FxHashMap::default();
+        for &(flat, device, bank, _row) in &self.repaired_rows {
+            *counts
+                .entry((flat, device, bank / self.banks_per_group))
+                .or_insert(0) += 1;
+        }
+        for (group, &used) in &self.used {
+            if used > self.spares_per_group {
+                return Err(format!(
+                    "group {group:?} consumed {used} spares, budget {}",
+                    self.spares_per_group
+                ));
+            }
+            if counts.get(group).copied().unwrap_or(0) != used {
+                return Err(format!(
+                    "group {group:?} claims {used} spares but has {} rows",
+                    counts.get(group).copied().unwrap_or(0)
+                ));
+            }
+        }
+        if counts.len() != self.used.len() {
+            return Err(format!(
+                "{} groups have substituted rows but {} consumed spares",
+                counts.len(),
+                self.used.len()
+            ));
+        }
+        Ok(())
     }
 
     /// Collects the faulty rows a fault needs substituted into `rows`.
@@ -903,6 +1046,79 @@ mod tests {
         };
         assert!(rf.try_repair(&[ecc_dev]));
         assert_eq!(rf.lines_used(), 16);
+    }
+
+    #[test]
+    fn try_add_rollback_restores_exact_pre_offer_state() {
+        // Audit pin for the rollback path: a rejected repair whose
+        // candidate list *overlaps* already-locked lines must remove only
+        // the lines it freshly inserted before aborting — the overlap was
+        // skipped by the duplicate filter and must survive. Canonical
+        // indexing makes the collision deterministic: same row on two
+        // devices lands set-for-set on the same sets.
+        let unhashed = CacheConfig::isca16_llc_no_hash();
+        let mut rf = RelaxFault::new(&dram(), &unhashed, 1);
+        let first = region(Extent::Row { bank: 0, row: 5 });
+        assert!(rf.try_repair(&[first]));
+        let mut keys_before: Vec<u64> = rf.line_keys().collect();
+        keys_before.sort_unstable();
+        let mut sets_before: Vec<(u32, u32)> = rf.occupied_sets().collect();
+        sets_before.sort_unstable();
+        rf.check_invariants().unwrap();
+
+        // One fault spanning the already-repaired row (duplicates) and a
+        // colliding row on another device (fresh lines that overflow the
+        // 1-way budget): must be rejected wholesale.
+        let conflict = [
+            first,
+            FaultRegion {
+                rank: rank0(),
+                device: 9,
+                extent: Extent::Row { bank: 0, row: 5 },
+            },
+        ];
+        for _ in 0..3 {
+            // Repeated offers must keep failing without eroding state.
+            assert!(!rf.try_repair(&conflict));
+            let mut keys_after: Vec<u64> = rf.line_keys().collect();
+            keys_after.sort_unstable();
+            assert_eq!(keys_after, keys_before, "rollback leaked or dropped lines");
+            let mut sets_after: Vec<(u32, u32)> = rf.occupied_sets().collect();
+            sets_after.sort_unstable();
+            assert_eq!(sets_after, sets_before, "rollback disturbed occupancy");
+            assert_eq!(rf.max_ways_used(), 1);
+            rf.check_invariants().unwrap();
+        }
+        // The planner still accepts an unrelated repair afterwards.
+        assert!(rf.try_repair(&[region(Extent::Row { bank: 1, row: 6 })]));
+        rf.check_invariants().unwrap();
+        assert_eq!(rf.lines_used(), 32);
+    }
+
+    #[test]
+    fn try_add_rollback_scratch_is_clean_for_reuse() {
+        // The scratch buffers double as rollback state; a rejection must
+        // zero them so the *next* call (any planner) starts clean.
+        let unhashed = CacheConfig::isca16_llc_no_hash();
+        let mut rf = RelaxFault::new(&dram(), &unhashed, 1);
+        let mut scratch = PlanScratch::new();
+        let a = region(Extent::Row { bank: 0, row: 5 });
+        let b = FaultRegion {
+            rank: rank0(),
+            device: 9,
+            extent: Extent::Row { bank: 0, row: 5 },
+        };
+        assert!(rf.try_repair_with(&[a], &mut scratch));
+        assert!(!rf.try_repair_with(&[b], &mut scratch));
+        assert!(scratch.touched.is_empty(), "touched not cleared on reject");
+        assert!(
+            scratch.set_counts.iter().all(|&c| c == 0),
+            "set_counts not zeroed on reject"
+        );
+        // Same scratch drives a fresh planner correctly afterwards.
+        let mut ff = FreeFault::new(&dram(), &unhashed, 16);
+        assert!(ff.try_repair_with(&[b], &mut scratch));
+        ff.check_invariants().unwrap();
     }
 
     // --- delta-table enumeration ---
@@ -1223,6 +1439,9 @@ mod proptests {
                     prop_assert_eq!(rf.max_ways_used(), before_ways);
                 }
                 prop_assert_eq!(rf.bytes_used(), rf.lines_used() * 64);
+                if let Err(e) = rf.check_invariants() {
+                    prop_assert!(false, "invariant violated: {e}");
+                }
             }
             Ok(())
         });

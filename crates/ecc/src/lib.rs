@@ -483,4 +483,203 @@ mod tests {
     fn ecc_overhead_fraction() {
         assert!((ecc_storage_overhead(&cfg()) - 2.0 / 18.0).abs() < 1e-12);
     }
+
+    #[test]
+    fn multi_rank_arrival_classifies_against_each_rank() {
+        // A multi-rank fault event: one region per rank. Only the second
+        // region's rank holds a live fault, and the overlap must still be
+        // found through it.
+        let ecc = EccModel::always_manifest();
+        let c = cfg();
+        let mut rng = Rng64::seed_from_u64(11);
+        let other = RankId {
+            channel: 2,
+            dimm: 1,
+            rank: 0,
+        };
+        let live = [FaultRegion {
+            rank: other,
+            device: 5,
+            extent: Extent::Row { bank: 1, row: 7 },
+        }];
+        let new = [
+            region(3, Extent::Row { bank: 1, row: 7 }),
+            FaultRegion {
+                rank: other,
+                device: 3,
+                extent: Extent::Row { bank: 1, row: 7 },
+            },
+        ];
+        assert!(ecc.pair_overlap_exists(&c, &new, &live));
+        assert_eq!(
+            ecc.classify_arrival(&c, &new, true, &live, &mut rng),
+            EccOutcome::Due
+        );
+    }
+
+    #[test]
+    fn word_extent_overlaps_only_its_own_codeword_row() {
+        let ecc = EccModel::always_manifest();
+        let c = cfg();
+        let live = [region(4, Extent::Row { bank: 0, row: 10 })];
+        let hit = [region(
+            9,
+            Extent::Word {
+                bank: 0,
+                row: 10,
+                col: 100,
+            },
+        )];
+        let miss = [region(
+            9,
+            Extent::Word {
+                bank: 0,
+                row: 11,
+                col: 100,
+            },
+        )];
+        assert!(ecc.pair_overlap_exists(&c, &hit, &live));
+        assert!(!ecc.pair_overlap_exists(&c, &miss, &live));
+    }
+
+    #[test]
+    fn column_fault_overlap_respects_subarray_row_bounds() {
+        // A pin/column fault spans rows [0, 512); a fine fault at row 511
+        // shares its codeword, one at row 512 does not.
+        let ecc = EccModel::always_manifest();
+        let c = cfg();
+        let live = [region(
+            4,
+            Extent::Column {
+                bank: 0,
+                col: 9,
+                row_start: 0,
+                row_count: 512,
+            },
+        )];
+        let inside = [region(
+            9,
+            Extent::Bit {
+                bank: 0,
+                row: 511,
+                col: 9,
+            },
+        )];
+        let outside = [region(
+            9,
+            Extent::Bit {
+                bank: 0,
+                row: 512,
+                col: 9,
+            },
+        )];
+        assert!(ecc.pair_overlap_exists(&c, &inside, &live));
+        assert!(!ecc.pair_overlap_exists(&c, &outside, &live));
+    }
+
+    #[test]
+    fn triple_with_zero_event_probability_falls_through_to_pair() {
+        // The ≥3-symbol overlap exists but never manifests; the arrival
+        // must still be classified against the pair path, not silently
+        // corrected.
+        let ecc = EccModel {
+            p_event_given_triple: 0.0,
+            ..EccModel::always_manifest()
+        };
+        let c = cfg();
+        let mut rng = Rng64::seed_from_u64(12);
+        let live = [
+            region(
+                1,
+                Extent::Banks {
+                    banks: BankSet::one(0),
+                },
+            ),
+            region(
+                2,
+                Extent::Banks {
+                    banks: BankSet::one(0),
+                },
+            ),
+        ];
+        let new = [region(
+            3,
+            Extent::Bit {
+                bank: 0,
+                row: 5,
+                col: 5,
+            },
+        )];
+        assert!(ecc.triple_overlap_exists(&c, &new, &live));
+        assert_eq!(
+            ecc.classify_arrival(&c, &new, true, &live, &mut rng),
+            EccOutcome::Due
+        );
+    }
+
+    #[test]
+    fn residual_pair_aliasing_escapes_as_sdc() {
+        let ecc = EccModel {
+            p_sdc_given_pair: 1.0,
+            ..EccModel::always_manifest()
+        };
+        let c = cfg();
+        let mut rng = Rng64::seed_from_u64(13);
+        let live = [region(4, Extent::Row { bank: 2, row: 1 })];
+        let new = [region(9, Extent::Row { bank: 2, row: 1 })];
+        assert_eq!(
+            ecc.classify_arrival(&c, &new, true, &live, &mut rng),
+            EccOutcome::Sdc
+        );
+    }
+
+    #[test]
+    fn multifault_devices_concentrate_sdcs() {
+        // The same overlap is a plain DUE against a single-fault device but
+        // an SDC against a device already carrying two unrepaired faults —
+        // the paper's multi-fault-device observation.
+        let ecc = EccModel {
+            p_sdc_given_multifault_pair: 1.0,
+            ..EccModel::always_manifest()
+        };
+        let c = cfg();
+        let mut rng = Rng64::seed_from_u64(14);
+        let new = [region(9, Extent::Row { bank: 2, row: 1 })];
+        let single = [region(4, Extent::Row { bank: 2, row: 1 })];
+        assert_eq!(
+            ecc.classify_arrival(&c, &new, true, &single, &mut rng),
+            EccOutcome::Due
+        );
+        let multi = [
+            region(4, Extent::Row { bank: 2, row: 1 }),
+            region(4, Extent::Row { bank: 5, row: 9 }),
+        ];
+        assert_eq!(
+            ecc.classify_arrival(&c, &new, true, &multi, &mut rng),
+            EccOutcome::Sdc
+        );
+    }
+
+    #[test]
+    fn transient_arrivals_use_the_transient_manifestation_probability() {
+        let ecc = EccModel {
+            p_due_pair_permanent: 1.0,
+            p_due_pair_transient: 0.0,
+            ..EccModel::always_manifest()
+        };
+        let c = cfg();
+        let mut rng = Rng64::seed_from_u64(15);
+        let live = [region(4, Extent::Row { bank: 2, row: 1 })];
+        let new = [region(9, Extent::Row { bank: 2, row: 1 })];
+        assert_eq!(
+            ecc.classify_arrival(&c, &new, false, &live, &mut rng),
+            EccOutcome::Corrected,
+            "a transient shot that never fires is corrected"
+        );
+        assert_eq!(
+            ecc.classify_arrival(&c, &new, true, &live, &mut rng),
+            EccOutcome::Due,
+            "the permanent probability is selected independently"
+        );
+    }
 }

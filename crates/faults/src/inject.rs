@@ -155,6 +155,46 @@ impl NodeFaults {
         self.events.iter().filter(|e| e.is_permanent())
     }
 
+    /// Verifies the sampled lifetime against the device geometry: events
+    /// sorted by arrival time, every region on an existing rank/device,
+    /// every extent inside the bank/row/column space. Meant for tests and
+    /// the `RF_CHECK=1` engine hook — O(events), never on by default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self, cfg: &DramConfig) -> Result<(), String> {
+        let mut last = f64::NEG_INFINITY;
+        for (i, e) in self.events.iter().enumerate() {
+            if !e.time_hours.is_finite() || e.time_hours < 0.0 {
+                return Err(format!("event {i} at non-physical time {}", e.time_hours));
+            }
+            if e.time_hours < last {
+                return Err(format!(
+                    "event {i} at {} arrives before its predecessor at {last}",
+                    e.time_hours
+                ));
+            }
+            last = e.time_hours;
+            if e.regions.is_empty() {
+                return Err(format!("event {i} has no regions"));
+            }
+            for r in &e.regions {
+                r.check_geometry(cfg)
+                    .map_err(|m| format!("event {i}: {m}"))?;
+            }
+        }
+        for &d in &self.accelerated_dimms {
+            if d >= cfg.dimms_per_node() {
+                return Err(format!(
+                    "accelerated DIMM {d} out of range ({})",
+                    cfg.dimms_per_node()
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Number of distinct (DIMM, device) positions with permanent faults.
     pub fn faulty_devices(&self, cfg: &DramConfig) -> usize {
         let mut devs: Vec<(u32, u32)> = self

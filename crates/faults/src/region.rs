@@ -522,6 +522,93 @@ impl FaultRegion {
         self.extent.footprint(cfg)
     }
 
+    /// Verifies the region sits inside the device geometry: a real rank
+    /// slot, a real device position, and an extent whose banks, rows, and
+    /// columns all exist. Meant for tests and the `RF_CHECK=1` engine hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range coordinate.
+    pub fn check_geometry(&self, cfg: &DramConfig) -> Result<(), String> {
+        if self.rank.channel >= cfg.channels
+            || self.rank.dimm >= cfg.dimms_per_channel
+            || self.rank.rank >= cfg.ranks_per_dimm
+        {
+            return Err(format!("rank {:?} outside the node", self.rank));
+        }
+        if self.device >= cfg.devices_per_rank() {
+            return Err(format!(
+                "device {} out of range ({})",
+                self.device,
+                cfg.devices_per_rank()
+            ));
+        }
+        let bank_ok = |bank: u32| {
+            if bank < cfg.banks {
+                Ok(())
+            } else {
+                Err(format!("bank {bank} out of range ({})", cfg.banks))
+            }
+        };
+        let row_ok = |row: u32| {
+            if row < cfg.rows {
+                Ok(())
+            } else {
+                Err(format!("row {row} out of range ({})", cfg.rows))
+            }
+        };
+        let col_ok = |col: u32| {
+            if col < cfg.cols {
+                Ok(())
+            } else {
+                Err(format!("col {col} out of range ({})", cfg.cols))
+            }
+        };
+        match self.extent {
+            Extent::Bit { bank, row, col } | Extent::Word { bank, row, col } => {
+                bank_ok(bank)?;
+                row_ok(row)?;
+                col_ok(col)
+            }
+            Extent::Row { bank, row } => {
+                bank_ok(bank)?;
+                row_ok(row)
+            }
+            Extent::Column {
+                bank,
+                col,
+                row_start,
+                row_count,
+            } => {
+                bank_ok(bank)?;
+                col_ok(col)?;
+                if row_count == 0 {
+                    return Err("empty column row span".into());
+                }
+                row_ok(row_start)?;
+                row_ok(row_start + row_count - 1)
+            }
+            Extent::RowCluster {
+                bank,
+                row_start,
+                row_count,
+            } => {
+                bank_ok(bank)?;
+                if row_count == 0 {
+                    return Err("empty row cluster".into());
+                }
+                row_ok(row_start)?;
+                row_ok(row_start + row_count - 1)
+            }
+            Extent::Banks { banks } => {
+                if banks.is_empty() {
+                    return Err("empty bank set".into());
+                }
+                banks.iter().try_for_each(bank_ok)
+            }
+        }
+    }
+
     /// Whether this region and `other` put errors in the same 64-byte
     /// codeword: same rank, *different* device, overlapping block
     /// footprints.

@@ -1,0 +1,100 @@
+//! Command-line driver for the correctness subsystem.
+//!
+//! ```text
+//! relcheck smoke [--cases N]     run every oracle property (default 50 cases)
+//! relcheck replay <case.json>    re-execute a persisted repro case
+//! ```
+//!
+//! Exit codes: 0 success / reproduced, 1 usage or replay error,
+//! 2 replay did not reproduce the recorded failure, 3 an oracle property
+//! failed (its repro path is printed).
+
+use relaxfault_relcheck::replay::replay;
+use relaxfault_relcheck::run_smoke;
+use relaxfault_relsim::repro::ReproCase;
+use relaxfault_util::json::Value;
+use relaxfault_util::obs;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: relcheck smoke [--cases N] | relcheck replay <case.json>");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("smoke") => {
+            let mut cases: u32 = 50;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--cases" => match it.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => cases = n,
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            match run_smoke(cases) {
+                Ok(()) => {
+                    println!("relcheck smoke: all oracle properties held ({cases} cases each)");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("relcheck smoke: {e}");
+                    ExitCode::from(3)
+                }
+            }
+        }
+        Some("replay") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            // A replay is a debugging session: force tracing on so the
+            // re-executed trial narrates what it does.
+            if std::env::var("RF_TRACE").is_err() {
+                obs::set_filter("debug").expect("'debug' is a valid filter spec");
+            }
+            let case = match load_case(path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("relcheck replay: {path}: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            println!(
+                "replaying {} (seed {:#x}, trial {}, group {}): {}",
+                case.case, case.seed, case.trial, case.group, case.reason
+            );
+            match replay(&case) {
+                Ok(report) => {
+                    for (label, out) in &report.outcomes {
+                        println!("  arm {label}: {out:?}");
+                    }
+                    for f in &report.failures {
+                        println!("  failure: {f}");
+                    }
+                    if report.reproduced {
+                        println!("reproduced: yes");
+                        ExitCode::SUCCESS
+                    } else {
+                        println!("reproduced: NO (recorded failure did not recur)");
+                        ExitCode::from(2)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("relcheck replay: {e}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn load_case(path: &str) -> Result<ReproCase, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let value = Value::parse(&text).map_err(|e| e.to_string())?;
+    ReproCase::from_json(&value)
+}

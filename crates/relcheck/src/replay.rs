@@ -1,0 +1,184 @@
+//! Deterministic re-execution of persisted repro cases.
+//!
+//! A [`ReproCase`] comes in two flavours and this module replays both:
+//!
+//! * **engine cases** (`RF_CHECK=1` failures) carry the scenario arms of
+//!   the failing fault-model group plus the `(seed, trial, group)` stream
+//!   coordinates — replay re-derives the exact RNG streams, resamples the
+//!   fault population, and proves bit-exactness by comparing its FNV-1a
+//!   digest against the one recorded at failure time;
+//! * **property cases** (oracle failures) carry the shrunk choice stream —
+//!   replay decodes it back through the named property from
+//!   [`crate::oracle::PROP_CASES`] and reproduces iff the property fails
+//!   again.
+
+use crate::oracle::PROP_CASES;
+use relaxfault_faults::{FaultSampler, NodeFaults};
+use relaxfault_relsim::node::{evaluate_node_with, EvalScratch, NodeOutcome};
+use relaxfault_relsim::repro::{trial_digest, ReproCase};
+use relaxfault_util::prop::{Failed, Source};
+use relaxfault_util::rng::{mix64, Rng64};
+
+/// What a replay established.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// The case name replayed.
+    pub case: String,
+    /// Whether the replay reproduced the recorded failure: digest match
+    /// for engine cases, a failing property for property cases.
+    pub reproduced: bool,
+    /// Digest of the resampled population (engine cases with a non-empty
+    /// lifetime).
+    pub digest: Option<u64>,
+    /// Per-arm outcomes of the replayed trial, labelled by mechanism
+    /// (engine cases).
+    pub outcomes: Vec<(String, NodeOutcome)>,
+    /// Invariant or property failures observed during the replay — the
+    /// recorded defect, seen again.
+    pub failures: Vec<String>,
+}
+
+/// Replays a repro case.
+///
+/// # Errors
+///
+/// Returns a message if the case is malformed (unknown property name,
+/// engine case without scenarios, arms disagreeing on geometry).
+pub fn replay(case: &ReproCase) -> Result<ReplayReport, String> {
+    if !case.prop_choices.is_empty() {
+        return replay_property(case);
+    }
+    replay_engine(case)
+}
+
+fn replay_property(case: &ReproCase) -> Result<ReplayReport, String> {
+    let (_, property) = PROP_CASES
+        .iter()
+        .find(|(name, _)| *name == case.case)
+        .ok_or_else(|| format!("unknown property case {:?}", case.case))?;
+    let mut src = Source::from_choices(case.prop_choices.clone());
+    let mut failures = Vec::new();
+    match property(&mut src) {
+        Ok(()) => {}
+        Err(Failed::Assumption) => {
+            failures.push("replayed stream discarded by prop_assume".into());
+        }
+        Err(Failed::Assertion(msg)) => failures.push(msg),
+    }
+    Ok(ReplayReport {
+        case: case.case.clone(),
+        reproduced: failures.iter().any(|f| !f.contains("prop_assume")),
+        digest: None,
+        outcomes: Vec::new(),
+        failures,
+    })
+}
+
+fn replay_engine(case: &ReproCase) -> Result<ReplayReport, String> {
+    if case.scenarios.is_empty() {
+        return Err("engine case has no scenario arms".into());
+    }
+    let cfg = case.scenarios[0].dram;
+    if !case.scenarios.iter().all(|s| s.dram == cfg) {
+        return Err("scenario arms disagree on DRAM geometry".into());
+    }
+    // All arms of one group share a fault model by construction; rebuild
+    // the group's sampler from the first arm.
+    let sampler = FaultSampler::new(&case.scenarios[0].fault_model, &cfg);
+
+    // The exact engine stream: `trial_is_clean` consumes the first draw of
+    // the sample stream, and `sample_faulty_into` continues from there.
+    let mut sample_rng = Rng64::seed_from_u64(mix64(case.seed, case.trial, case.group));
+    let mut node = NodeFaults::default();
+    if !sampler.trial_is_clean(&mut sample_rng) {
+        sampler.sample_faulty_into(&mut sample_rng, &mut node);
+    }
+    let digest = trial_digest(&node);
+    let mut failures = Vec::new();
+    if let Err(e) = node.check_invariants(&cfg) {
+        failures.push(format!("sampled population: {e}"));
+    }
+
+    let mut outcomes = Vec::new();
+    for s in &case.scenarios {
+        let mut eval_rng = Rng64::seed_from_u64(mix64(case.seed ^ 0xECC, case.trial, 0));
+        let mut scratch = EvalScratch::new();
+        let out = evaluate_node_with(s, &node, &mut eval_rng, &mut scratch);
+        if let Err(e) = scratch.check_invariants() {
+            failures.push(format!("{} planner: {e}", s.mechanism.label()));
+        }
+        outcomes.push((s.mechanism.label(), out));
+    }
+
+    Ok(ReplayReport {
+        case: case.case.clone(),
+        reproduced: case.digest.is_none_or(|d| d == digest),
+        digest: Some(digest),
+        outcomes,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relaxfault_relsim::scenario::{Mechanism, Scenario};
+
+    /// A deterministic engine case: any (seed, trial, group) replays to the
+    /// same digest, so a case recorded from one replay reproduces under a
+    /// second.
+    #[test]
+    fn engine_replay_is_deterministic_and_digest_checked() {
+        let scenarios = vec![Scenario::isca16_baseline()
+            .with_fit_scale(200.0)
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 4 })];
+        // Find a faulty trial so the digest covers a non-empty lifetime.
+        let sampler = FaultSampler::new(&scenarios[0].fault_model, &scenarios[0].dram);
+        let trial = (0..10_000)
+            .find(|&t| {
+                let mut rng = Rng64::seed_from_u64(mix64(11, t, 0));
+                !sampler.trial_is_clean(&mut rng)
+            })
+            .expect("a faulty trial exists at 200x FIT");
+        let mut case = ReproCase {
+            case: "engine_check".into(),
+            reason: "test".into(),
+            seed: 11,
+            trial,
+            group: 0,
+            scenarios,
+            digest: None,
+            prop_choices: Vec::new(),
+        };
+        let first = replay(&case).unwrap();
+        assert!(first.reproduced, "digest-less case always reproduces");
+        let digest = first.digest.expect("faulty trial has a digest");
+        // Pin the digest: an exact replay still reproduces...
+        case.digest = Some(digest);
+        let second = replay(&case).unwrap();
+        assert!(second.reproduced);
+        assert_eq!(second.outcomes, first.outcomes);
+        // ...and a tampered trial coordinate is caught.
+        case.trial += 1;
+        let third = replay(&case).unwrap();
+        assert!(!third.reproduced, "different trial must change the digest");
+    }
+
+    #[test]
+    fn property_replay_reproduces_a_recorded_failure() {
+        // A stream that decodes to a failing input for a property that
+        // rejects everything reproduces trivially; the point is the
+        // dispatch and verdict plumbing.
+        let case = ReproCase {
+            case: "no_such_property".into(),
+            reason: "test".into(),
+            seed: 0,
+            trial: 0,
+            group: 0,
+            scenarios: Vec::new(),
+            digest: None,
+            prop_choices: vec![1, 2, 3],
+        };
+        assert!(replay(&case).is_err(), "unknown property names are errors");
+    }
+}

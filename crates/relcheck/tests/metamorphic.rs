@@ -1,0 +1,223 @@
+//! Metamorphic properties of the GF(2) mapping algebra.
+//!
+//! The production planners lean on linearity: the XOR-delta candidate
+//! enumeration assumes `repair_addr` decomposes into independent row and
+//! column-group contributions, and the XOR-folded set index assumes
+//! `set_of` distributes over XOR. These tests pin the algebra itself, so a
+//! mapping change that silently breaks a linearity assumption fails here
+//! even if every differential oracle still agrees.
+
+use relaxfault_cache::CacheConfig;
+use relaxfault_core::mapping::{RelaxMap, RepairLine};
+use relaxfault_core::plan::{RelaxFault, RepairMechanism};
+use relaxfault_dram::{DramConfig, RankId};
+use relaxfault_relcheck::gen;
+use relaxfault_util::prop::{self, Source};
+use relaxfault_util::{prop_assert, prop_assert_eq};
+
+fn dram() -> DramConfig {
+    DramConfig::isca16_reliability()
+}
+
+fn arb_llc(src: &mut Source) -> CacheConfig {
+    if src.bool() {
+        CacheConfig::isca16_llc()
+    } else {
+        CacheConfig::isca16_llc_no_hash()
+    }
+}
+
+/// `set_of` is GF(2)-linear for both indexings: the set of an XOR of two
+/// addresses is the XOR of their sets.
+#[test]
+fn set_index_distributes_over_xor() {
+    prop::check(500, |src| {
+        let llc = arb_llc(src);
+        let a = src.u64(0, u64::MAX);
+        let b = src.u64(0, u64::MAX);
+        prop_assert_eq!(
+            llc.set_of(a ^ b),
+            llc.set_of(a) ^ llc.set_of(b),
+            "set_of must distribute over xor"
+        );
+        Ok(())
+    });
+}
+
+/// The XOR fold keeps the tag untouched, so `(set, tag)` stays unique and
+/// the canonical index is recoverable: `index = set ^ set_of(tag-only
+/// address)`. This invertibility is why hashing spreads faults across sets
+/// without ever aliasing two distinct blocks.
+#[test]
+fn xorfold_round_trips_through_the_tag() {
+    let llc = CacheConfig::isca16_llc();
+    let sb = llc.set_bits();
+    let off = llc.offset_bits();
+    prop::check(500, |src| {
+        let block = src.u64(0, (1 << 40) - 1);
+        let index = block & ((1 << sb) - 1);
+        let tag = block >> sb;
+        let set = llc.set_of(block << off);
+        let fold = llc.set_of((tag << sb) << off);
+        prop_assert_eq!(
+            set ^ fold,
+            index,
+            "index must be recoverable from (set, tag)"
+        );
+        Ok(())
+    });
+}
+
+/// `repair_addr` decomposes over GF(2): the contribution of (row,
+/// colgroup) relative to (0, 0) is the same at every (rank, device, bank)
+/// base — exactly the assumption behind the production XOR-delta tables.
+#[test]
+fn repair_addr_row_and_colgroup_deltas_are_base_independent() {
+    let cfg = dram();
+    prop::check(400, |src| {
+        let llc = arb_llc(src);
+        let map = RelaxMap::new(&cfg, &llc);
+        let base = RankId {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+        };
+        let line = |rank: RankId, device: u32, bank: u32, row: u32, colgroup: u32| RepairLine {
+            rank,
+            device,
+            bank,
+            row,
+            colgroup,
+        };
+        let rank = RankId {
+            channel: src.u32(0, cfg.channels - 1),
+            dimm: src.u32(0, cfg.dimms_per_channel - 1),
+            rank: src.u32(0, cfg.ranks_per_dimm - 1),
+        };
+        let device = src.u32(0, cfg.devices_per_rank() - 1);
+        let bank = src.u32(0, cfg.banks - 1);
+        let row = src.u32(0, cfg.rows - 1);
+        let cg = src.u32(0, map.colgroups_per_row() - 1);
+
+        // Delta measured at the origin base...
+        let d_row =
+            map.repair_addr(&line(base, 0, 0, row, 0)) ^ map.repair_addr(&line(base, 0, 0, 0, 0));
+        let d_cg =
+            map.repair_addr(&line(base, 0, 0, 0, cg)) ^ map.repair_addr(&line(base, 0, 0, 0, 0));
+        // ...must reproduce the full address at any other base.
+        let full = map.repair_addr(&line(rank, device, bank, row, cg));
+        let composed = map.repair_addr(&line(rank, device, bank, 0, 0)) ^ d_row ^ d_cg;
+        prop_assert_eq!(
+            full,
+            composed,
+            "row/colgroup deltas must be base-independent"
+        );
+
+        // The row delta itself splits into low-byte and high-byte parts —
+        // the two-level table the production enumeration indexes.
+        let lo = row & 0xFF;
+        let hi = row & !0xFF;
+        let d_lo =
+            map.repair_addr(&line(base, 0, 0, lo, 0)) ^ map.repair_addr(&line(base, 0, 0, 0, 0));
+        let d_hi =
+            map.repair_addr(&line(base, 0, 0, hi, 0)) ^ map.repair_addr(&line(base, 0, 0, 0, 0));
+        prop_assert_eq!(d_row, d_lo ^ d_hi, "row delta must split by byte");
+        Ok(())
+    });
+}
+
+/// The set index of a repair line decomposes the same way (it is
+/// `set_of . repair_addr`, a composition of linear maps).
+#[test]
+fn repair_set_deltas_are_base_independent() {
+    let cfg = dram();
+    prop::check(400, |src| {
+        let llc = arb_llc(src);
+        let map = RelaxMap::new(&cfg, &llc);
+        let base = RankId {
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+        };
+        let line = |rank: RankId, device: u32, bank: u32, row: u32, colgroup: u32| RepairLine {
+            rank,
+            device,
+            bank,
+            row,
+            colgroup,
+        };
+        let rank = RankId {
+            channel: src.u32(0, cfg.channels - 1),
+            dimm: src.u32(0, cfg.dimms_per_channel - 1),
+            rank: src.u32(0, cfg.ranks_per_dimm - 1),
+        };
+        let device = src.u32(0, cfg.devices_per_rank() - 1);
+        let bank = src.u32(0, cfg.banks - 1);
+        let row = src.u32(0, cfg.rows - 1);
+        let cg = src.u32(0, map.colgroups_per_row() - 1);
+        let d_row = map.set_of(&line(base, 0, 0, row, 0)) ^ map.set_of(&line(base, 0, 0, 0, 0));
+        let d_cg = map.set_of(&line(base, 0, 0, 0, cg)) ^ map.set_of(&line(base, 0, 0, 0, 0));
+        prop_assert_eq!(
+            map.set_of(&line(rank, device, bank, row, cg)),
+            map.set_of(&line(rank, device, bank, 0, 0)) ^ d_row ^ d_cg,
+            "set deltas must be base-independent"
+        );
+        Ok(())
+    });
+}
+
+/// Relabelling devices is a bijection on repair lines: the line count of
+/// any offer is exactly invariant, and when two permuted runs both accept
+/// the same offers they lock the same number of lines.
+#[test]
+fn device_permutation_preserves_coverage_counts() {
+    let cfg = dram();
+    prop::check(150, |src| {
+        let llc = arb_llc(src);
+        let max_ways = gen::arb_max_ways(src);
+        let offers = gen::arb_offer_sequence(src, &cfg);
+        let shift = src.u32(1, cfg.devices_per_rank() - 1);
+        let permuted: Vec<Vec<_>> = offers
+            .iter()
+            .map(|offer| {
+                offer
+                    .iter()
+                    .map(|r| {
+                        let mut p = *r;
+                        p.device = (p.device + shift) % cfg.devices_per_rank();
+                        p
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut a = RelaxFault::new(&cfg, &llc, max_ways);
+        let mut b = RelaxFault::new(&cfg, &llc, max_ways);
+        let mut verdicts_match = true;
+        for (offer, perm) in offers.iter().zip(&permuted) {
+            prop_assert_eq!(
+                a.lines_needed(offer),
+                b.lines_needed(perm),
+                "line demand must be device-order invariant"
+            );
+            let va = a.try_repair(offer);
+            let vb = b.try_repair(perm);
+            // Under tight way budgets the permutation can legitimately
+            // change which offer collides; counts are only comparable
+            // while the verdict histories agree.
+            verdicts_match &= va == vb;
+            if !verdicts_match {
+                break;
+            }
+            prop_assert_eq!(
+                a.lines_used(),
+                b.lines_used(),
+                "accepted line counts must be device-order invariant"
+            );
+        }
+        prop_assert!(
+            a.check_invariants().is_ok() && b.check_invariants().is_ok(),
+            "invariants must hold under permutation"
+        );
+        Ok(())
+    });
+}

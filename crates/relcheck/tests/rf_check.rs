@@ -1,0 +1,87 @@
+//! End-to-end `RF_CHECK` round trip: a forced in-engine failure must
+//! persist a replayable repro case, and `relcheck` replay must reproduce
+//! it bit-exactly (digest match).
+//!
+//! This test owns its integration-test binary: the engine resolves
+//! `RF_CHECK` / `RF_CHECK_FAIL_TRIAL` once per process through a
+//! `OnceLock`, so the env vars must be set before any other test in the
+//! same process touches the engine.
+
+use relaxfault_faults::{FaultSampler, NodeFaults};
+use relaxfault_relcheck::replay::replay;
+use relaxfault_relsim::engine::{run_scenarios, RunConfig};
+use relaxfault_relsim::repro::{trial_digest, ReproCase};
+use relaxfault_relsim::scenario::{Mechanism, Scenario};
+use relaxfault_util::json::Value;
+use relaxfault_util::rng::{mix64, Rng64};
+
+#[test]
+fn forced_engine_failure_round_trips_through_replay() {
+    let seed = 20160618;
+    let scenarios = vec![
+        Scenario::isca16_baseline()
+            .with_fit_scale(200.0)
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
+        Scenario::isca16_baseline()
+            .with_fit_scale(200.0)
+            .with_mechanism(Mechanism::Ppr),
+    ];
+    // The forced failure fires after sampling, so pick a trial the
+    // zero-fault fast path does not skip.
+    let sampler = FaultSampler::new(&scenarios[0].fault_model, &scenarios[0].dram);
+    let trial = (0..10_000)
+        .find(|&t| {
+            let mut rng = Rng64::seed_from_u64(mix64(seed, t, 0));
+            !sampler.trial_is_clean(&mut rng)
+        })
+        .expect("a faulty trial exists at 200x FIT");
+
+    let results_dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("rf_check_results");
+    let _ = std::fs::remove_dir_all(&results_dir);
+    std::env::set_var("RF_RESULTS_DIR", &results_dir);
+    std::env::set_var("RF_CHECK", "1");
+    std::env::set_var("RF_CHECK_FAIL_TRIAL", trial.to_string());
+
+    let run = RunConfig {
+        trials: trial + 1,
+        seed,
+        threads: 2,
+        chunk_size: 4,
+    };
+    let panicked = std::panic::catch_unwind(|| run_scenarios(&scenarios, &run));
+    assert!(panicked.is_err(), "the forced RF_CHECK failure must panic");
+
+    // Exactly one repro case lands in <results>/relcheck.
+    let dir = results_dir.join("relcheck");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("repro directory exists")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(files.len(), 1, "one forced failure, one repro: {files:?}");
+    let path = files.pop().unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let case = ReproCase::from_json(&Value::parse(&text).unwrap()).unwrap();
+    assert_eq!(case.case, "engine_check");
+    assert_eq!(case.seed, seed);
+    assert_eq!(case.trial, trial);
+    assert_eq!(case.group, 0);
+    assert!(case.reason.contains("forced failure"));
+    // Both arms share one fault model, so the failing group carries both.
+    assert_eq!(case.scenarios, scenarios);
+
+    // The recorded digest matches an independent resample of the stream.
+    let mut rng = Rng64::seed_from_u64(mix64(seed, trial, 0));
+    assert!(!sampler.trial_is_clean(&mut rng));
+    let mut node = NodeFaults::default();
+    sampler.sample_faulty_into(&mut rng, &mut node);
+    assert_eq!(case.digest, Some(trial_digest(&node)));
+
+    // And the replay agrees: same digest, same verdict, no invariant
+    // failures (the forced trigger is artificial, not a real violation).
+    let report = replay(&case).expect("replayable case");
+    assert!(report.reproduced, "replay must be bit-exact: {report:?}");
+    assert_eq!(report.digest, case.digest);
+    assert_eq!(report.outcomes.len(), 2);
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+}

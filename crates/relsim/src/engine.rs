@@ -7,6 +7,7 @@
 //! count.
 
 use crate::node::{evaluate_node_with, EvalScratch};
+use crate::repro::{trial_digest, ReproCase};
 use crate::scenario::Scenario;
 use relaxfault_dram::DramConfig;
 use relaxfault_faults::{FaultMode, FaultModel, FaultSampler, NodeFaults};
@@ -225,6 +226,60 @@ fn engine_metrics() -> &'static EngineMetrics {
     })
 }
 
+/// Whether the `RF_CHECK=1` in-loop invariant checks are on, resolved
+/// once per process. The hot loop pays one register-held bool test per
+/// trial when off.
+fn rf_check_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("RF_CHECK")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("on"))
+            .unwrap_or(false)
+    })
+}
+
+/// Trial index forced to fail under `RF_CHECK` (`RF_CHECK_FAIL_TRIAL=n`),
+/// for exercising the repro-emission path end to end in CI.
+fn rf_check_fail_trial() -> Option<u64> {
+    static TRIAL: OnceLock<Option<u64>> = OnceLock::new();
+    *TRIAL.get_or_init(|| {
+        std::env::var("RF_CHECK_FAIL_TRIAL")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
+/// Persists a replayable repro for a failed in-loop check, then panics.
+/// Cold and out-of-line: the hot loop only carries the call.
+#[cold]
+#[inline(never)]
+fn rf_check_failure(
+    scenarios: &[Scenario],
+    members: &[usize],
+    seed: u64,
+    trial: u64,
+    group: u64,
+    digest: Option<u64>,
+    reason: &str,
+) -> ! {
+    let case = ReproCase {
+        case: "engine_check".into(),
+        reason: reason.into(),
+        seed,
+        trial,
+        group,
+        scenarios: members.iter().map(|&si| scenarios[si].clone()).collect(),
+        digest,
+        prop_choices: Vec::new(),
+    };
+    let path = case.write();
+    panic!(
+        "RF_CHECK failure at trial {trial} group {group}: {reason}\n\
+         repro written to {} — rerun with `relcheck replay <path>`",
+        path.display()
+    );
+}
+
 /// Runs every scenario arm over `run.trials` node lifetimes.
 ///
 /// Arms with identical fault models see identical fault populations, and
@@ -306,6 +361,10 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
                 // no-op loads inside every Counter::add would be pure
                 // overhead on the (common) disabled path.
                 let metrics_on = obs::metrics_enabled();
+                // Same treatment for the RF_CHECK invariant hook: resolved
+                // once, so the off path is a single branch per trial.
+                let check_on = rf_check_enabled();
+                let forced_fail = rf_check_fail_trial();
                 loop {
                     let lo = next_chunk.fetch_add(chunk, Ordering::Relaxed);
                     if lo >= trials {
@@ -334,6 +393,23 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
                                 for &si in members {
                                     local[si].trials += 1;
                                 }
+                                // The forced-failure hook fires on clean
+                                // trials too (digest-less: there is no
+                                // sampled population to pin), so CI can
+                                // exercise the repro loop on any trial
+                                // index without knowing the seed's fault
+                                // layout.
+                                if check_on && forced_fail == Some(trial) {
+                                    rf_check_failure(
+                                        scenarios,
+                                        members,
+                                        seed,
+                                        trial,
+                                        gi as u64,
+                                        None,
+                                        "forced failure (RF_CHECK_FAIL_TRIAL)",
+                                    );
+                                }
                                 continue;
                             }
                             // Deterministic merge key for every event this
@@ -341,6 +417,31 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
                             let _obs_scope = obs::scope(trial, gi as u64);
                             let _trial_span = metrics.trial_ns.start_span();
                             samplers[gi].sample_faulty_into(&mut sample_rng, &mut node);
+                            if check_on {
+                                let digest = Some(trial_digest(&node));
+                                if let Err(e) = node.check_invariants(&cfg) {
+                                    rf_check_failure(
+                                        scenarios,
+                                        members,
+                                        seed,
+                                        trial,
+                                        gi as u64,
+                                        digest,
+                                        &format!("sampled population: {e}"),
+                                    );
+                                }
+                                if forced_fail == Some(trial) {
+                                    rf_check_failure(
+                                        scenarios,
+                                        members,
+                                        seed,
+                                        trial,
+                                        gi as u64,
+                                        digest,
+                                        "forced failure (RF_CHECK_FAIL_TRIAL)",
+                                    );
+                                }
+                            }
                             for &si in members {
                                 let mut eval_rng =
                                     Rng64::seed_from_u64(mix64(seed ^ 0xECC, trial, 0));
@@ -350,6 +451,19 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
                                     &mut eval_rng,
                                     &mut scratches[si],
                                 );
+                                if check_on {
+                                    if let Err(e) = scratches[si].check_invariants() {
+                                        rf_check_failure(
+                                            scenarios,
+                                            members,
+                                            seed,
+                                            trial,
+                                            gi as u64,
+                                            Some(trial_digest(&node)),
+                                            &format!("arm {si} planner: {e}"),
+                                        );
+                                    }
+                                }
                                 if metrics_on {
                                     metrics.trial_evals.inc();
                                     if out.faulty {

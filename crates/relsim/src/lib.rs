@@ -31,8 +31,10 @@
 
 pub mod engine;
 pub mod node;
+pub mod repro;
 pub mod scenario;
 
 pub use engine::{run_scenarios, RunConfig, ScenarioResult};
 pub use node::{evaluate_node, evaluate_node_with, EvalScratch, NodeOutcome};
+pub use repro::ReproCase;
 pub use scenario::{Mechanism, ReplacementPolicy, Scenario};

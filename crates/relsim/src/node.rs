@@ -127,6 +127,22 @@ impl EvalScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Verifies the cached planner's bookkeeping (occupancy sums, way
+    /// limits, spare accounting) — the per-arm half of the `RF_CHECK=1`
+    /// engine hook. A scratch with no planner yet trivially passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        match &self.planner {
+            None | Some(Planner::None) => Ok(()),
+            Some(Planner::Relax(p)) => p.check_invariants(),
+            Some(Planner::Free(p)) => p.check_invariants(),
+            Some(Planner::Ppr(p)) => p.check_invariants(),
+        }
+    }
 }
 
 /// Replays `node`'s timeline under `scenario` (see

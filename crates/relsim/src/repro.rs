@@ -1,0 +1,232 @@
+//! Deterministic failing-trial repro cases.
+//!
+//! When an `RF_CHECK=1` invariant check or a relcheck oracle disagrees
+//! with the production path, the failing input is written here as a small
+//! JSON file under `results/relcheck/`. A case pins everything needed to
+//! re-execute the exact trial: the run seed, the trial index, the
+//! fault-model group, and the full scenario configurations of that group's
+//! arms (via the existing [`Scenario`] JSON layer). Property-based cases
+//! additionally carry the shrunk `util::prop` choice stream that decodes
+//! back to the generated input.
+//!
+//! The `relcheck replay` binary (in `crates/relcheck`) loads a case,
+//! forces tracing on, replays the `(seed, trial, group)` RNG streams, and
+//! compares a digest of the resampled fault population against the one
+//! recorded at failure time — equality proves the reproduction is
+//! bit-exact.
+
+use crate::scenario::Scenario;
+use relaxfault_faults::NodeFaults;
+use relaxfault_util::json::Value;
+use relaxfault_util::obs;
+use std::path::PathBuf;
+
+/// Repro file format version; bump on breaking layout changes.
+pub const REPRO_SCHEMA_VERSION: u64 = 1;
+
+/// The `kind` tag distinguishing repro files from obs snapshots.
+pub const REPRO_KIND: &str = "relcheck_repro";
+
+/// One replayable failing case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproCase {
+    /// Short case name (`engine_check`, an oracle property name, …);
+    /// doubles as the replay dispatch key for property cases.
+    pub case: String,
+    /// Human-readable failure description.
+    pub reason: String,
+    /// Run seed the trial streams derive from.
+    pub seed: u64,
+    /// Failing trial index.
+    pub trial: u64,
+    /// Fault-model group index (the third RNG-stream key).
+    pub group: u64,
+    /// The scenario arms of the failing group, first one owning the fault
+    /// model. Empty for property cases that regenerate their own input.
+    pub scenarios: Vec<Scenario>,
+    /// FNV-1a digest of the sampled fault population at failure time
+    /// (`None` when the failure precedes sampling).
+    pub digest: Option<u64>,
+    /// Shrunk `util::prop` choice stream for property-based cases.
+    pub prop_choices: Vec<u64>,
+}
+
+/// Digest of one sampled fault population, used to prove a replay
+/// resampled the identical lifetime. The debug representation covers every
+/// field of every event, so any divergence changes the hash.
+pub fn trial_digest(node: &NodeFaults) -> u64 {
+    obs::fnv1a(format!("{node:?}").as_bytes())
+}
+
+fn hex(v: u64) -> Value {
+    Value::from(format!("{v:#018x}"))
+}
+
+fn parse_hex(v: &Value) -> Option<u64> {
+    let s = v.as_str()?;
+    u64::from_str_radix(s.trim_start_matches("0x"), 16).ok()
+}
+
+impl ReproCase {
+    /// Serializes the case. u64 fields that may exceed 2^53 (seed, digest,
+    /// choices) are stored as hex strings — the in-repo JSON layer keeps
+    /// numbers as f64.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("schema_version", Value::from(REPRO_SCHEMA_VERSION as f64)),
+            ("kind", Value::from(REPRO_KIND)),
+            ("case", Value::from(self.case.as_str())),
+            ("reason", Value::from(self.reason.as_str())),
+            ("seed", hex(self.seed)),
+            ("trial", Value::from(self.trial as f64)),
+            ("group", Value::from(self.group as f64)),
+            (
+                "scenarios",
+                Value::Array(self.scenarios.iter().map(Scenario::to_json).collect()),
+            ),
+            (
+                "digest",
+                match self.digest {
+                    Some(d) => hex(d),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "prop_choices",
+                Value::Array(self.prop_choices.iter().map(|&c| hex(c)).collect()),
+            ),
+        ])
+    }
+
+    /// Deserializes a case written by [`ReproCase::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let version = v
+            .get("schema_version")
+            .and_then(Value::as_f64)
+            .ok_or("missing schema_version")? as u64;
+        if version != REPRO_SCHEMA_VERSION {
+            return Err(format!("unsupported repro schema version {version}"));
+        }
+        if v.get("kind").and_then(Value::as_str) != Some(REPRO_KIND) {
+            return Err(format!("kind must be {REPRO_KIND:?}"));
+        }
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing {k}"));
+        let scenarios = field("scenarios")?
+            .as_array()
+            .ok_or("scenarios must be an array")?
+            .iter()
+            .map(Scenario::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let digest = match field("digest")? {
+            Value::Null => None,
+            other => Some(parse_hex(other).ok_or("digest must be a hex string")?),
+        };
+        let prop_choices = field("prop_choices")?
+            .as_array()
+            .ok_or("prop_choices must be an array")?
+            .iter()
+            .map(|c| parse_hex(c).ok_or_else(|| "choices must be hex strings".to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            case: field("case")?
+                .as_str()
+                .ok_or("case must be a string")?
+                .into(),
+            reason: field("reason")?
+                .as_str()
+                .ok_or("reason must be a string")?
+                .into(),
+            seed: parse_hex(field("seed")?).ok_or("seed must be a hex string")?,
+            trial: field("trial")?.as_f64().ok_or("trial must be a number")? as u64,
+            group: field("group")?.as_f64().ok_or("group must be a number")? as u64,
+            scenarios,
+            digest,
+            prop_choices,
+        })
+    }
+
+    /// Writes the case under `<results>/relcheck/` (honouring
+    /// `RF_RESULTS_DIR`) with a filename derived from the case name and
+    /// trial coordinates, and returns the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory or file cannot be written — a repro that
+    /// silently fails to persist defeats its purpose.
+    pub fn write(&self) -> PathBuf {
+        let base = std::env::var("RF_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+        let dir = PathBuf::from(base).join("relcheck");
+        std::fs::create_dir_all(&dir).expect("create results/relcheck");
+        let path = dir.join(format!(
+            "{}_s{:x}_t{}_g{}.json",
+            self.case, self.seed, self.trial, self.group
+        ));
+        std::fs::write(&path, self.to_json().to_pretty()).expect("write repro case");
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Mechanism;
+
+    fn sample_case() -> ReproCase {
+        ReproCase {
+            case: "engine_check".into(),
+            reason: "forced failure".into(),
+            seed: 0xDEAD_BEEF_0000_0001,
+            trial: 42,
+            group: 1,
+            scenarios: vec![
+                Scenario::isca16_baseline().with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
+                Scenario::isca16_baseline().with_mechanism(Mechanism::Ppr),
+            ],
+            digest: Some(0x1234_5678_9ABC_DEF0),
+            prop_choices: vec![0, 7, u64::MAX],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let case = sample_case();
+        let text = case.to_json().to_pretty();
+        let parsed = Value::parse(&text).expect("self-produced JSON parses");
+        assert_eq!(ReproCase::from_json(&parsed).unwrap(), case);
+        // Digest-less (pre-sampling) cases round-trip too.
+        let case = ReproCase {
+            digest: None,
+            prop_choices: vec![],
+            ..case
+        };
+        let parsed = Value::parse(&case.to_json().to_pretty()).unwrap();
+        assert_eq!(ReproCase::from_json(&parsed).unwrap(), case);
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_files() {
+        let snapshot = Value::object([("schema_version", Value::from(1.0))]);
+        assert!(ReproCase::from_json(&snapshot).is_err());
+        let wrong_kind = Value::object([
+            ("schema_version", Value::from(1.0)),
+            ("kind", Value::from("metrics_snapshot")),
+        ]);
+        assert!(ReproCase::from_json(&wrong_kind).is_err());
+    }
+
+    #[test]
+    fn digest_tracks_population_content() {
+        use relaxfault_faults::NodeFaults;
+        let empty = NodeFaults::default();
+        let other = NodeFaults {
+            node_accelerated: true,
+            ..Default::default()
+        };
+        assert_ne!(trial_digest(&empty), trial_digest(&other));
+        assert_eq!(trial_digest(&empty), trial_digest(&NodeFaults::default()));
+    }
+}

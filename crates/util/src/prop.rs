@@ -168,6 +168,26 @@ impl Source {
         }
     }
 
+    /// A source that draws fresh random choices from `seed`, for running a
+    /// generator outside [`check`] (e.g. smoke drivers).
+    pub fn from_seed(seed: u64) -> Self {
+        Self::fresh(seed)
+    }
+
+    /// A source that replays a recorded choice stream through the same
+    /// generators (out-of-range values wrap, an exhausted stream continues
+    /// with zeros). This is how an externally stored counterexample — say a
+    /// repro JSON — is decoded back into the value it describes.
+    pub fn from_choices(choices: Vec<u64>) -> Self {
+        Self::replay(choices)
+    }
+
+    /// The canonical choice stream drawn so far; replaying it through the
+    /// same generator reproduces the generated value exactly.
+    pub fn choices(&self) -> &[u64] {
+        &self.recorded
+    }
+
     /// Draws one choice in `[0, span)`; `span == 0` means the full u64
     /// domain. All typed draws funnel through here so the recorded stream
     /// is the complete description of the generated value.
@@ -241,6 +261,27 @@ impl Source {
         let len = self.usize(len_lo, len_hi);
         (0..len).map(|_| f(self)).collect()
     }
+
+    /// Picks an index with probability proportional to its weight, using a
+    /// single choice (shrinks toward index 0 — put the simplest alternative
+    /// first). The building block for generators biased toward the corner
+    /// cases a uniform `choice_index` rarely reaches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "weighted needs a nonzero total weight");
+        let mut pick = self.u64(0, total - 1);
+        for (i, &w) in weights.iter().enumerate() {
+            if pick < w as u64 {
+                return i;
+            }
+            pick -= w as u64;
+        }
+        unreachable!("pick bounded by total weight")
+    }
 }
 
 fn base_seed() -> u64 {
@@ -254,6 +295,20 @@ fn base_seed() -> u64 {
     }
 }
 
+/// A shrunk failing input, as found by [`find_counterexample`]: the
+/// minimal choice stream plus enough metadata to reproduce the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterExample {
+    /// Minimal choice stream; decode with [`Source::from_choices`].
+    pub choices: Vec<u64>,
+    /// The (shrunk) assertion message.
+    pub message: String,
+    /// The base seed of the run that found it.
+    pub seed: u64,
+    /// Which generated case first failed (before shrinking).
+    pub case: u64,
+}
+
 /// Runs `property` against `cases` generated inputs; on failure, shrinks
 /// the choice stream and panics with the minimal reproduction.
 ///
@@ -265,6 +320,25 @@ fn base_seed() -> u64 {
 /// Panics if any case fails (after shrinking) or if too many cases are
 /// discarded by `prop_assume!`.
 pub fn check<F>(cases: u32, mut property: F)
+where
+    F: FnMut(&mut Source) -> PropResult,
+{
+    if let Some(ce) = find_counterexample(cases, &mut property) {
+        panic!(
+            "property failed (seed {}, case {}): {}\n\
+             minimal choice stream: {:?}",
+            ce.seed, ce.case, ce.message, ce.choices
+        );
+    }
+}
+
+/// Like [`check`], but returns the shrunk failing input instead of
+/// panicking, so callers (e.g. a repro emitter) can persist it.
+///
+/// # Panics
+///
+/// Panics if too many cases are discarded by `prop_assume!`.
+pub fn find_counterexample<F>(cases: u32, mut property: F) -> Option<CounterExample>
 where
     F: FnMut(&mut Source) -> PropResult,
 {
@@ -285,15 +359,17 @@ where
             Ok(()) => passed += 1,
             Err(Failed::Assumption) => {}
             Err(Failed::Assertion(msg)) => {
-                let (choices, msg) = shrink(&mut property, src.recorded, msg);
-                panic!(
-                    "property failed (seed {seed}, case {}): {msg}\n\
-                     minimal choice stream: {choices:?}",
-                    attempt - 1
-                );
+                let (choices, message) = shrink(&mut property, src.recorded, msg);
+                return Some(CounterExample {
+                    choices,
+                    message,
+                    seed,
+                    case: attempt - 1,
+                });
             }
         }
     }
+    None
 }
 
 /// Replays `candidate`; returns the canonical recorded stream and message
@@ -496,6 +572,48 @@ mod tests {
         assert!(!src.bool());
         assert_eq!(src.u64(7, 20), 7);
         assert_eq!(src.f64_unit(), 0.0);
+    }
+
+    #[test]
+    fn weighted_is_bounded_biased_and_shrinks_first() {
+        let mut hits = [0u32; 3];
+        check(300, |src| {
+            let i = src.weighted(&[1, 0, 8]);
+            prop_assert!(i < 3);
+            prop_assert!(i != 1, "zero-weight alternative must never fire");
+            hits[i] += 1;
+            Ok(())
+        });
+        assert!(
+            hits[2] > hits[0],
+            "8:1 weighting should favour the heavy arm: {hits:?}"
+        );
+        // The zero stream decodes to the first nonzero-weight alternative.
+        let mut src = Source::from_choices(vec![]);
+        assert_eq!(src.weighted(&[2, 5]), 0);
+        let mut src = Source::from_choices(vec![]);
+        assert_eq!(src.weighted(&[0, 5]), 1);
+    }
+
+    #[test]
+    fn find_counterexample_returns_shrunk_stream() {
+        let ce = find_counterexample(200, |src| {
+            let v = src.u64(0, 1000);
+            prop_assert!(v < 37, "value {v}");
+            Ok(())
+        })
+        .expect("property must fail");
+        assert_eq!(ce.choices, vec![37]);
+        assert!(ce.message.contains("value 37"), "{}", ce.message);
+        // Replaying the stored stream reproduces the failing value.
+        let mut src = Source::from_choices(ce.choices);
+        assert_eq!(src.u64(0, 1000), 37);
+        // And a passing property yields no counterexample.
+        assert!(find_counterexample(50, |src| {
+            let _ = src.u64(0, 10);
+            Ok(())
+        })
+        .is_none());
     }
 
     #[test]

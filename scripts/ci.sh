@@ -57,6 +57,26 @@ fi
 RF_BENCH_BATCH_MS=5 RF_BENCH_BATCHES=3 \
     cargo bench -q -p relaxfault-bench --bench node_eval
 
+# Correctness subsystem pass: the differential oracles at a reduced case
+# count, then an RF_CHECK=1 engine smoke with a forced failure proving the
+# failure -> repro -> replay loop end to end. The repro JSON must satisfy
+# the strict schema validator, and the replay must report bit-exact
+# reproduction. Any relcheck failure exits 3.
+rm -rf results/ci/relcheck
+cargo run --release -q -p relaxfault-relcheck --bin relcheck -- smoke --cases 25 \
+    || exit 3
+if RF_CHECK=1 RF_CHECK_FAIL_TRIAL=0 RF_RESULTS_DIR=results/ci \
+    cargo run --release -q -p relaxfault-bench --bin fig08_hashing -- 50; then
+    echo "relcheck: forced RF_CHECK failure did not fire" >&2
+    exit 3
+fi
+repro=$(ls results/ci/relcheck/engine_check_*.json 2>/dev/null | head -n1 || true)
+[ -n "$repro" ] || { echo "relcheck: no repro case written" >&2; exit 3; }
+cargo run --release -q -p relaxfault-bench --bin obs_validate results/ci/relcheck \
+    || exit 3
+cargo run --release -q -p relaxfault-relcheck --bin relcheck -- replay "$repro" \
+    || exit 3
+
 # Engine hot-loop regression gate: replay the per-trial pipeline bench and
 # compare against the committed baseline snapshot. Cargo runs bench
 # binaries with the bench crate as cwd, so RF_RESULTS_DIR must be
