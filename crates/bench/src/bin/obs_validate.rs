@@ -6,14 +6,18 @@
 //! be Chrome trace-event arrays (`ph: "X"`, `ts` monotone per track).
 //! Mixed `schema_version`s across the scanned snapshots fail the whole
 //! directory, even if each file is self-consistent. Relcheck repro cases
-//! (top-level `kind: "relcheck_repro"`, e.g. under `results/relcheck`) are
-//! validated against their own schema via the strict
-//! [`ReproCase`] deserializer and kept out of the obs version check.
+//! (top-level `kind: "relcheck_repro"`, e.g. under `results/relcheck`) and
+//! fleet checkpoints (`kind: "fleet_checkpoint"`, e.g. a `--ckpt-dir`)
+//! are validated against their own schemas via the strict [`ReproCase`]
+//! and [`FleetCheckpoint`] deserializers; each kind gets its own
+//! mixed-version check, separate from the obs one.
 //! Exits non-zero on any violation.
 
+use relaxfault_relsim::fleet::{FleetCheckpoint, FLEET_CHECKPOINT_KIND};
 use relaxfault_relsim::repro::{ReproCase, REPRO_KIND};
 use relaxfault_util::json::Value;
 use relaxfault_util::obs;
+use relaxfault_util::persist::Persist;
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 
@@ -38,6 +42,25 @@ fn object_len(doc: &Value, key: &str) -> Result<usize, String> {
 /// snapshot.
 fn is_repro(doc: &Value) -> bool {
     doc.get("kind").and_then(Value::as_str) == Some(REPRO_KIND)
+}
+
+/// Whether a parsed document is a fleet checkpoint.
+fn is_fleet_checkpoint(doc: &Value) -> bool {
+    doc.get("kind").and_then(Value::as_str) == Some(FLEET_CHECKPOINT_KIND)
+}
+
+/// Validates one fleet checkpoint via the strict deserializer, returning
+/// its schema_version for the per-kind mixed-version check.
+fn validate_fleet_checkpoint(doc: &Value) -> Result<u64, String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Value::as_f64)
+        .ok_or("missing schema_version")? as u64;
+    let ckpt = FleetCheckpoint::from_json(doc)?;
+    if ckpt.scenarios.is_empty() {
+        return Err("fleet checkpoint carries no scenario arms".into());
+    }
+    Ok(version)
 }
 
 /// Validates one relcheck repro case: the strict deserializer accepts it
@@ -80,6 +103,18 @@ fn validate_snapshot(doc: &Value, path: &std::path::Path) -> Result<u64, String>
         return Err(format!(
             "manifest.run `{manifest_run}` does not match file stem `{stem}`"
         ));
+    }
+    // Fleet runs record their shape in the manifest (0/0 when no fleet
+    // ran); both fields must be well-formed non-negative integers.
+    for key in ["epochs", "shards"] {
+        let n = doc
+            .get("manifest")
+            .and_then(|m| m.get(key))
+            .and_then(Value::as_f64)
+            .ok_or(format!("manifest has no numeric `{key}`"))?;
+        if n < 0.0 || n != n.trunc() {
+            return Err(format!("manifest.{key} {n} is not a non-negative integer"));
+        }
     }
     let counters = object_len(doc, "counters")?;
     let histograms = object_len(doc, "histograms")?;
@@ -135,6 +170,7 @@ fn main() {
     let mut checked = 0usize;
     let mut failed = 0usize;
     let mut versions: BTreeSet<u64> = BTreeSet::new();
+    let mut fleet_versions: BTreeSet<u64> = BTreeSet::new();
     let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
     paths.sort();
     for path in paths {
@@ -152,6 +188,9 @@ fn main() {
                 .and_then(|text| Value::parse(&text).map_err(|e| format!("invalid JSON: {e}")))
             {
                 Ok(doc) if is_repro(&doc) => validate_repro(&doc),
+                Ok(doc) if is_fleet_checkpoint(&doc) => validate_fleet_checkpoint(&doc).map(|v| {
+                    fleet_versions.insert(v);
+                }),
                 Ok(doc) => validate_snapshot(&doc, &path).map(|v| {
                     versions.insert(v);
                 }),
@@ -175,6 +214,12 @@ fn main() {
     if versions.len() > 1 {
         failed += 1;
         eprintln!("FAILED  {dir}: mixed schema_versions across snapshots: {versions:?}");
+    }
+    if fleet_versions.len() > 1 {
+        failed += 1;
+        eprintln!(
+            "FAILED  {dir}: mixed schema_versions across fleet checkpoints: {fleet_versions:?}"
+        );
     }
     println!("obs_validate: {checked} artifact(s), {failed} failure(s)");
     if failed > 0 {

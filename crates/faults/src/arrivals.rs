@@ -1,0 +1,223 @@
+//! Streaming arrival cursors: a node's sampled fault lifetime replayed
+//! epoch by epoch.
+//!
+//! The fleet simulator advances a population through discrete lifetime
+//! *epochs* (equal slices of the observation window) and only re-evaluates
+//! nodes whose fault state changed in the current epoch. The sampler
+//! draws a node's whole lifetime up front ([`NodeFaults::events`], sorted
+//! by arrival time); this module turns that sorted lifetime into an
+//! incremental arrival stream: [`arrival_epochs`] classifies each event
+//! into its epoch **once**, and [`ArrivalCursor`] walks the resulting
+//! schedule, handing the fleet the growing event-prefix lengths as epochs
+//! pass.
+//!
+//! Classifying once and storing `(epoch, prefix_len)` pairs — rather than
+//! re-deriving epoch boundaries per step — means float boundary cases are
+//! decided exactly once, so a resumed run (which rebuilds the cursor from
+//! the resampled lifetime) always reproduces the original schedule
+//! bit-exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use relaxfault_faults::arrivals::ArrivalCursor;
+//! use relaxfault_faults::{FaultEvent, FaultMode, RegionList, Transience};
+//!
+//! let ev = |t: f64| FaultEvent {
+//!     time_hours: t,
+//!     mode: FaultMode::SingleBitWord,
+//!     transience: Transience::Permanent,
+//!     regions: RegionList::new(),
+//! };
+//! // Two arrivals in epoch 0, one in epoch 3 (4 epochs over 100 hours).
+//! let events = [ev(1.0), ev(20.0), ev(90.0)];
+//! let mut cur = ArrivalCursor::new(&events, 100.0, 4);
+//! assert_eq!(cur.advance_to(0), Some((0, 2)));
+//! assert_eq!(cur.advance_to(1), None); // nothing new: node stays clean
+//! assert_eq!(cur.advance_to(3), Some((2, 3)));
+//! assert!(cur.is_exhausted());
+//! ```
+
+use crate::inject::FaultEvent;
+
+/// Maps an arrival time to its epoch index: epoch `e` covers
+/// `[e·hours/epochs, (e+1)·hours/epochs)`, and the final epoch absorbs
+/// any boundary-rounding stragglers so every event lands in a valid
+/// epoch.
+pub fn epoch_of(time_hours: f64, hours: f64, epochs: u32) -> u32 {
+    debug_assert!(epochs > 0 && hours > 0.0);
+    let raw = (time_hours / hours * epochs as f64).floor();
+    if raw < 0.0 {
+        return 0;
+    }
+    (raw as u32).min(epochs - 1)
+}
+
+/// Classifies a sorted event lifetime into epochs, returning one
+/// `(epoch, prefix_len)` pair per epoch that receives at least one new
+/// arrival: after epoch `epoch` completes, the node's live event prefix
+/// is `events[..prefix_len]`. Pairs are ascending in both fields; epochs
+/// with no arrivals are absent (the node is *clean* for them and needs no
+/// re-evaluation).
+pub fn arrival_epochs(events: &[FaultEvent], hours: f64, epochs: u32) -> Vec<(u32, u32)> {
+    debug_assert!(
+        events
+            .windows(2)
+            .all(|w| w[0].time_hours <= w[1].time_hours),
+        "lifetimes are sorted by arrival time"
+    );
+    let mut schedule: Vec<(u32, u32)> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let epoch = epoch_of(e.time_hours, hours, epochs);
+        let prefix = (i + 1) as u32;
+        match schedule.last_mut() {
+            Some(last) if last.0 == epoch => last.1 = prefix,
+            _ => schedule.push((epoch, prefix)),
+        }
+    }
+    schedule
+}
+
+/// A streaming cursor over one node's arrival schedule. The fleet holds
+/// one per faulty node and asks, each epoch, whether the node's fault
+/// state grew — and if so, from which event prefix to which.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalCursor {
+    /// `(epoch, cumulative prefix length)` pairs from [`arrival_epochs`].
+    schedule: Vec<(u32, u32)>,
+    /// Next schedule entry not yet delivered.
+    pos: usize,
+}
+
+impl ArrivalCursor {
+    /// Builds the cursor for a sorted lifetime over `epochs` equal slices
+    /// of an `hours`-long observation window.
+    pub fn new(events: &[FaultEvent], hours: f64, epochs: u32) -> Self {
+        Self {
+            schedule: arrival_epochs(events, hours, epochs),
+            pos: 0,
+        }
+    }
+
+    /// The full `(epoch, prefix_len)` schedule.
+    pub fn schedule(&self) -> &[(u32, u32)] {
+        &self.schedule
+    }
+
+    /// Event-prefix length already delivered through past
+    /// [`ArrivalCursor::advance_to`] calls.
+    pub fn consumed(&self) -> u32 {
+        if self.pos == 0 {
+            0
+        } else {
+            self.schedule[self.pos - 1].1
+        }
+    }
+
+    /// Delivers every arrival up to and including `epoch`: returns
+    /// `Some((old_prefix, new_prefix))` when the node gained events since
+    /// the last call (the node is *dirty* and must be re-evaluated on
+    /// `events[..new_prefix]`), or `None` when its fault state is
+    /// unchanged. Epochs must be visited in non-decreasing order.
+    pub fn advance_to(&mut self, epoch: u32) -> Option<(u32, u32)> {
+        let old = self.consumed();
+        while self.pos < self.schedule.len() && self.schedule[self.pos].0 <= epoch {
+            self.pos += 1;
+        }
+        let new = self.consumed();
+        (new != old).then_some((old, new))
+    }
+
+    /// Positions the cursor as if every epoch `<= epoch` had already been
+    /// delivered — how a resumed fleet rebuilds cursor state from a
+    /// checkpointed epoch count without replaying the epochs.
+    pub fn seek_past(&mut self, epoch: u32) {
+        self.pos = 0;
+        self.advance_to(epoch);
+    }
+
+    /// Whether every scheduled arrival has been delivered.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.schedule.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::{FaultMode, Transience};
+    use crate::region::RegionList;
+
+    fn ev(t: f64) -> FaultEvent {
+        FaultEvent {
+            time_hours: t,
+            mode: FaultMode::SingleBitWord,
+            transience: Transience::Permanent,
+            regions: RegionList::new(),
+        }
+    }
+
+    #[test]
+    fn epoch_of_partitions_the_window() {
+        assert_eq!(epoch_of(0.0, 100.0, 4), 0);
+        assert_eq!(epoch_of(24.999, 100.0, 4), 0);
+        assert_eq!(epoch_of(25.0, 100.0, 4), 1);
+        assert_eq!(epoch_of(99.999, 100.0, 4), 3);
+        // The last epoch absorbs boundary stragglers.
+        assert_eq!(epoch_of(100.0, 100.0, 4), 3);
+        assert_eq!(epoch_of(-0.0, 100.0, 4), 0);
+    }
+
+    #[test]
+    fn schedule_collapses_same_epoch_arrivals() {
+        let events = [ev(1.0), ev(2.0), ev(26.0), ev(99.0)];
+        assert_eq!(
+            arrival_epochs(&events, 100.0, 4),
+            vec![(0, 2), (1, 3), (3, 4)]
+        );
+        assert!(arrival_epochs(&[], 100.0, 4).is_empty());
+    }
+
+    #[test]
+    fn single_epoch_takes_everything_at_once() {
+        let events = [ev(1.0), ev(99.0)];
+        assert_eq!(arrival_epochs(&events, 100.0, 1), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn cursor_streams_prefix_growth() {
+        let events = [ev(1.0), ev(2.0), ev(26.0), ev(99.0)];
+        let mut cur = ArrivalCursor::new(&events, 100.0, 4);
+        assert_eq!(cur.consumed(), 0);
+        assert_eq!(cur.advance_to(0), Some((0, 2)));
+        assert_eq!(cur.advance_to(1), Some((2, 3)));
+        assert_eq!(cur.advance_to(2), None);
+        assert_eq!(cur.advance_to(3), Some((3, 4)));
+        assert!(cur.is_exhausted());
+        assert_eq!(cur.advance_to(3), None);
+    }
+
+    #[test]
+    fn cursor_skipping_epochs_coalesces_deliveries() {
+        let events = [ev(1.0), ev(30.0), ev(60.0)];
+        let mut cur = ArrivalCursor::new(&events, 100.0, 10);
+        // Jumping straight to the end delivers the whole lifetime in one
+        // dirty interval, exactly what a coarse stepper would see.
+        assert_eq!(cur.advance_to(9), Some((0, 3)));
+        assert!(cur.is_exhausted());
+    }
+
+    #[test]
+    fn seek_past_matches_replayed_advances() {
+        let events = [ev(1.0), ev(30.0), ev(60.0), ev(95.0)];
+        for resume_epoch in 0..10u32 {
+            let mut replayed = ArrivalCursor::new(&events, 100.0, 10);
+            for e in 0..=resume_epoch {
+                replayed.advance_to(e);
+            }
+            let mut sought = ArrivalCursor::new(&events, 100.0, 10);
+            sought.seek_past(resume_epoch);
+            assert_eq!(replayed, sought, "resume at epoch {resume_epoch}");
+        }
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`geometry`] — the physical-extent assumptions (how many rows a "bank
 //!   fault" really touches, how far a "column fault" reaches) that field
 //!   studies do not publish; every knob is explicit and documented.
+//! * [`arrivals`] — streaming arrival cursors that replay a sampled
+//!   lifetime epoch by epoch; the fleet simulator's dirty-set is keyed on
+//!   them.
 //! * [`inject`] — the paper's refined fault-injection methodology:
 //!   independent Poisson processes per (device, fault mode) with lognormal
 //!   device-to-device rate variation and node/DIMM FIT acceleration
@@ -33,12 +36,14 @@
 //! assert!(node.events.len() < 100);
 //! ```
 
+pub mod arrivals;
 pub mod geometry;
 pub mod inject;
 pub mod modes;
 pub mod region;
 pub mod sampler;
 
+pub use arrivals::ArrivalCursor;
 pub use geometry::FaultGeometry;
 pub use inject::{FaultEvent, FaultModel, NodeFaults, VariationModel};
 pub use modes::{FaultMode, FitRates, Transience};

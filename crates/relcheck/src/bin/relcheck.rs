@@ -2,18 +2,18 @@
 //!
 //! ```text
 //! relcheck smoke [--cases N]     run every oracle property (default 50 cases)
-//! relcheck replay <case.json>    re-execute a persisted repro case
+//! relcheck replay <file.json>    re-execute a persisted repro case or
+//!                                fleet checkpoint (dispatched by `kind`)
 //! ```
 //!
 //! Exit codes: 0 success / reproduced, 1 usage or replay error,
 //! 2 replay did not reproduce the recorded failure, 3 an oracle property
 //! failed (its repro path is printed).
 
-use relaxfault_relcheck::replay::replay;
+use relaxfault_relcheck::replay::{load_any, replay, replay_fleet, LoadedCase, ReplayReport};
 use relaxfault_relcheck::run_smoke;
-use relaxfault_relsim::repro::ReproCase;
-use relaxfault_util::json::Value;
 use relaxfault_util::obs;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -56,33 +56,32 @@ fn main() -> ExitCode {
             if std::env::var("RF_TRACE").is_err() {
                 obs::set_filter("debug").expect("'debug' is a valid filter spec");
             }
-            let case = match load_case(path) {
+            let loaded = match load_any(Path::new(path)) {
                 Ok(c) => c,
                 Err(e) => {
-                    eprintln!("relcheck replay: {path}: {e}");
+                    eprintln!("relcheck replay: {e}");
                     return ExitCode::from(1);
                 }
             };
-            println!(
-                "replaying {} (seed {:#x}, trial {}, group {}): {}",
-                case.case, case.seed, case.trial, case.group, case.reason
-            );
-            match replay(&case) {
-                Ok(report) => {
-                    for (label, out) in &report.outcomes {
-                        println!("  arm {label}: {out:?}");
-                    }
-                    for f in &report.failures {
-                        println!("  failure: {f}");
-                    }
-                    if report.reproduced {
-                        println!("reproduced: yes");
-                        ExitCode::SUCCESS
-                    } else {
-                        println!("reproduced: NO (recorded failure did not recur)");
-                        ExitCode::from(2)
-                    }
+            let result = match &loaded {
+                LoadedCase::Repro(case) => {
+                    println!(
+                        "replaying {} (seed {:#x}, trial {}, group {}): {}",
+                        case.case, case.seed, case.trial, case.group, case.reason
+                    );
+                    replay(case)
                 }
+                LoadedCase::Fleet(ckpt) => {
+                    println!(
+                        "replaying fleet checkpoint (seed {:#x}, {} nodes, {} shards, \
+                         epoch {}/{})",
+                        ckpt.seed, ckpt.nodes, ckpt.shards, ckpt.completed_epochs, ckpt.epochs
+                    );
+                    replay_fleet(ckpt)
+                }
+            };
+            match result {
+                Ok(report) => report_verdict(&report),
                 Err(e) => {
                     eprintln!("relcheck replay: {e}");
                     ExitCode::from(1)
@@ -93,8 +92,18 @@ fn main() -> ExitCode {
     }
 }
 
-fn load_case(path: &str) -> Result<ReproCase, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let value = Value::parse(&text).map_err(|e| e.to_string())?;
-    ReproCase::from_json(&value)
+fn report_verdict(report: &ReplayReport) -> ExitCode {
+    for (label, out) in &report.outcomes {
+        println!("  arm {label}: {out:?}");
+    }
+    for f in &report.failures {
+        println!("  failure: {f}");
+    }
+    if report.reproduced {
+        println!("reproduced: yes");
+        ExitCode::SUCCESS
+    } else {
+        println!("reproduced: NO (recorded failure did not recur)");
+        ExitCode::from(2)
+    }
 }

@@ -29,4 +29,4 @@ pub mod oracle;
 pub mod replay;
 
 pub use oracle::{check_with_repro, run_smoke, PROP_CASES};
-pub use replay::{replay, ReplayReport};
+pub use replay::{load_any, replay, replay_fleet, LoadedCase, ReplayReport};

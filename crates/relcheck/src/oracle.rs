@@ -885,6 +885,7 @@ pub fn run_with_repro(
         seed: ce.seed,
         trial: ce.case,
         group: 0,
+        epoch: None,
         scenarios: Vec::new(),
         digest: None,
         prop_choices: ce.choices,

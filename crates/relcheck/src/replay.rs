@@ -1,4 +1,5 @@
-//! Deterministic re-execution of persisted repro cases.
+//! Deterministic re-execution of persisted repro cases and fleet
+//! checkpoints.
 //!
 //! A [`ReproCase`] comes in two flavours and this module replays both:
 //!
@@ -11,13 +12,25 @@
 //!   replay decodes it back through the named property from
 //!   [`crate::oracle::PROP_CASES`] and reproduces iff the property fails
 //!   again.
+//!
+//! Fleet checkpoints ([`FleetCheckpoint`]) share the same persistence
+//! contract and get the same treatment: [`replay_fleet`] rebuilds the
+//! fleet from the checkpoint's embedded configuration, re-runs it up to
+//! the recorded boundary, and proves the checkpoint honest by comparing
+//! every shard digest and arm metric. [`load_any`] dispatches a JSON file
+//! to the right replayer by its `kind` header.
 
 use crate::oracle::PROP_CASES;
 use relaxfault_faults::{FaultSampler, NodeFaults};
+use relaxfault_relsim::engine::{eval_rng_seed, sample_rng_seed};
+use relaxfault_relsim::fleet::{FleetCheckpoint, FleetConfig, FleetSim};
 use relaxfault_relsim::node::{evaluate_node_with, EvalScratch, NodeOutcome};
 use relaxfault_relsim::repro::{trial_digest, ReproCase};
+use relaxfault_util::json::Value;
+use relaxfault_util::persist::Persist;
 use relaxfault_util::prop::{Failed, Source};
-use relaxfault_util::rng::{mix64, Rng64};
+use relaxfault_util::rng::Rng64;
+use std::path::Path;
 
 /// What a replay established.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,7 +101,7 @@ fn replay_engine(case: &ReproCase) -> Result<ReplayReport, String> {
 
     // The exact engine stream: `trial_is_clean` consumes the first draw of
     // the sample stream, and `sample_faulty_into` continues from there.
-    let mut sample_rng = Rng64::seed_from_u64(mix64(case.seed, case.trial, case.group));
+    let mut sample_rng = Rng64::seed_from_u64(sample_rng_seed(case.seed, case.trial, case.group));
     let mut node = NodeFaults::default();
     if !sampler.trial_is_clean(&mut sample_rng) {
         sampler.sample_faulty_into(&mut sample_rng, &mut node);
@@ -101,7 +114,7 @@ fn replay_engine(case: &ReproCase) -> Result<ReplayReport, String> {
 
     let mut outcomes = Vec::new();
     for s in &case.scenarios {
-        let mut eval_rng = Rng64::seed_from_u64(mix64(case.seed ^ 0xECC, case.trial, 0));
+        let mut eval_rng = Rng64::seed_from_u64(eval_rng_seed(case.seed, case.trial));
         let mut scratch = EvalScratch::new();
         let out = evaluate_node_with(s, &node, &mut eval_rng, &mut scratch);
         if let Err(e) = scratch.check_invariants() {
@@ -115,6 +128,121 @@ fn replay_engine(case: &ReproCase) -> Result<ReplayReport, String> {
         reproduced: case.digest.is_none_or(|d| d == digest),
         digest: Some(digest),
         outcomes,
+        failures,
+    })
+}
+
+/// A persisted artifact the replayer can re-execute, dispatched by the
+/// JSON `kind` header.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadedCase {
+    /// A failing-trial repro case ([`ReproCase::KIND`]).
+    Repro(ReproCase),
+    /// A fleet checkpoint ([`FleetCheckpoint::KIND`]).
+    Fleet(FleetCheckpoint),
+}
+
+/// Loads a persisted JSON artifact and dispatches it by `kind`.
+///
+/// # Errors
+///
+/// Returns a path-contextualized message when the file is unreadable,
+/// malformed, or of an unknown kind.
+pub fn load_any(path: &Path) -> Result<LoadedCase, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    let v = Value::parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{}: missing kind header", path.display()))?;
+    let ctx = |e: String| format!("{}: {e}", path.display());
+    match kind {
+        k if k == ReproCase::KIND => ReproCase::from_json(&v).map(LoadedCase::Repro).map_err(ctx),
+        k if k == FleetCheckpoint::KIND => FleetCheckpoint::from_json(&v)
+            .map(LoadedCase::Fleet)
+            .map_err(ctx),
+        other => Err(format!(
+            "{}: unknown kind {other:?} (expected {:?} or {:?})",
+            path.display(),
+            ReproCase::KIND,
+            FleetCheckpoint::KIND
+        )),
+    }
+}
+
+/// Replays a fleet checkpoint: rebuilds the fleet from the embedded
+/// configuration, re-runs it through the recorded number of epochs, and
+/// compares every shard digest and per-shard arm metric against the
+/// checkpoint. `reproduced` means the checkpoint is a bit-exact snapshot
+/// of a real run — a tampered or drifted file reports each mismatch in
+/// `failures`.
+///
+/// # Errors
+///
+/// Returns a message when the checkpoint's configuration cannot be
+/// rebuilt (e.g. arms disagreeing on geometry) or the re-run fails.
+pub fn replay_fleet(ckpt: &FleetCheckpoint) -> Result<ReplayReport, String> {
+    if ckpt.scenarios.is_empty() {
+        return Err("fleet checkpoint has no scenario arms".into());
+    }
+    let cfg = FleetConfig {
+        nodes: ckpt.nodes,
+        epochs: ckpt.epochs,
+        shards: ckpt.shards,
+        seed: ckpt.seed,
+        threads: 1,
+        ckpt_dir: None,
+        crash_at: None,
+    };
+    let mut sim = FleetSim::new(ckpt.scenarios.clone(), cfg);
+    for _ in 0..ckpt.completed_epochs {
+        sim.step()?;
+    }
+    let rebuilt = sim.checkpoint();
+    let mut failures = Vec::new();
+    if rebuilt.config_digest != ckpt.config_digest {
+        failures.push(format!(
+            "config digest: rebuilt {:#018x}, checkpoint {:#018x}",
+            rebuilt.config_digest, ckpt.config_digest
+        ));
+    }
+    for (si, (a, b)) in rebuilt
+        .shard_digests
+        .iter()
+        .zip(&ckpt.shard_digests)
+        .enumerate()
+    {
+        if a != b {
+            failures.push(format!(
+                "shard {si} population digest: rebuilt {a:#018x}, checkpoint {b:#018x}"
+            ));
+        }
+    }
+    for (si, (a, b)) in rebuilt
+        .shard_metrics
+        .iter()
+        .zip(&ckpt.shard_metrics)
+        .enumerate()
+    {
+        if a != b {
+            failures.push(format!("shard {si} metrics diverge from checkpoint"));
+        }
+    }
+    if rebuilt.dirty_evals != ckpt.dirty_evals {
+        failures.push(format!(
+            "dirty_evals: rebuilt {}, checkpoint {}",
+            rebuilt.dirty_evals, ckpt.dirty_evals
+        ));
+    }
+    Ok(ReplayReport {
+        case: format!(
+            "fleet_checkpoint@{}/{} epochs",
+            ckpt.completed_epochs, ckpt.epochs
+        ),
+        reproduced: failures.is_empty(),
+        digest: Some(sim.population_digest()),
+        outcomes: Vec::new(),
         failures,
     })
 }
@@ -136,7 +264,7 @@ mod tests {
         let sampler = FaultSampler::new(&scenarios[0].fault_model, &scenarios[0].dram);
         let trial = (0..10_000)
             .find(|&t| {
-                let mut rng = Rng64::seed_from_u64(mix64(11, t, 0));
+                let mut rng = Rng64::seed_from_u64(sample_rng_seed(11, t, 0));
                 !sampler.trial_is_clean(&mut rng)
             })
             .expect("a faulty trial exists at 200x FIT");
@@ -146,6 +274,7 @@ mod tests {
             seed: 11,
             trial,
             group: 0,
+            epoch: None,
             scenarios,
             digest: None,
             prop_choices: Vec::new(),
@@ -165,6 +294,71 @@ mod tests {
     }
 
     #[test]
+    fn fleet_checkpoint_replay_reproduces_and_catches_tampering() {
+        let arms = vec![
+            Scenario::isca16_baseline()
+                .with_fit_scale(150.0)
+                .with_mechanism(Mechanism::None),
+            Scenario::isca16_baseline()
+                .with_fit_scale(150.0)
+                .with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
+        ];
+        let mut sim = FleetSim::new(arms, FleetConfig::quick(600, 3, 77));
+        sim.step().unwrap();
+        sim.step().unwrap();
+        let mut ckpt = sim.checkpoint();
+        let report = replay_fleet(&ckpt).unwrap();
+        assert!(
+            report.reproduced,
+            "honest checkpoint replays: {:?}",
+            report.failures
+        );
+        // A tampered metric is caught shard by shard.
+        ckpt.shard_metrics[0][0].dues += 1;
+        let report = replay_fleet(&ckpt).unwrap();
+        assert!(!report.reproduced);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("shard 0 metrics")));
+    }
+
+    #[test]
+    fn load_any_dispatches_by_kind() {
+        let dir = std::env::temp_dir().join(format!("rf_load_any_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let repro = ReproCase {
+            case: "engine_check".into(),
+            reason: "test".into(),
+            seed: 3,
+            trial: 0,
+            group: 0,
+            epoch: None,
+            scenarios: vec![Scenario::isca16_baseline()],
+            digest: None,
+            prop_choices: Vec::new(),
+        };
+        let repro_path = dir.join("case.json");
+        repro.save(&repro_path).unwrap();
+        assert_eq!(load_any(&repro_path).unwrap(), LoadedCase::Repro(repro));
+
+        let sim = FleetSim::new(
+            vec![Scenario::isca16_baseline()],
+            FleetConfig::quick(50, 2, 1),
+        );
+        let ckpt = sim.checkpoint();
+        let ckpt_path = dir.join("ckpt.json");
+        ckpt.save(&ckpt_path).unwrap();
+        assert_eq!(load_any(&ckpt_path).unwrap(), LoadedCase::Fleet(ckpt));
+
+        let alien = dir.join("alien.json");
+        std::fs::write(&alien, "{\"kind\": \"metrics_snapshot\"}").unwrap();
+        let err = load_any(&alien).unwrap_err();
+        assert!(err.contains("unknown kind"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn property_replay_reproduces_a_recorded_failure() {
         // A stream that decodes to a failing input for a property that
         // rejects everything reproduces trivially; the point is the
@@ -175,6 +369,7 @@ mod tests {
             seed: 0,
             trial: 0,
             group: 0,
+            epoch: None,
             scenarios: Vec::new(),
             digest: None,
             prop_choices: vec![1, 2, 3],

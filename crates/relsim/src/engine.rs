@@ -268,6 +268,7 @@ fn rf_check_failure(
         seed,
         trial,
         group,
+        epoch: None,
         scenarios: members.iter().map(|&si| scenarios[si].clone()).collect(),
         digest,
         prop_choices: Vec::new(),
@@ -278,6 +279,22 @@ fn rf_check_failure(
          repro written to {} — rerun with `relcheck replay <path>`",
         path.display()
     );
+}
+
+/// The RNG-stream seed for one trial's fault *sampling*: the stream is
+/// keyed on `(seed, trial, group)` so results never depend on which
+/// worker thread ran the trial. The engine, the relcheck replayer, and
+/// the fleet simulator all derive the stream from this one function —
+/// sharing it is what makes their populations bit-identical.
+pub fn sample_rng_seed(seed: u64, trial: u64, group: u64) -> u64 {
+    mix64(seed, trial, group)
+}
+
+/// The RNG-stream seed for one trial's scenario *evaluation*. Each arm
+/// restarts from this seed so arms see identical draw sequences; the
+/// `^ 0xECC` domain separation keeps it disjoint from the sample stream.
+pub fn eval_rng_seed(seed: u64, trial: u64) -> u64 {
+    mix64(seed ^ 0xECC, trial, 0)
 }
 
 /// Runs every scenario arm over `run.trials` node lifetimes.
@@ -374,7 +391,7 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
                     for trial in lo..hi {
                         for (gi, (_, members)) in groups.iter().enumerate() {
                             let mut sample_rng =
-                                Rng64::seed_from_u64(mix64(seed, trial, gi as u64));
+                                Rng64::seed_from_u64(sample_rng_seed(seed, trial, gi as u64));
                             // Zero-fault fast path: one precomputed-
                             // probability draw (the first of this trial's
                             // stream) decides whether the lifetime is
@@ -443,8 +460,7 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
                                 }
                             }
                             for &si in members {
-                                let mut eval_rng =
-                                    Rng64::seed_from_u64(mix64(seed ^ 0xECC, trial, 0));
+                                let mut eval_rng = Rng64::seed_from_u64(eval_rng_seed(seed, trial));
                                 let out = evaluate_node_with(
                                     &scenarios[si],
                                     &node,

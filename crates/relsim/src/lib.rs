@@ -13,6 +13,10 @@
 //! * [`engine`] — samples node lifetimes once and evaluates every scenario
 //!   arm on the *same* fault population (the paper's methodology),
 //!   in parallel across threads.
+//! * [`fleet`] — scales the engine to operator fleets: sharded population,
+//!   epoch-by-epoch incremental re-evaluation of dirty nodes, and
+//!   bit-exact checkpoint/resume through schema-versioned
+//!   [`fleet::FleetCheckpoint`] files.
 //!
 //! # Examples
 //!
@@ -30,11 +34,13 @@
 //! ```
 
 pub mod engine;
+pub mod fleet;
 pub mod node;
 pub mod repro;
 pub mod scenario;
 
 pub use engine::{run_scenarios, RunConfig, ScenarioResult};
-pub use node::{evaluate_node, evaluate_node_with, EvalScratch, NodeOutcome};
+pub use fleet::{CrashPoint, FleetCheckpoint, FleetConfig, FleetMetrics, FleetSim};
+pub use node::{evaluate_events_with, evaluate_node, evaluate_node_with, EvalScratch, NodeOutcome};
 pub use repro::ReproCase;
 pub use scenario::{Mechanism, ReplacementPolicy, Scenario};

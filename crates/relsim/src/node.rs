@@ -3,7 +3,7 @@
 use crate::scenario::{Mechanism, ReplacementPolicy, Scenario};
 use relaxfault_core::plan::{FreeFault, PlanScratch, Ppr, RelaxFault, RepairMechanism};
 use relaxfault_ecc::EccOutcome;
-use relaxfault_faults::{FaultRegion, NodeFaults};
+use relaxfault_faults::{FaultEvent, FaultRegion, NodeFaults};
 use relaxfault_util::rng::Rng;
 
 /// Everything one node-lifetime contributes to the system metrics.
@@ -176,9 +176,25 @@ pub fn evaluate_node_with<R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut EvalScratch,
 ) -> NodeOutcome {
+    evaluate_events_with(scenario, &node.events, rng, scratch)
+}
+
+/// Replays a time-sorted event slice under `scenario` — the slice form of
+/// [`evaluate_node_with`]. The fleet simulator's incremental epochs call
+/// this on growing prefixes of one lifetime: evaluating
+/// `events[..new_len]` and subtracting the `events[..old_len]` outcome
+/// telescopes to the full-lifetime result without re-evaluating clean
+/// nodes. An empty slice returns the zero outcome without drawing from
+/// `rng`, so prefix bookkeeping never perturbs the eval stream.
+pub fn evaluate_events_with<R: Rng + ?Sized>(
+    scenario: &Scenario,
+    events: &[FaultEvent],
+    rng: &mut R,
+    scratch: &mut EvalScratch,
+) -> NodeOutcome {
     let cfg = &scenario.dram;
     let mut out = NodeOutcome::default();
-    if node.events.is_empty() {
+    if events.is_empty() {
         return out;
     }
     debug_assert!(
@@ -191,7 +207,7 @@ pub fn evaluate_node_with<R: Rng + ?Sized>(
     let mut planner_live = false;
     scratch.live.clear();
 
-    for event in &node.events {
+    for event in events {
         let permanent = event.is_permanent();
         if permanent {
             out.faulty = true;

@@ -1,0 +1,208 @@
+//! The crash-point test matrix: a reference fleet runs uninterrupted,
+//! then the same fleet is killed and resumed at every epoch boundary and
+//! mid-epoch, at several thread counts. Every variant must finish with
+//! bit-identical arm metrics, population digests, and dirty-eval totals —
+//! the checkpoint/resume contract the fleet module exists to honour.
+
+use relaxfault_relsim::fleet::{CrashPoint, FleetConfig, FleetSim};
+use relaxfault_relsim::scenario::{Mechanism, Scenario};
+use relaxfault_relsim::FleetMetrics;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+const NODES: u64 = 500;
+const EPOCHS: u32 = 4;
+const SEED: u64 = 0xF1EE7;
+
+fn arms() -> Vec<Scenario> {
+    // Elevated FIT so a small debug-mode fleet still has a meaningful
+    // faulty sub-population in every epoch.
+    let base = Scenario::isca16_baseline().with_fit_scale(40.0);
+    vec![
+        base.clone().with_mechanism(Mechanism::None),
+        base.with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
+    ]
+}
+
+fn cfg(threads: usize, ckpt_dir: Option<PathBuf>) -> FleetConfig {
+    FleetConfig {
+        nodes: NODES,
+        epochs: EPOCHS,
+        shards: 8,
+        seed: SEED,
+        threads,
+        ckpt_dir,
+        crash_at: None,
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rf_fleet_matrix_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+struct Reference {
+    metrics: Vec<FleetMetrics>,
+    digest: u64,
+    dirty_evals: u64,
+}
+
+/// The uninterrupted single-threaded run every variant is compared
+/// against, computed once and shared across the matrix tests.
+fn reference() -> &'static Reference {
+    static REFERENCE: OnceLock<Reference> = OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let mut sim = FleetSim::new(arms(), cfg(1, None));
+        sim.run_to_end().expect("uninterrupted run");
+        Reference {
+            metrics: sim.metrics(),
+            digest: sim.population_digest(),
+            dirty_evals: sim.dirty_evals(),
+        }
+    })
+}
+
+fn assert_matches_reference(sim: &FleetSim, reference: &Reference, what: &str) {
+    assert_eq!(sim.completed_epochs(), EPOCHS, "{what}: epochs");
+    assert_eq!(sim.metrics(), reference.metrics, "{what}: metrics");
+    assert_eq!(sim.population_digest(), reference.digest, "{what}: digest");
+    assert_eq!(
+        sim.dirty_evals(),
+        reference.dirty_evals,
+        "{what}: dirty evals"
+    );
+}
+
+#[test]
+fn results_are_thread_count_independent() {
+    let reference = reference();
+    for threads in [2, 4] {
+        let mut sim = FleetSim::new(arms(), cfg(threads, None));
+        sim.run_to_end().expect("uninterrupted run");
+        assert_matches_reference(&sim, reference, &format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn resume_from_every_epoch_boundary_is_bit_exact() {
+    let reference = reference();
+    // One checkpointed run leaves a snapshot at every boundary 0..=EPOCHS.
+    let dir = scratch_dir("boundaries");
+    let mut sim = FleetSim::new(arms(), cfg(1, Some(dir.clone())));
+    sim.run_to_end().expect("checkpointed run");
+    assert_matches_reference(&sim, reference, "checkpointed run");
+
+    for k in 0..EPOCHS {
+        for threads in [1, 2, 4] {
+            let path = dir.join(format!("ckpt_epoch_{k:04}.json"));
+            let mut resumed = FleetSim::resume_from(&path, threads, None)
+                .unwrap_or_else(|e| panic!("resume from epoch {k}: {e}"));
+            assert_eq!(resumed.completed_epochs(), k);
+            resumed.run_to_end().expect("resumed run");
+            assert_matches_reference(
+                &resumed,
+                reference,
+                &format!("resume from epoch {k} with {threads} threads"),
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_and_resume_at_every_point_recovers_the_run() {
+    let reference = reference();
+    let mut crash_points = Vec::new();
+    for k in 0..EPOCHS {
+        crash_points.push(CrashPoint::Boundary(k));
+        crash_points.push(CrashPoint::MidEpoch(k));
+    }
+    for crash in crash_points {
+        let dir = scratch_dir(&format!("{crash:?}").replace(['(', ')'], "_"));
+        let mut dying = FleetSim::new(
+            arms(),
+            FleetConfig {
+                crash_at: Some(crash),
+                ..cfg(2, Some(dir.clone()))
+            },
+        );
+        let err = dying.run_to_end().expect_err("injected crash must fire");
+        assert!(err.contains("simulated crash"), "{crash:?}: {err}");
+
+        // The newest surviving checkpoint is the boundary before the
+        // crash; a mid-epoch death persists nothing for its epoch.
+        let expect_epoch = match crash {
+            CrashPoint::Boundary(k) | CrashPoint::MidEpoch(k) => k,
+        };
+        let mut resumed =
+            FleetSim::resume(&dir, 2).unwrap_or_else(|e| panic!("resume after {crash:?}: {e}"));
+        assert_eq!(
+            resumed.completed_epochs(),
+            expect_epoch,
+            "{crash:?}: resume boundary"
+        );
+        resumed.run_to_end().expect("resumed run");
+        assert_matches_reference(&resumed, reference, &format!("{crash:?}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn per_epoch_work_is_proportional_to_dirty_nodes() {
+    // Paper-rate (1x FIT) arms: faults are sparse, so the dirty set each
+    // epoch is a small fraction of the fleet — the case incremental
+    // re-evaluation exists for.
+    let base = Scenario::isca16_baseline();
+    let sparse_arms = vec![
+        base.clone().with_mechanism(Mechanism::None),
+        base.with_mechanism(Mechanism::RelaxFault { max_ways: 4 }),
+    ];
+    let mut sim = FleetSim::new(sparse_arms, cfg(1, None));
+    sim.run_to_end().expect("uninterrupted run");
+    // The incrementality witness: total evaluations equal the arrival
+    // schedule mass (one evaluation per node per epoch with a new
+    // arrival), which for a sparse fault process is far below the naive
+    // nodes x epochs full-recompute cost — here bounded by the faulty
+    // sub-population per epoch.
+    let total: u64 = sim.epoch_dirty().iter().sum();
+    assert_eq!(total, sim.dirty_evals(), "per-epoch log sums to the total");
+    assert_eq!(sim.epoch_dirty().len(), EPOCHS as usize);
+    assert!(sim.dirty_evals() >= sim.faulty_nodes());
+    assert!(
+        sim.dirty_evals() < NODES * EPOCHS as u64 / 4,
+        "dirty evals {} must stay well below the {} full-recompute cost",
+        sim.dirty_evals(),
+        NODES * EPOCHS as u64
+    );
+    for (epoch, dirty) in sim.epoch_dirty().iter().enumerate() {
+        assert!(
+            *dirty <= sim.faulty_nodes(),
+            "epoch {epoch}: dirty count {dirty} exceeds the faulty population"
+        );
+    }
+}
+
+#[test]
+fn resume_rejects_a_drifted_configuration() {
+    let dir = scratch_dir("drift");
+    let mut sim = FleetSim::new(arms(), cfg(1, Some(dir.clone())));
+    sim.step().expect("first epoch");
+
+    // Tamper with the newest checkpoint: a different seed regenerates a
+    // different population, which the digest check must catch.
+    let path = dir.join("ckpt_epoch_0001.json");
+    let text = std::fs::read_to_string(&path).expect("checkpoint exists");
+    let tampered = text.replace(&format!("{:#018x}", SEED), &format!("{:#018x}", SEED + 1));
+    assert_ne!(text, tampered, "seed appears in the checkpoint");
+    std::fs::write(&path, tampered).unwrap();
+    let err = match FleetSim::resume(&dir, 1) {
+        Err(e) => e,
+        Ok(_) => panic!("tampered checkpoint must fail"),
+    };
+    assert!(
+        err.contains("digest mismatch"),
+        "digest verification caught the drift: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

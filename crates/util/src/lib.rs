@@ -14,6 +14,9 @@
 //! * [`dist`] — the random distributions the Monte Carlo fault model needs
 //!   (Poisson, lognormal, log-uniform), implemented directly on top of
 //!   [`rng`] so numeric behaviour is documented and reproducible.
+//! * [`persist`] — schema-versioned, kind-tagged JSON persistence with
+//!   atomic writes and shared digest helpers; repro cases and fleet
+//!   checkpoints both implement its [`persist::Persist`] trait.
 //! * [`prop`] — a seeded property-test harness (generators over a recorded
 //!   choice stream, with shrinking) the invariant suites run on.
 //! * [`json`] — a minimal JSON value/emitter/parser for machine-readable
@@ -51,6 +54,7 @@ pub mod export;
 pub mod hash;
 pub mod json;
 pub mod obs;
+pub mod persist;
 pub mod prop;
 pub mod rng;
 pub mod stats;

@@ -404,6 +404,8 @@ struct RunContext {
     threads: u64,
     config_hash: u64,
     sim_runs: u64,
+    epochs: u64,
+    shards: u64,
 }
 
 impl Global {
@@ -930,6 +932,17 @@ pub fn note_run_context(seed: u64, threads: u64, config_hash: u64) {
     ctx.sim_runs += 1;
 }
 
+/// Publishes a fleet simulation's shape into the process manifest: how
+/// many lifetime epochs it stepped through and how many shards the node
+/// population was partitioned into. Runs-index entries embed the
+/// manifest, so registered fleet runs record both counts. Repeated calls
+/// keep the maximum (the instrumented binaries run fleets serially).
+pub fn note_fleet_context(epochs: u64, shards: u64) {
+    let mut ctx = global().run_ctx.lock().expect("run context");
+    ctx.epochs = ctx.epochs.max(epochs);
+    ctx.shards = ctx.shards.max(shards);
+}
+
 /// Installs (or with `None`, removes) an injected wall clock for
 /// [`Manifest::collect`]. Tests pin it so manifests are reproducible.
 pub fn set_clock_ms(clock: Option<fn() -> u64>) {
@@ -1007,6 +1020,12 @@ pub struct Manifest {
     pub config_hash: u64,
     /// How many simulator runs contributed to this snapshot.
     pub sim_runs: u64,
+    /// Lifetime epochs a fleet simulation stepped through (0 when none
+    /// ran); see [`note_fleet_context`].
+    pub epochs: u64,
+    /// Shards the fleet population was partitioned into (0 when no fleet
+    /// ran); see [`note_fleet_context`].
+    pub shards: u64,
     /// Wall-clock milliseconds since the epoch, from [`now_ms`].
     pub wall_clock_ms: u64,
 }
@@ -1027,6 +1046,8 @@ impl Manifest {
             seeds: ctx.seeds.clone(),
             config_hash: ctx.config_hash,
             sim_runs: ctx.sim_runs,
+            epochs: ctx.epochs,
+            shards: ctx.shards,
             wall_clock_ms: now_ms(),
         }
     }
@@ -1048,6 +1069,8 @@ impl Manifest {
                 Value::from(format!("{:016x}", self.config_hash)),
             ),
             ("sim_runs", Value::from(self.sim_runs)),
+            ("epochs", Value::from(self.epochs)),
+            ("shards", Value::from(self.shards)),
             ("wall_clock_ms", Value::from(self.wall_clock_ms)),
         ])
     }

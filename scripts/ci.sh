@@ -77,6 +77,34 @@ cargo run --release -q -p relaxfault-bench --bin obs_validate results/ci/relchec
 cargo run --release -q -p relaxfault-relcheck --bin relcheck -- replay "$repro" \
     || exit 3
 
+# Fleet checkpoint/resume determinism gate: a 1M-node fleet over 20 epochs
+# runs to completion once; the same fleet is then killed mid-epoch by the
+# RF_FLEET_CRASH_AT hook (the kill must actually fire), resumed from the
+# surviving checkpoints, and the resumed run's obs snapshot must be a
+# zero-delta obs_diff match of the uninterrupted one — counters are exact,
+# so any divergence fails the build. The checkpoint directory itself must
+# satisfy the strict fleet-checkpoint schema validator (which also rejects
+# mixed schema versions). Verdict JSON is archived under results/ci/.
+rm -rf results/ci/fleet_ckpt
+RF_OBS=on RF_RESULTS_DIR=results/ci RF_RUN_NAME=fleet_full \
+    cargo run --release -q -p relaxfault-bench --bin fleet_forecast -- \
+    1000000 --epochs=20
+if RF_OBS=on RF_RESULTS_DIR=results/ci RF_FLEET_CRASH_AT=mid:13 \
+    cargo run --release -q -p relaxfault-bench --bin fleet_forecast -- \
+    1000000 --epochs=20 --ckpt-dir=results/ci/fleet_ckpt >/dev/null 2>&1; then
+    echo "fleet gate: injected crash did not kill the run" >&2
+    exit 4
+fi
+RF_OBS=on RF_RESULTS_DIR=results/ci RF_RUN_NAME=fleet_resumed \
+    cargo run --release -q -p relaxfault-bench --bin fleet_forecast -- \
+    --resume --ckpt-dir=results/ci/fleet_ckpt
+cargo run --release -q -p relaxfault-bench --bin obs_diff -- \
+    results/ci/obs/fleet_full.json results/ci/obs/fleet_resumed.json \
+    --threshold 10 --out results/ci/fleet_resume_verdict.json \
+    || { echo "fleet gate: resumed run drifted from the full run" >&2; exit 4; }
+cargo run --release -q -p relaxfault-bench --bin obs_validate results/ci/fleet_ckpt \
+    || exit 4
+
 # Engine hot-loop regression gate: replay the per-trial pipeline bench and
 # compare against the committed baseline snapshot. Cargo runs bench
 # binaries with the bench crate as cwd, so RF_RESULTS_DIR must be
