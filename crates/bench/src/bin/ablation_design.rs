@@ -183,4 +183,5 @@ fn main() {
         "Ablation 5: unrepaired faults per system by mode (who fails on what)",
         &t5,
     );
+    relaxfault_bench::obs_finish();
 }

@@ -37,4 +37,5 @@ fn main() {
         "Figure 2 / Table 2: FIT per device by fault mode",
         &t,
     );
+    relaxfault_bench::obs_finish();
 }

@@ -12,4 +12,5 @@ fn main() {
         &format!("Figure 8: coverage vs set-index hashing ({trials} node trials)"),
         &t,
     );
+    relaxfault_bench::obs_finish();
 }

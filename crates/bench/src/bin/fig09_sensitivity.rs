@@ -17,4 +17,5 @@ fn main() {
         &format!("Figure 9c/9d: sweep of accelerated fraction at 100x ({trials} trials/point)"),
         &fraction,
     );
+    relaxfault_bench::obs_finish();
 }

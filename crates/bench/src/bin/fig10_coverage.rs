@@ -12,4 +12,5 @@ fn main() {
         &format!("Figure 10: coverage vs LLC capacity, 1x FIT ({trials} node trials)"),
         &t,
     );
+    relaxfault_bench::obs_finish();
 }

@@ -12,4 +12,5 @@ fn main() {
         &format!("Figure 11: coverage vs LLC capacity, 10x FIT ({trials} node trials)"),
         &t,
     );
+    relaxfault_bench::obs_finish();
 }

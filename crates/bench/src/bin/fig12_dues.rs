@@ -19,4 +19,5 @@ fn main() {
         &format!("Figure 12b: DUEs per system, 10x FIT ({t10} node trials)"),
         &r10.dues,
     );
+    relaxfault_bench::obs_finish();
 }

@@ -19,4 +19,5 @@ fn main() {
         &format!("Figure 13b: SDCs per system, 10x FIT ({t10} node trials)"),
         &r10.sdcs,
     );
+    relaxfault_bench::obs_finish();
 }

@@ -30,4 +30,5 @@ fn main() {
         &format!("Figure 14d: replacements after frequent errors, 10x FIT ({t10} trials)"),
         &r10.replacements_after_errors,
     );
+    relaxfault_bench::obs_finish();
 }

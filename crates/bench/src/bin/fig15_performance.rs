@@ -13,4 +13,5 @@ fn main() {
         &format!("Figure 15: weighted speedup vs LLC repair capacity ({instr} instr/core)"),
         &fig15_table(&rows),
     );
+    relaxfault_bench::obs_finish();
 }

@@ -13,4 +13,5 @@ fn main() {
         &format!("Figure 16: relative DRAM dynamic power ({instr} instr/core)"),
         &fig16_table(&rows),
     );
+    relaxfault_bench::obs_finish();
 }

@@ -6,6 +6,7 @@
 //! fleet_forecast [NODES] [--epochs=N] [--shards=N] [--seed=N]
 //!                [--threads=N] [--ckpt-dir=PATH] [--resume]
 //!                [--query=NODES,NODES,...]
+//!                [--serve-obs=ADDR] [--profile] [--linger-ms=N]
 //! ```
 //!
 //! `NODES` (positional, default 1,000,000) sizes the simulated fleet.
@@ -18,14 +19,25 @@
 //! All flags take `=`-values: the shared bench arg parser treats a bare
 //! numeric argument as the positional work amount.
 //!
+//! The live-plane flags are shared harness flags (see
+//! `relaxfault_bench::obs_init`): `--serve-obs` answers `/health`,
+//! `/metrics`, `/progress` (epoch/shard progress, checkpoint lineage, and
+//! the forecast for each `--query` size, refreshed every boundary), and
+//! `/flight` while the run executes; `--profile` writes folded stacks at
+//! exit; `--linger-ms` keeps the endpoint up after the work finishes.
+//!
 //! Exit codes: 0 success, 1 usage error, 4 the run died (simulated crash
-//! or checkpoint failure) — resume with `--resume`.
+//! or checkpoint failure) — a crash dump with the newest durable
+//! checkpoint embedded lands in `results/obs/`, and the run resumes with
+//! `--resume`.
 
 use relaxfault_bench::emit;
-use relaxfault_relsim::fleet::{crash_at_from_env, FleetConfig, FleetSim};
+use relaxfault_relsim::fleet::{crash_at_from_env, latest_checkpoint, FleetConfig, FleetSim};
 use relaxfault_relsim::scenario::{Mechanism, Scenario};
+use relaxfault_util::crashdump::CrashDump;
+use relaxfault_util::json::Value;
 use relaxfault_util::table::Table;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Args {
@@ -82,6 +94,16 @@ fn parse_args(work: u64) -> Result<Args, String> {
     Ok(args)
 }
 
+/// The newest durable checkpoint in `dir` as a raw JSON document, for
+/// embedding in a crash dump (`relcheck replay` decodes it back into a
+/// [`relaxfault_relsim::fleet::FleetCheckpoint`]). `None` when the
+/// directory holds no checkpoint yet.
+fn newest_checkpoint_doc(dir: &Path) -> Option<Value> {
+    let path = latest_checkpoint(dir).ok()?;
+    let text = std::fs::read_to_string(path).ok()?;
+    Value::parse(&text).ok()
+}
+
 /// The standard forecast arms: unprotected baseline, RelaxFault at the
 /// paper's 4-way budget, and PPR.
 fn arms() -> Vec<Scenario> {
@@ -136,14 +158,27 @@ fn main() -> ExitCode {
         )
     };
 
-    if let Err(e) = sim.run_to_end() {
-        eprintln!(
-            "fleet_forecast: run died at epoch {}/{}: {e}",
-            sim.completed_epochs(),
-            sim.epochs()
-        );
-        eprintln!("fleet_forecast: resume with --resume --ckpt-dir=PATH");
-        return ExitCode::from(4);
+    // Step manually (rather than `run_to_end`) so every epoch boundary
+    // refreshes the `/progress` document and a death can drain the live
+    // plane into a crash dump before the process exits.
+    sim.publish_progress(&args.queries);
+    while sim.completed_epochs() < sim.epochs() {
+        if let Err(e) = sim.step() {
+            eprintln!(
+                "fleet_forecast: run died at epoch {}/{}: {e}",
+                sim.completed_epochs(),
+                sim.epochs()
+            );
+            eprintln!("fleet_forecast: resume with --resume --ckpt-dir=PATH");
+            let checkpoint = args.ckpt_dir.as_deref().and_then(newest_checkpoint_doc);
+            match CrashDump::write(&relaxfault_bench::current_run_name(), &e, checkpoint) {
+                Ok(path) => eprintln!("fleet_forecast: crash dump written: {path}"),
+                Err(dump_err) => eprintln!("fleet_forecast: crash dump failed: {dump_err}"),
+            }
+            relaxfault_bench::obs_finish();
+            return ExitCode::from(4);
+        }
+        sim.publish_progress(&args.queries);
     }
 
     println!(
@@ -211,5 +246,6 @@ fn main() -> ExitCode {
         &totals,
     );
     emit("fleet_forecast", "Fleet forecast by target size", &forecast);
+    relaxfault_bench::obs_finish();
     ExitCode::SUCCESS
 }

@@ -6,15 +6,19 @@
 //! be Chrome trace-event arrays (`ph: "X"`, `ts` monotone per track).
 //! Mixed `schema_version`s across the scanned snapshots fail the whole
 //! directory, even if each file is self-consistent. Relcheck repro cases
-//! (top-level `kind: "relcheck_repro"`, e.g. under `results/relcheck`) and
-//! fleet checkpoints (`kind: "fleet_checkpoint"`, e.g. a `--ckpt-dir`)
-//! are validated against their own schemas via the strict [`ReproCase`]
-//! and [`FleetCheckpoint`] deserializers; each kind gets its own
-//! mixed-version check, separate from the obs one.
+//! (top-level `kind: "relcheck_repro"`, e.g. under `results/relcheck`),
+//! fleet checkpoints (`kind: "fleet_checkpoint"`, e.g. a `--ckpt-dir`),
+//! and crash dumps (`kind: "crash_dump"`, written by the panic hook and
+//! the injected-crash path) are validated against their own schemas via
+//! the strict [`ReproCase`], [`FleetCheckpoint`], and [`CrashDump`]
+//! deserializers; each kind gets its own mixed-version check, separate
+//! from the obs one. Folded profiler output (`*.folded`) must be
+//! non-empty `frame[;frame...] count` lines.
 //! Exits non-zero on any violation.
 
 use relaxfault_relsim::fleet::{FleetCheckpoint, FLEET_CHECKPOINT_KIND};
 use relaxfault_relsim::repro::{ReproCase, REPRO_KIND};
+use relaxfault_util::crashdump::{self, CrashDump};
 use relaxfault_util::json::Value;
 use relaxfault_util::obs;
 use relaxfault_util::persist::Persist;
@@ -47,6 +51,53 @@ fn is_repro(doc: &Value) -> bool {
 /// Whether a parsed document is a fleet checkpoint.
 fn is_fleet_checkpoint(doc: &Value) -> bool {
     doc.get("kind").and_then(Value::as_str) == Some(FLEET_CHECKPOINT_KIND)
+}
+
+/// Whether a parsed document is a crash dump.
+fn is_crash_dump(doc: &Value) -> bool {
+    doc.get("kind").and_then(Value::as_str) == Some(crashdump::KIND)
+}
+
+/// Validates one crash dump via the strict deserializer (which checks the
+/// run name, non-empty reason, snapshot sections, flight array, and the
+/// shape of any embedded checkpoint), plus: an embedded checkpoint must
+/// itself pass the [`FleetCheckpoint`] deserializer, so `relcheck replay`
+/// is guaranteed to accept anything this gate passed. Returns the dump's
+/// schema_version for the per-kind mixed-version check.
+fn validate_crash_dump(doc: &Value) -> Result<u64, String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Value::as_f64)
+        .ok_or("missing schema_version")? as u64;
+    let dump = CrashDump::from_json(doc)?;
+    if let Some(ckpt) = &dump.checkpoint {
+        FleetCheckpoint::from_json(ckpt).map_err(|e| format!("embedded checkpoint: {e}"))?;
+    }
+    Ok(version)
+}
+
+/// Validates one folded-stack profile: non-empty, every line of the form
+/// `frame[;frame...] count` with a positive integer count.
+fn validate_folded(path: &std::path::Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    if text.trim().is_empty() {
+        return Err("folded profile is empty".into());
+    }
+    for (i, line) in text.lines().enumerate() {
+        let (stack, count) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {}: no `stack count` separator", i + 1))?;
+        if stack.is_empty() || stack.split(';').any(str::is_empty) {
+            return Err(format!("line {}: empty stack frame", i + 1));
+        }
+        let n: u64 = count
+            .parse()
+            .map_err(|_| format!("line {}: count {count:?} is not an integer", i + 1))?;
+        if n == 0 {
+            return Err(format!("line {}: zero sample count", i + 1));
+        }
+    }
+    Ok(())
 }
 
 /// Validates one fleet checkpoint via the strict deserializer, returning
@@ -171,6 +222,7 @@ fn main() {
     let mut failed = 0usize;
     let mut versions: BTreeSet<u64> = BTreeSet::new();
     let mut fleet_versions: BTreeSet<u64> = BTreeSet::new();
+    let mut crash_versions: BTreeSet<u64> = BTreeSet::new();
     let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
     paths.sort();
     for path in paths {
@@ -181,6 +233,9 @@ fn main() {
         let result = if name.ends_with(".trace.json") {
             checked += 1;
             validate_trace(&path)
+        } else if name.ends_with(".folded") {
+            checked += 1;
+            validate_folded(&path)
         } else if name.ends_with(".json") {
             checked += 1;
             match std::fs::read_to_string(&path)
@@ -190,6 +245,9 @@ fn main() {
                 Ok(doc) if is_repro(&doc) => validate_repro(&doc),
                 Ok(doc) if is_fleet_checkpoint(&doc) => validate_fleet_checkpoint(&doc).map(|v| {
                     fleet_versions.insert(v);
+                }),
+                Ok(doc) if is_crash_dump(&doc) => validate_crash_dump(&doc).map(|v| {
+                    crash_versions.insert(v);
                 }),
                 Ok(doc) => validate_snapshot(&doc, &path).map(|v| {
                     versions.insert(v);
@@ -220,6 +278,10 @@ fn main() {
         eprintln!(
             "FAILED  {dir}: mixed schema_versions across fleet checkpoints: {fleet_versions:?}"
         );
+    }
+    if crash_versions.len() > 1 {
+        failed += 1;
+        eprintln!("FAILED  {dir}: mixed schema_versions across crash dumps: {crash_versions:?}");
     }
     println!("obs_validate: {checked} artifact(s), {failed} failure(s)");
     if failed > 0 {

@@ -58,4 +58,5 @@ fn main() {
         ),
     ]);
     emit("table1_energy", "Section 3.3: energy overhead bounds", &t2);
+    relaxfault_bench::obs_finish();
 }

@@ -61,4 +61,5 @@ fn main() {
         ),
     ]);
     emit("table3_config", "Table 3: simulated system parameters", &t);
+    relaxfault_bench::obs_finish();
 }

@@ -10,4 +10,5 @@ fn main() {
         "Table 4: workloads (synthetic stand-ins)",
         &table4(),
     );
+    relaxfault_bench::obs_finish();
 }

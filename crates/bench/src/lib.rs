@@ -15,9 +15,11 @@ use relaxfault_relsim::engine::{fault_population, run_scenarios, RunConfig};
 use relaxfault_relsim::scenario::{Mechanism, ReplacementPolicy, Scenario};
 use relaxfault_util::export;
 use relaxfault_util::json::Value;
-use relaxfault_util::obs;
 use relaxfault_util::table::{format_bytes, format_pct, Table};
-use std::sync::OnceLock;
+use relaxfault_util::{crashdump, obs, persist, profiler, serve};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 pub mod diff;
 pub mod perf;
@@ -28,10 +30,18 @@ pub const SYSTEM_NODES: u64 = 16_384;
 /// `--run NAME` override captured by [`obs_init`], consulted by [`emit`].
 static RUN_OVERRIDE: OnceLock<String> = OnceLock::new();
 
+/// The live endpoint started by [`obs_init`], stopped by [`obs_finish`].
+static SERVER: OnceLock<Mutex<Option<serve::ObsServer>>> = OnceLock::new();
+
+/// How long [`obs_finish`] keeps the endpoint answering after the work is
+/// done (`--linger-ms`; a `/quit` request ends the linger early).
+static LINGER_MS: AtomicU64 = AtomicU64::new(0);
+
 /// Standard harness arguments parsed by [`obs_init`].
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     work: Option<u64>,
+    profiling: bool,
 }
 
 impl BenchArgs {
@@ -39,6 +49,12 @@ impl BenchArgs {
     /// numeric argument, or `default` when none was given.
     pub fn work(&self, default: u64) -> u64 {
         self.work.unwrap_or(default)
+    }
+
+    /// Whether the span profiler is collecting (`--profile` / `RF_PROF`);
+    /// [`obs_finish`] will write `<run>.folded`.
+    pub fn profiling(&self) -> bool {
+        self.profiling
     }
 }
 
@@ -51,6 +67,20 @@ impl BenchArgs {
 ///   overrides the run name [`emit`] uses for the obs snapshot, trace, and
 ///   Prometheus files — this is how CI writes `drift_a`/`drift_b` from the
 ///   same binary;
+/// * `--serve-obs PORT` (or `--serve-obs=ADDR`, or `RF_OBS_ADDR` in the
+///   environment) starts the live telemetry endpoint of
+///   [`relaxfault_util::serve`] — port `0` binds an OS-assigned port,
+///   printed on stdout and written to `RF_OBS_ADDR_FILE` when set. Serving
+///   implies metrics, so `/metrics` always has content;
+/// * `--profile` (or `RF_PROF=on`) starts the self-sampling span profiler
+///   at `RF_PROF_HZ` (default 997 Hz); [`obs_finish`] writes the folded
+///   stacks to `<results>/obs/<run>.folded`;
+/// * `--linger-ms N` keeps the endpoint answering for up to `N` ms after
+///   the work completes (until a client requests `/quit`), so pollers can
+///   read final state — the CI smoke gate relies on this;
+/// * a crash-dump panic hook is installed (unless `--quiet`/`RF_OBS=off`),
+///   so any panic drains the flight recorder and metrics into
+///   `<results>/obs/<run>.crashdump.json`;
 /// * the first positional numeric argument overrides the work amount
 ///   (read it back with [`BenchArgs::work`]);
 /// * unknown flags (e.g. the `--bench` cargo passes to bench targets) are
@@ -58,6 +88,8 @@ impl BenchArgs {
 pub fn obs_init() -> BenchArgs {
     let mut parsed = BenchArgs::default();
     let mut run = None;
+    let mut serve_spec: Option<String> = None;
+    let mut profile = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--quiet" || a == "-q" {
@@ -66,6 +98,20 @@ pub fn obs_init() -> BenchArgs {
             run = args.next();
         } else if let Some(r) = a.strip_prefix("--run=") {
             run = Some(r.to_string());
+        } else if a == "--serve-obs" {
+            serve_spec = args.next();
+        } else if let Some(s) = a.strip_prefix("--serve-obs=") {
+            serve_spec = Some(s.to_string());
+        } else if a == "--profile" {
+            profile = true;
+        } else if a == "--linger-ms" {
+            if let Some(ms) = args.next().and_then(|v| v.parse().ok()) {
+                LINGER_MS.store(ms, Ordering::Relaxed);
+            }
+        } else if let Some(ms) = a.strip_prefix("--linger-ms=") {
+            if let Ok(ms) = ms.parse() {
+                LINGER_MS.store(ms, Ordering::Relaxed);
+            }
         } else if parsed.work.is_none() && !a.starts_with('-') {
             parsed.work = a.parse().ok();
         }
@@ -73,7 +119,95 @@ pub fn obs_init() -> BenchArgs {
     if let Some(r) = run {
         let _ = RUN_OVERRIDE.set(r);
     }
+    if serve_spec.is_none() {
+        serve_spec = std::env::var("RF_OBS_ADDR").ok().filter(|s| !s.is_empty());
+    }
+    if let Some(spec) = serve_spec {
+        match serve::ObsServer::start(&spec) {
+            Ok(server) => {
+                // A served run must have something to serve.
+                obs::set_metrics_enabled(true);
+                println!(
+                    "obs server: http://{} (routes: /health /metrics /progress /flight /quit)",
+                    server.addr()
+                );
+                let _ = SERVER.set(Mutex::new(Some(server)));
+            }
+            Err(e) => {
+                // A misbound endpoint means every poller would hang; die
+                // loudly rather than run unobservable.
+                eprintln!("--serve-obs {spec}: cannot bind: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if !profile {
+        profile = std::env::var("RF_PROF")
+            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "on" | "1" | "true"))
+            .unwrap_or(false);
+    }
+    if profile {
+        let hz = std::env::var("RF_PROF_HZ")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(profiler::DEFAULT_HZ);
+        profiler::start(hz);
+        parsed.profiling = true;
+    }
+    if !obs::is_force_off() {
+        crashdump::install_panic_hook(&current_run_name());
+    }
     parsed
+}
+
+/// The run name for the current process: `--run` / `RF_RUN_NAME` if given,
+/// else the binary's file stem. This is what the panic hook, crash dumps,
+/// and `obs_finish`'s folded profile file under.
+pub fn current_run_name() -> String {
+    let default = std::env::args()
+        .next()
+        .as_deref()
+        .and_then(|argv0| {
+            std::path::Path::new(argv0)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .map(str::to_string)
+        })
+        .unwrap_or_else(|| "run".to_string());
+    run_name(&default)
+}
+
+/// Standard harness shutdown, called last in every `fig*`/`table*` main:
+/// harvests the span profiler into `<results>/obs/<run>.folded`, keeps the
+/// live endpoint answering through the `--linger-ms` window (a `/quit`
+/// request ends it early), then stops the endpoint. A no-op when neither
+/// the profiler nor the endpoint is active.
+pub fn obs_finish() {
+    if profiler::active() {
+        let folded = profiler::stop();
+        if folded.is_empty() {
+            eprintln!("profiler captured no samples");
+        } else {
+            let run = current_run_name();
+            let path = std::path::Path::new(&obs::results_dir())
+                .join("obs")
+                .join(format!("{run}.folded"));
+            match persist::atomic_write(&path, &folded) {
+                Ok(()) => println!("profile: {}", path.display()),
+                Err(e) => eprintln!("profile write failed: {e}"),
+            }
+        }
+    }
+    let server = SERVER
+        .get()
+        .and_then(|slot| slot.lock().expect("obs server slot").take());
+    if let Some(server) = server {
+        let deadline = Instant::now() + Duration::from_millis(LINGER_MS.load(Ordering::Relaxed));
+        while !server.quit_requested() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        server.stop();
+    }
 }
 
 /// The run name observability output files under: the `--run` flag if

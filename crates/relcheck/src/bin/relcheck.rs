@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! relcheck smoke [--cases N]     run every oracle property (default 50 cases)
-//! relcheck replay <file.json>    re-execute a persisted repro case or
-//!                                fleet checkpoint (dispatched by `kind`)
+//! relcheck replay <file.json>    re-execute a persisted repro case,
+//!                                fleet checkpoint, or crash dump
+//!                                (dispatched by `kind`)
 //! ```
 //!
 //! Exit codes: 0 success / reproduced, 1 usage or replay error,
 //! 2 replay did not reproduce the recorded failure, 3 an oracle property
 //! failed (its repro path is printed).
 
-use relaxfault_relcheck::replay::{load_any, replay, replay_fleet, LoadedCase, ReplayReport};
+use relaxfault_relcheck::replay::{
+    load_any, replay, replay_crash_dump, replay_fleet, LoadedCase, ReplayReport,
+};
 use relaxfault_relcheck::run_smoke;
 use relaxfault_util::obs;
 use std::path::Path;
@@ -78,6 +81,13 @@ fn main() -> ExitCode {
                         ckpt.seed, ckpt.nodes, ckpt.shards, ckpt.completed_epochs, ckpt.epochs
                     );
                     replay_fleet(ckpt)
+                }
+                LoadedCase::Crash(dump) => {
+                    println!(
+                        "replaying crash dump of run {:?} ({}) via its embedded checkpoint",
+                        dump.run, dump.reason
+                    );
+                    replay_crash_dump(dump)
                 }
             };
             match result {

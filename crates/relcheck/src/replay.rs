@@ -17,8 +17,13 @@
 //! contract and get the same treatment: [`replay_fleet`] rebuilds the
 //! fleet from the checkpoint's embedded configuration, re-runs it up to
 //! the recorded boundary, and proves the checkpoint honest by comparing
-//! every shard digest and arm metric. [`load_any`] dispatches a JSON file
-//! to the right replayer by its `kind` header.
+//! every shard digest and arm metric. Crash dumps ([`CrashDump`]) carry
+//! the newest durable checkpoint of the dying run embedded as a raw JSON
+//! value; [`replay_crash_dump`] decodes it through the strict
+//! [`FleetCheckpoint`] deserializer and hands it to [`replay_fleet`], so
+//! "the run died at epoch N" becomes a bit-exactness proof of everything
+//! up to the last boundary. [`load_any`] dispatches a JSON file to the
+//! right replayer by its `kind` header.
 
 use crate::oracle::PROP_CASES;
 use relaxfault_faults::{FaultSampler, NodeFaults};
@@ -26,6 +31,7 @@ use relaxfault_relsim::engine::{eval_rng_seed, sample_rng_seed};
 use relaxfault_relsim::fleet::{FleetCheckpoint, FleetConfig, FleetSim};
 use relaxfault_relsim::node::{evaluate_node_with, EvalScratch, NodeOutcome};
 use relaxfault_relsim::repro::{trial_digest, ReproCase};
+use relaxfault_util::crashdump::CrashDump;
 use relaxfault_util::json::Value;
 use relaxfault_util::persist::Persist;
 use relaxfault_util::prop::{Failed, Source};
@@ -140,6 +146,8 @@ pub enum LoadedCase {
     Repro(ReproCase),
     /// A fleet checkpoint ([`FleetCheckpoint::KIND`]).
     Fleet(FleetCheckpoint),
+    /// A crash dump ([`CrashDump::KIND`]) from a run that died.
+    Crash(CrashDump),
 }
 
 /// Loads a persisted JSON artifact and dispatches it by `kind`.
@@ -162,13 +170,36 @@ pub fn load_any(path: &Path) -> Result<LoadedCase, String> {
         k if k == FleetCheckpoint::KIND => FleetCheckpoint::from_json(&v)
             .map(LoadedCase::Fleet)
             .map_err(ctx),
+        k if k == CrashDump::KIND => CrashDump::from_json(&v).map(LoadedCase::Crash).map_err(ctx),
         other => Err(format!(
-            "{}: unknown kind {other:?} (expected {:?} or {:?})",
+            "{}: unknown kind {other:?} (expected {:?}, {:?}, or {:?})",
             path.display(),
             ReproCase::KIND,
-            FleetCheckpoint::KIND
+            FleetCheckpoint::KIND,
+            CrashDump::KIND
         )),
     }
+}
+
+/// Replays the fleet checkpoint embedded in a crash dump: the dump's
+/// coordinates are only trustworthy up to the last durable boundary, so
+/// the proof is exactly [`replay_fleet`] on that checkpoint, labelled
+/// with the recorded cause of death.
+///
+/// # Errors
+///
+/// Returns a message when the dump carries no checkpoint (a plain panic,
+/// nothing durable to re-execute) or the embedded document fails the
+/// strict [`FleetCheckpoint`] deserializer.
+pub fn replay_crash_dump(dump: &CrashDump) -> Result<ReplayReport, String> {
+    let ckpt = dump
+        .checkpoint
+        .as_ref()
+        .ok_or("crash dump carries no checkpoint — nothing durable to replay")?;
+    let ckpt = FleetCheckpoint::from_json(ckpt).map_err(|e| format!("embedded checkpoint: {e}"))?;
+    let mut report = replay_fleet(&ckpt)?;
+    report.case = format!("crash_dump({}): {}", dump.run, report.case);
+    Ok(report)
 }
 
 /// Replays a fleet checkpoint: rebuilds the fleet from the embedded
@@ -355,6 +386,68 @@ mod tests {
         std::fs::write(&alien, "{\"kind\": \"metrics_snapshot\"}").unwrap();
         let err = load_any(&alien).unwrap_err();
         assert!(err.contains("unknown kind"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A minimal structurally-valid crash dump wrapping `checkpoint`.
+    fn dump_with(checkpoint: Option<Value>) -> CrashDump {
+        let empty = || Value::Object(Vec::new());
+        CrashDump {
+            run: "crashtest".into(),
+            reason: "simulated crash mid-epoch 1".into(),
+            wall_clock_ms: 1,
+            snapshot: Value::object([
+                ("manifest", empty()),
+                ("counters", empty()),
+                ("gauges", empty()),
+                ("histograms", empty()),
+            ]),
+            flight: Value::Array(Vec::new()),
+            checkpoint,
+        }
+    }
+
+    #[test]
+    fn crash_dump_replay_proves_the_embedded_checkpoint() {
+        let arms = vec![Scenario::isca16_baseline()
+            .with_fit_scale(150.0)
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 4 })];
+        let mut sim = FleetSim::new(arms, FleetConfig::quick(500, 3, 99));
+        sim.step().unwrap();
+        sim.step().unwrap();
+        let ckpt = sim.checkpoint();
+
+        // An honest embedded checkpoint replays bit-exactly...
+        let dump = dump_with(Some(ckpt.to_json()));
+        let report = replay_crash_dump(&dump).unwrap();
+        assert!(report.reproduced, "failures: {:?}", report.failures);
+        assert!(report.case.starts_with("crash_dump(crashtest)"));
+
+        // ...a tampered one is caught by the same shard-level comparison...
+        let mut bad = ckpt.clone();
+        bad.shard_metrics[0][0].dues += 1;
+        let report = replay_crash_dump(&dump_with(Some(bad.to_json()))).unwrap();
+        assert!(!report.reproduced);
+
+        // ...and a checkpoint-less dump (plain panic) is an explicit error,
+        // not a vacuous success.
+        let err = replay_crash_dump(&dump_with(None)).unwrap_err();
+        assert!(err.contains("no checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn load_any_dispatches_crash_dumps() {
+        use relaxfault_util::persist::Persist as _;
+        let dir = std::env::temp_dir().join(format!("rf_load_crash_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sim = FleetSim::new(
+            vec![Scenario::isca16_baseline()],
+            FleetConfig::quick(50, 2, 1),
+        );
+        let dump = dump_with(Some(sim.checkpoint().to_json()));
+        let path = dir.join("run.crashdump.json");
+        dump.save(&path).unwrap();
+        assert_eq!(load_any(&path).unwrap(), LoadedCase::Crash(dump));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -76,6 +76,7 @@ fn v1_repro_case_validates_and_replays_bit_exactly() {
     match load_any(&path).expect("load_any dispatches v1 repro files") {
         LoadedCase::Repro(loaded) => assert_eq!(loaded, case),
         LoadedCase::Fleet(_) => panic!("repro file dispatched as fleet checkpoint"),
+        LoadedCase::Crash(_) => panic!("repro file dispatched as crash dump"),
     }
     std::fs::remove_dir_all(&dir).ok();
 }

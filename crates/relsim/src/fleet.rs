@@ -45,6 +45,7 @@ use relaxfault_util::json::Value;
 use relaxfault_util::obs::{self, Level};
 use relaxfault_util::persist::{self, Persist};
 use relaxfault_util::rng::Rng64;
+use relaxfault_util::serve;
 use relaxfault_util::trace_event;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -837,6 +838,14 @@ impl FleetSim {
         };
 
         let dirty_before = self.dirty_evals();
+        // Live-plane instrumentation: the span feeds the flight recorder
+        // and profiler, the gauges make `/metrics` show within-epoch
+        // progress while workers are still running.
+        let _epoch_span = obs::span("relsim.fleet.epoch_ns");
+        obs::gauge("fleet.current_epoch").set(epoch as f64);
+        let shards_done_gauge = obs::gauge("fleet.epoch_shards_done");
+        shards_done_gauge.set(0.0);
+        let shards_done = AtomicUsize::new(0);
         let threads = self.threads.max(1);
         let next = AtomicUsize::new(0);
         let seed = self.seed;
@@ -845,6 +854,8 @@ impl FleetSim {
                 let next = &next;
                 let shards = &self.shards;
                 let scenarios = &self.scenarios;
+                let shards_done = &shards_done;
+                let shards_done_gauge = shards_done_gauge.clone();
                 scope.spawn(move || {
                     let mut scratches: Vec<EvalScratch> =
                         scenarios.iter().map(|_| EvalScratch::new()).collect();
@@ -883,6 +894,8 @@ impl FleetSim {
                                 shard.metrics[ai].absorb(&out_new, &out_old);
                             }
                         }
+                        shards_done_gauge
+                            .set(shards_done.fetch_add(1, Ordering::Relaxed) as f64 + 1.0);
                     }
                 });
             }
@@ -1041,6 +1054,100 @@ impl FleetSim {
                 },
             })
             .collect()
+    }
+
+    /// The durable-checkpoint lineage as JSON: whether persistence is on,
+    /// where checkpoints live, which epoch boundaries exist on disk, and
+    /// the newest file — everything an operator needs to decide whether a
+    /// dead run is resumable and from where.
+    pub fn checkpoint_lineage(&self) -> Value {
+        let Some(dir) = &self.ckpt_dir else {
+            return Value::object([("enabled", Value::from(false))]);
+        };
+        let mut boundaries: Vec<u64> = std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| {
+                        e.ok()?
+                            .file_name()
+                            .to_str()?
+                            .strip_prefix("ckpt_epoch_")?
+                            .strip_suffix(".json")?
+                            .parse::<u64>()
+                            .ok()
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        boundaries.sort_unstable();
+        let latest = boundaries
+            .last()
+            .map(|&e| Value::from(FleetCheckpoint::file_name(e as u32)))
+            .unwrap_or(Value::Null);
+        Value::object([
+            ("enabled", Value::from(true)),
+            ("dir", Value::from(dir.display().to_string())),
+            ("config_digest", persist::hex(self.config_digest)),
+            (
+                "boundaries",
+                Value::Array(boundaries.into_iter().map(Value::from).collect()),
+            ),
+            ("latest", latest),
+        ])
+    }
+
+    /// Builds the point-in-time progress document the live `/progress`
+    /// route serves: epoch position, shard layout, dirty-node history,
+    /// checkpoint lineage, and a forecast section answering each queried
+    /// fleet size exactly like `fleet_forecast --query` does — so a second
+    /// process can poll a forecast mid-run instead of waiting for exit.
+    pub fn progress_json(&self, queries: &[u64]) -> Value {
+        let complete = self.completed_epochs >= self.epochs;
+        let forecasts: Vec<Value> = queries
+            .iter()
+            .map(|&q| {
+                let arms: Vec<Value> = self
+                    .forecast(q)
+                    .iter()
+                    .map(|a| {
+                        Value::object([
+                            ("label", Value::from(a.label.as_str())),
+                            ("dues", Value::from(a.dues)),
+                            ("sdcs", Value::from(a.sdcs)),
+                            ("replacements", Value::from(a.replacements)),
+                            ("coverage", Value::from(a.coverage)),
+                        ])
+                    })
+                    .collect();
+                Value::object([("fleet_size", Value::from(q)), ("arms", Value::Array(arms))])
+            })
+            .collect();
+        Value::object([
+            (
+                "status",
+                Value::from(if complete { "complete" } else { "running" }),
+            ),
+            ("epoch", Value::from(self.completed_epochs as u64)),
+            ("epochs", Value::from(self.epochs as u64)),
+            ("nodes", Value::from(self.nodes)),
+            ("shards", Value::from(self.shards.len() as u64)),
+            ("faulty_nodes", Value::from(self.faulty_nodes())),
+            ("dirty_evals", Value::from(self.dirty_evals())),
+            (
+                "epoch_dirty",
+                Value::Array(self.epoch_dirty.iter().map(|&d| Value::from(d)).collect()),
+            ),
+            ("population_digest", persist::hex(self.population_digest())),
+            ("checkpoints", self.checkpoint_lineage()),
+            ("forecast", Value::Array(forecasts)),
+        ])
+    }
+
+    /// Publishes [`FleetSim::progress_json`] to the live endpoint's
+    /// `/progress` route. The forecast binary calls this at every epoch
+    /// boundary; without a server running the publish is a cheap store.
+    pub fn publish_progress(&self, queries: &[u64]) {
+        serve::publish_progress(self.progress_json(queries));
     }
 
     /// Publishes the fleet's logical state into the obs registry for

@@ -1,0 +1,306 @@
+//! Flight recorder: always-on, bounded-memory capture of recent events.
+//!
+//! The tracing buffers in [`crate::obs`] grow until a sink drains them at
+//! the end of a run — fine for post-hoc artifacts, useless for a process
+//! that has been stepping a fleet simulation for minutes and just crashed,
+//! or that an operator wants to inspect *right now*. The flight recorder
+//! keeps the **most recent** events in per-thread ring buffers of fixed
+//! capacity, so memory stays bounded no matter how long the run is, and a
+//! non-destructive [`snapshot`] can be taken at any time: by the live
+//! `/flight` endpoint in [`crate::serve`], or by a crash dump in
+//! [`crate::crashdump`] on the way down.
+//!
+//! Two streams feed it:
+//!
+//! * every event that passes the `RF_TRACE` filter (recorded by
+//!   [`crate::obs::emit`] before it enters the ordinary trace buffers), and
+//! * a synthetic completion event per metrics span (target
+//!   [`crate::obs::SPAN_TARGET`], field `ns`), emitted when a
+//!   [`crate::obs::SpanTimer`] drops while metrics are on — so the recorder
+//!   sees span timings even when tracing is off.
+//!
+//! # Concurrency and determinism
+//!
+//! Each worker thread owns its ring and writes through a mutex that no
+//! other thread touches during normal operation, so writers never contend
+//! with each other — a reader taking a [`snapshot`] locks each ring just
+//! long enough to clone it, and a writer that loses that race blocks only
+//! for the clone of its own ring. Events carry the same deterministic
+//! `(trial, group, seq)` keys as the trace stream and [`snapshot`] merges
+//! with [`crate::obs::sort_merged`], so as long as no ring has wrapped,
+//! the drained order is byte-identical across thread counts — the same
+//! contract `drain_events` makes, tested in `tests/live_plane.rs`.
+//! Once a ring wraps, the oldest events are gone (counted by
+//! [`overwritten`]) and the retained *window* becomes thread-count
+//! dependent even though the sort order of what remains never is.
+//!
+//! The recorder defaults to on with capacity 4096 events per thread;
+//! `RF_FLIGHT=off` kills it, `RF_FLIGHT_CAP=<n>` resizes it. The recording
+//! fast path when disabled is one relaxed atomic load.
+
+use crate::obs::Event;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default per-thread ring capacity (events), before `RF_FLIGHT_CAP`.
+pub const DEFAULT_CAP: usize = 4096;
+
+/// One thread's ring: a vector that grows to capacity and then becomes a
+/// circular buffer with `next` as the write (and oldest-entry) cursor.
+struct Ring {
+    inner: Mutex<RingInner>,
+}
+
+struct RingInner {
+    buf: Vec<Event>,
+    next: usize,
+}
+
+struct FlightGlobal {
+    enabled: AtomicBool,
+    cap: AtomicUsize,
+    overwritten: AtomicU64,
+    rings: Mutex<Vec<Arc<Ring>>>,
+}
+
+fn global() -> &'static FlightGlobal {
+    static GLOBAL: OnceLock<FlightGlobal> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let off = std::env::var("RF_FLIGHT")
+            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"))
+            .unwrap_or(false);
+        let cap = std::env::var("RF_FLIGHT_CAP")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_CAP);
+        FlightGlobal {
+            enabled: AtomicBool::new(!off),
+            cap: AtomicUsize::new(cap),
+            overwritten: AtomicU64::new(0),
+            rings: Mutex::new(Vec::new()),
+        }
+    })
+}
+
+thread_local! {
+    static LOCAL_RING: RefCell<Option<Arc<Ring>>> = const { RefCell::new(None) };
+}
+
+/// Whether recording is on — the fast gate callers check before cloning an
+/// event (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    global().enabled.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off (the programmatic `RF_FLIGHT`). Existing ring
+/// contents are kept either way.
+pub fn set_enabled(on: bool) {
+    global().enabled.store(on, Ordering::Relaxed);
+}
+
+/// Sets the per-thread ring capacity for subsequent records (the
+/// programmatic `RF_FLIGHT_CAP`); zero is clamped to one. Rings that
+/// already grew past a smaller capacity keep their length but stop
+/// growing and overwrite in place.
+pub fn set_capacity(cap: usize) {
+    global().cap.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// Current per-thread ring capacity.
+pub fn capacity() -> usize {
+    global().cap.load(Ordering::Relaxed)
+}
+
+/// Records one event into the calling thread's ring, overwriting the
+/// oldest entry when full. No-op while disabled.
+pub fn record(event: Event) {
+    let g = global();
+    if !g.enabled.load(Ordering::Relaxed) {
+        return;
+    }
+    LOCAL_RING.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let ring = slot.get_or_insert_with(|| {
+            let ring = Arc::new(Ring {
+                inner: Mutex::new(RingInner {
+                    buf: Vec::new(),
+                    next: 0,
+                }),
+            });
+            let mut rings = g.rings.lock().expect("flight ring registry");
+            // Rings of exited threads are kept until [`clear`] so their
+            // recent events stay drainable, but bound the registry against
+            // pathological thread churn.
+            if rings.len() >= 256 {
+                rings.retain(|r| Arc::strong_count(r) > 1);
+            }
+            rings.push(ring.clone());
+            ring
+        });
+        let cap = g.cap.load(Ordering::Relaxed);
+        let mut inner = ring.inner.lock().expect("flight ring");
+        if inner.buf.len() < cap {
+            inner.buf.push(event);
+        } else {
+            // Full (or capacity shrank): overwrite the oldest entry.
+            let next = inner.next % inner.buf.len();
+            inner.buf[next] = event;
+            inner.next = (next + 1) % inner.buf.len();
+            g.overwritten.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Events discarded by ring wraparound since the last [`clear`]. When this
+/// is zero, [`snapshot`] holds the *complete* recorded stream and its
+/// merged order is thread-count independent.
+pub fn overwritten() -> u64 {
+    global().overwritten.load(Ordering::Relaxed)
+}
+
+/// Clones every ring's contents (without consuming them) and merges the
+/// result into the canonical deterministic order of
+/// [`crate::obs::sort_merged`]. Safe to call at any time, including while
+/// workers are still recording: each ring is locked only for its clone.
+pub fn snapshot() -> Vec<Event> {
+    let rings: Vec<Arc<Ring>> = global().rings.lock().expect("flight ring registry").clone();
+    let mut all: Vec<Event> = Vec::new();
+    for ring in rings {
+        let inner = ring.inner.lock().expect("flight ring");
+        // Oldest-first: the tail from the write cursor, then the head.
+        if inner.buf.len() > inner.next {
+            all.extend_from_slice(&inner.buf[inner.next..]);
+        }
+        all.extend_from_slice(&inner.buf[..inner.next.min(inner.buf.len())]);
+    }
+    crate::obs::sort_merged(all)
+}
+
+/// Empties every ring, drops rings of exited threads, and zeroes the
+/// overwritten count. Wired into [`crate::obs::reset`].
+pub fn clear() {
+    let g = global();
+    let mut rings = g.rings.lock().expect("flight ring registry");
+    for ring in rings.iter() {
+        let mut inner = ring.inner.lock().expect("flight ring");
+        inner.buf.clear();
+        inner.next = 0;
+    }
+    rings.retain(|r| Arc::strong_count(r) > 1);
+    g.overwritten.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{self, Level};
+    use crate::trace_event;
+
+    /// Restores default recorder + obs state when dropped.
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            obs::set_filter("").expect("empty filter parses");
+            obs::set_metrics_enabled(false);
+            set_enabled(true);
+            set_capacity(DEFAULT_CAP);
+            obs::reset();
+        }
+    }
+
+    fn emit_scoped(trial: u64, n: u64) {
+        let _scope = obs::scope(trial, 0);
+        for i in 0..n {
+            trace_event!(target: "flighttest", Level::Debug, "tick", i = i);
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_events_and_counts_losses() {
+        let _serial = obs::exclusive();
+        let _restore = Restore;
+        obs::reset();
+        obs::set_filter("flighttest=debug").unwrap();
+        set_capacity(8);
+        emit_scoped(1, 20);
+        let events = snapshot();
+        assert_eq!(events.len(), 8, "ring holds exactly its capacity");
+        assert_eq!(overwritten(), 12, "12 of 20 events were overwritten");
+        // The survivors are the 8 newest, in deterministic seq order.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn snapshot_is_nondestructive_and_clear_empties() {
+        let _serial = obs::exclusive();
+        let _restore = Restore;
+        obs::reset();
+        obs::set_filter("flighttest=debug").unwrap();
+        emit_scoped(3, 5);
+        assert_eq!(snapshot().len(), 5);
+        assert_eq!(snapshot().len(), 5, "snapshot does not consume");
+        clear();
+        assert_eq!(snapshot().len(), 0);
+        assert_eq!(overwritten(), 0);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let _serial = obs::exclusive();
+        let _restore = Restore;
+        obs::reset();
+        obs::set_filter("flighttest=debug").unwrap();
+        set_enabled(false);
+        emit_scoped(0, 4);
+        assert_eq!(snapshot().len(), 0);
+    }
+
+    #[test]
+    fn span_completions_become_keyed_events() {
+        let _serial = obs::exclusive();
+        let _restore = Restore;
+        obs::reset();
+        obs::set_metrics_enabled(true);
+        {
+            let _scope = obs::scope(9, 2);
+            let _span = obs::span("flighttest.work_ns");
+        }
+        let events = snapshot();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.target, obs::SPAN_TARGET);
+        assert_eq!(e.name, "flighttest.work_ns");
+        assert_eq!((e.trial, e.group, e.seq), (9, 2, 0));
+        assert_eq!(e.fields.len(), 1);
+        assert_eq!(e.fields[0].0, "ns");
+    }
+
+    #[test]
+    fn drain_during_write_is_safe_and_monotone() {
+        let _serial = obs::exclusive();
+        let _restore = Restore;
+        obs::reset();
+        obs::set_filter("flighttest=debug").unwrap();
+        set_capacity(1 << 14);
+        let writer = std::thread::spawn(|| {
+            for trial in 0..200u64 {
+                emit_scoped(trial, 10);
+            }
+        });
+        // Concurrent snapshots while the writer is mid-flight: must never
+        // panic, and observed sizes only grow (nothing wraps at this cap).
+        let mut last = 0usize;
+        for _ in 0..50 {
+            let n = snapshot().len();
+            assert!(n >= last, "snapshot shrank from {last} to {n}");
+            last = n;
+        }
+        writer.join().expect("writer thread");
+        assert_eq!(snapshot().len(), 2000);
+        assert_eq!(overwritten(), 0);
+    }
+}

@@ -90,6 +90,18 @@ impl Value {
         }
     }
 
+    /// Upserts `key` in an object: replaces the first existing entry in
+    /// place (preserving field order) or appends a new one. No-op on
+    /// non-objects.
+    pub fn set(&mut self, key: &str, value: Value) {
+        if let Value::Object(pairs) = self {
+            match pairs.iter_mut().find(|(k, _)| k == key) {
+                Some((_, slot)) => *slot = value,
+                None => pairs.push((key.to_string(), value)),
+            }
+        }
+    }
+
     /// The number, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

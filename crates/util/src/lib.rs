@@ -28,6 +28,16 @@
 //! * [`export`] — exporters from the [`obs`] model to external tool
 //!   formats: Chrome trace-event JSON (Perfetto-loadable) and Prometheus
 //!   text exposition, both built on the in-repo JSON/text code.
+//! * [`flight`] — the flight recorder: always-on bounded rings of the most
+//!   recent events per thread, drainable at any time (the live `/flight`
+//!   route and crash dumps read it).
+//! * [`serve`] — an opt-in in-process HTTP endpoint serving `/metrics`,
+//!   `/health`, `/progress`, and `/flight` from a live run.
+//! * [`crashdump`] — drains the flight recorder, metrics, and manifest
+//!   into a schema-versioned `crash_dump` artifact on panic or injected
+//!   crash, with the newest durable fleet checkpoint embedded for replay.
+//! * [`profiler`] — a self-sampling span profiler emitting
+//!   flamegraph-folded stacks (`<run>.folded`) with no external tooling.
 //! * [`hash`] — a fast deterministic (non-cryptographic) hasher plus
 //!   `HashMap`/`HashSet` aliases for hot-loop lookups.
 //! * [`stats`] — streaming summaries, empirical CDFs, and binomial confidence
@@ -49,14 +59,18 @@
 //! ```
 
 pub mod bits;
+pub mod crashdump;
 pub mod dist;
 pub mod export;
+pub mod flight;
 pub mod hash;
 pub mod json;
 pub mod obs;
 pub mod persist;
+pub mod profiler;
 pub mod prop;
 pub mod rng;
+pub mod serve;
 pub mod stats;
 pub mod table;
 pub mod timing;

@@ -517,6 +517,13 @@ pub fn set_force_off(off: bool) {
     g.recompute_gates();
 }
 
+/// Whether the kill switch is currently set (see [`set_force_off`]).
+/// The bench harness consults this before installing crash-dump hooks so
+/// `--quiet` runs stay artifact-free.
+pub fn is_force_off() -> bool {
+    global().force_off.load(Ordering::Relaxed)
+}
+
 /// Events discarded because a per-thread buffer was full (determinism of
 /// the merged stream is only guaranteed when this is zero).
 pub fn dropped_events() -> u64 {
@@ -577,6 +584,9 @@ pub fn emit(
         seq,
         fields,
     };
+    if crate::flight::enabled() {
+        crate::flight::record(event.clone());
+    }
     LOCAL_BUF.with(|cell| {
         let mut slot = cell.borrow_mut();
         let buf = slot.get_or_insert_with(|| {
@@ -609,7 +619,15 @@ pub fn drain_events() -> Vec<Event> {
         }
         buffers.retain(|b| Arc::strong_count(b) > 1);
     }
-    let mut keyed: Vec<(Event, String)> = all
+    sort_merged(all)
+}
+
+/// Sorts events into the canonical merged order: scoped events by
+/// `(trial, group, seq)`, unscoped events after them, ties broken by
+/// rendered text. [`drain_events`] and [`crate::flight::snapshot`] share
+/// this so both streams obey the same determinism contract.
+pub fn sort_merged(events: Vec<Event>) -> Vec<Event> {
+    let mut keyed: Vec<(Event, String)> = events
         .into_iter()
         .map(|e| {
             let line = e.render();
@@ -716,6 +734,9 @@ const HIST_BUCKETS: usize = 256;
 const HIST_LINEAR_MAX: u64 = 16;
 
 struct HistInner {
+    /// Registered name, interned for the process lifetime so span events
+    /// and profiler frames can carry it as a `&'static str`.
+    name: &'static str,
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
@@ -798,12 +819,19 @@ impl Histogram {
         self.max()
     }
 
+    /// The name this histogram was registered under (interned).
+    pub fn name(&self) -> &'static str {
+        self.inner.name
+    }
+
     /// Starts an RAII timer that records elapsed nanoseconds into this
-    /// histogram on drop. Free (no clock read) while metrics are disabled.
+    /// histogram on drop. Free (no clock read) while metrics are disabled
+    /// and the profiler is idle — both gates are one relaxed load each.
     #[inline]
     pub fn start_span(&self) -> SpanTimer {
         SpanTimer {
             hist: metrics_enabled().then(|| (self.clone(), Instant::now())),
+            pushed: crate::profiler::enter(self.inner.name),
         }
     }
 }
@@ -811,14 +839,48 @@ impl Histogram {
 /// Scoped timer from [`Histogram::start_span`] / [`span`].
 pub struct SpanTimer {
     hist: Option<(Histogram, Instant)>,
+    /// Whether this span was pushed onto the profiler's stack.
+    pushed: bool,
 }
 
 impl Drop for SpanTimer {
     fn drop(&mut self) {
         if let Some((hist, start)) = self.hist.take() {
-            hist.record(start.elapsed().as_nanos() as u64);
+            let ns = start.elapsed().as_nanos() as u64;
+            hist.record(ns);
+            if crate::flight::enabled() {
+                record_span_event(hist.name(), ns);
+            }
+        }
+        if self.pushed {
+            crate::profiler::exit();
         }
     }
+}
+
+/// Target carried by the synthetic span-completion events the flight
+/// recorder captures when a [`SpanTimer`] drops (see [`crate::flight`]).
+pub const SPAN_TARGET: &str = "obs.span";
+
+/// Feeds one completed span into the flight recorder as a synthetic event
+/// keyed like any other: it consumes a sequence number from the current
+/// scope, so drained flight streams order span completions deterministically
+/// relative to the trace events around them.
+fn record_span_event(name: &'static str, ns: u64) {
+    let (trial, group, seq) = SCOPE.with(|s| {
+        let (t, gr, seq) = s.get();
+        s.set((t, gr, seq + 1));
+        (t, gr, seq)
+    });
+    crate::flight::record(Event {
+        target: SPAN_TARGET,
+        level: Level::Debug,
+        name,
+        trial,
+        group,
+        seq,
+        fields: vec![("ns", FieldValue::U64(ns))],
+    });
 }
 
 fn with_registry<T>(
@@ -879,7 +941,11 @@ pub fn histogram(name: &str) -> Histogram {
     with_registry(
         name,
         || {
+            // Interned for the process lifetime: the registry never drops
+            // entries, so leaking the name once per histogram is bounded.
+            let interned: &'static str = Box::leak(name.to_string().into_boxed_str());
             Metric::Histogram(Arc::new(HistInner {
+                name: interned,
                 count: AtomicU64::new(0),
                 sum: AtomicU64::new(0),
                 max: AtomicU64::new(0),
@@ -1270,7 +1336,9 @@ fn snapshot_for_run(run: &str) -> Value {
     ])
 }
 
-fn results_dir() -> String {
+/// The artifact root every sink writes under: `RF_RESULTS_DIR` if set,
+/// otherwise `results`.
+pub fn results_dir() -> String {
     std::env::var("RF_RESULTS_DIR").unwrap_or_else(|_| "results".into())
 }
 
@@ -1396,6 +1464,7 @@ pub fn reset() {
     drop(buffers);
     *g.run_ctx.lock().expect("run context") = RunContext::default();
     g.benches.lock().expect("bench records").clear();
+    crate::flight::clear();
 }
 
 #[cfg(test)]

@@ -105,6 +105,87 @@ cargo run --release -q -p relaxfault-bench --bin obs_diff -- \
 cargo run --release -q -p relaxfault-bench --bin obs_validate results/ci/fleet_ckpt \
     || exit 4
 
+# Crash-dump gate: a mid-epoch injected crash with checkpointing on must
+# leave a crash dump whose embedded checkpoint `relcheck replay` proves
+# bit-exact, and the dump must satisfy the strict schema validator — while
+# a truncated copy of the same dump must be rejected.
+rm -rf results/ci/crash_ckpt results/ci/crash_truncated
+if RF_OBS=on RF_RESULTS_DIR=results/ci RF_RUN_NAME=crash_small RF_FLEET_CRASH_AT=mid:7 \
+    cargo run --release -q -p relaxfault-bench --bin fleet_forecast -- \
+    200000 --epochs=12 --ckpt-dir=results/ci/crash_ckpt >/dev/null 2>&1; then
+    echo "crash-dump gate: injected crash did not kill the run" >&2
+    exit 4
+fi
+dump=results/ci/obs/crash_small.crashdump.json
+[ -f "$dump" ] || { echo "crash-dump gate: no crash dump written" >&2; exit 4; }
+cargo run --release -q -p relaxfault-relcheck --bin relcheck -- replay "$dump" \
+    || { echo "crash-dump gate: dump did not replay bit-exactly" >&2; exit 4; }
+mkdir -p results/ci/crash_truncated
+head -c 256 "$dump" > results/ci/crash_truncated/crash_small.crashdump.json
+if cargo run --release -q -p relaxfault-bench --bin obs_validate \
+    results/ci/crash_truncated >/dev/null 2>&1; then
+    echo "crash-dump gate: truncated dump was accepted" >&2
+    exit 4
+fi
+
+# Live-endpoint smoke gate: a profiled fleet run serving the telemetry
+# plane on an OS-assigned port (published through RF_OBS_ADDR_FILE) must
+# answer all four routes over plain /dev/tcp, serve well-formed Prometheus
+# text, honour /quit for a deterministic shutdown, and leave a non-empty
+# folded profile naming relsim spans. The final obs_validate sweep covers
+# everything the CI runs dropped in results/ci/obs: snapshots, traces,
+# crash dumps, and the folded profile.
+rm -f results/ci/obs_addr results/ci/obs/live_smoke.folded
+RF_OBS=on RF_RESULTS_DIR=results/ci RF_RUN_NAME=live_smoke \
+    RF_OBS_ADDR_FILE=results/ci/obs_addr \
+    cargo run --release -q -p relaxfault-bench --bin fleet_forecast -- \
+    200000 --epochs=8 --serve-obs=0 --profile --linger-ms=30000 &
+live_pid=$!
+for _ in $(seq 1 300); do [ -s results/ci/obs_addr ] && break; sleep 0.1; done
+[ -s results/ci/obs_addr ] || {
+    echo "live gate: endpoint address never published" >&2
+    kill "$live_pid" 2>/dev/null; exit 5
+}
+addr=$(cat results/ci/obs_addr)
+obs_get() { # obs_get /route -> full HTTP response on stdout
+    exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&3
+    cat <&3
+    exec 3<&-
+}
+obs_get /health | grep -q '"status": "ok"' \
+    || { echo "live gate: /health unhealthy" >&2; kill "$live_pid"; exit 5; }
+metrics=$(obs_get /metrics)
+echo "$metrics" | head -n1 | grep -q "200 OK" \
+    || { echo "live gate: /metrics not 200" >&2; kill "$live_pid"; exit 5; }
+echo "$metrics" | grep -q "text/plain; version=0.0.4" \
+    || { echo "live gate: /metrics content-type" >&2; kill "$live_pid"; exit 5; }
+echo "$metrics" | grep -Eq '^# TYPE [a-zA-Z_][a-zA-Z0-9_:]* (counter|gauge|histogram)' \
+    || { echo "live gate: /metrics not Prometheus text" >&2; kill "$live_pid"; exit 5; }
+obs_get /flight | grep -q '^\[' \
+    || { echo "live gate: /flight is not an event array" >&2; kill "$live_pid"; exit 5; }
+# The run publishes a fresh document every boundary; once it completes it
+# lingers, so polling until `complete` terminates deterministically.
+progress_ok=
+for _ in $(seq 1 600); do
+    if obs_get /progress | grep -q '"status": "complete"'; then progress_ok=1; break; fi
+    sleep 0.5
+done
+[ -n "$progress_ok" ] || { echo "live gate: /progress never completed" >&2; kill "$live_pid"; exit 5; }
+obs_get /progress | grep -q '"forecast"' \
+    || { echo "live gate: /progress has no forecast" >&2; kill "$live_pid"; exit 5; }
+obs_get /quit >/dev/null
+if ! wait "$live_pid"; then
+    echo "live gate: served run did not exit cleanly" >&2
+    exit 5
+fi
+folded=results/ci/obs/live_smoke.folded
+[ -s "$folded" ] || { echo "live gate: no folded profile written" >&2; exit 5; }
+grep -q "relsim" "$folded" \
+    || { echo "live gate: folded profile names no relsim spans" >&2; exit 5; }
+cargo run --release -q -p relaxfault-bench --bin obs_validate results/ci/obs \
+    || { echo "live gate: results/ci/obs failed validation" >&2; exit 5; }
+
 # Engine hot-loop regression gate: replay the per-trial pipeline bench and
 # compare against the committed baseline snapshot. Cargo runs bench
 # binaries with the bench crate as cwd, so RF_RESULTS_DIR must be
