@@ -370,6 +370,12 @@ fn compare_bench(name: &str, bv: &Value, cv: &Value, threshold: f64) -> Delta {
         delta.detail = "no batch samples; medians not compared".into();
         return delta;
     }
+    if b_batch.iter().chain(&c_batch).any(|x| !x.is_finite()) {
+        // A NaN/inf sample marks a corrupt snapshot; report it instead of
+        // letting the CI math panic on an unordered comparison.
+        delta.detail = "non-finite batch samples; medians not compared".into();
+        return delta;
+    }
     let (b_lo, b_hi) = median_ci(&b_batch);
     let (c_lo, c_hi) = median_ci(&c_batch);
     let disjoint = b_hi < c_lo || c_hi < b_lo;

@@ -1,0 +1,183 @@
+//! Differential analysis of flamegraph-folded profiles.
+//!
+//! The span profiler (`util::profiler`) emits `<run>.folded` files — one
+//! `frame;frame count` line per distinct stack, sorted by stack — and PR 7
+//! left reading them to external flamegraph tooling. This module makes
+//! two profiles comparable in-repo: [`parse`] decodes the folded text,
+//! [`self_times`] attributes each stack's samples to its leaf frame (the
+//! frame actually on-CPU), and [`diff`] joins two profiles into a table
+//! of frames sorted by how much self time they grew or shrank. That is
+//! the question a perf regression actually poses — *which span got
+//! slower* — answered without leaving the terminal.
+
+use std::collections::BTreeMap;
+
+/// One frame's self-time delta between two profiles, in samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameDelta {
+    /// Leaf frame name (a span label such as `relsim.trial`).
+    pub frame: String,
+    /// Self-time samples in the `before` profile (0 when absent).
+    pub before: u64,
+    /// Self-time samples in the `after` profile (0 when absent).
+    pub after: u64,
+}
+
+impl FrameDelta {
+    /// Signed sample delta (`after - before`).
+    pub fn delta(&self) -> i64 {
+        self.after as i64 - self.before as i64
+    }
+}
+
+/// Decodes folded-stack text: one `frame[;frame...] count` line per
+/// stack. Repeated stacks accumulate (profiler output never repeats, but
+/// hand-merged files may).
+///
+/// # Errors
+///
+/// Rejects lines with no space-separated trailing count, a non-numeric
+/// count, or an empty stack, naming the offending line (1-based).
+pub fn parse(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (stack, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no sample count", i + 1))?;
+        if stack.is_empty() || stack.split(';').any(|frame| frame.is_empty()) {
+            return Err(format!("line {}: empty frame in stack", i + 1));
+        }
+        let count: u64 = count
+            .parse()
+            .map_err(|_| format!("line {}: sample count {count:?} is not a u64", i + 1))?;
+        *stacks.entry(stack.to_string()).or_insert(0) += count;
+    }
+    Ok(stacks)
+}
+
+/// Collapses stacks to per-leaf-frame self time: each stack's samples
+/// count toward the frame that was actually executing (the last frame).
+pub fn self_times(stacks: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    let mut out: BTreeMap<String, u64> = BTreeMap::new();
+    for (stack, count) in stacks {
+        let leaf = stack
+            .rsplit(';')
+            .next()
+            .expect("parse rejects empty stacks");
+        *out.entry(leaf.to_string()).or_insert(0) += count;
+    }
+    out
+}
+
+/// Joins two profiles into per-frame self-time deltas, sorted by
+/// magnitude of change (largest first; ties by frame name so output is
+/// deterministic). Frames present in only one profile appear with the
+/// other side at 0.
+pub fn diff(before: &BTreeMap<String, u64>, after: &BTreeMap<String, u64>) -> Vec<FrameDelta> {
+    let a = self_times(before);
+    let b = self_times(after);
+    let mut frames: Vec<&String> = a.keys().chain(b.keys()).collect();
+    frames.sort();
+    frames.dedup();
+    let mut rows: Vec<FrameDelta> = frames
+        .into_iter()
+        .map(|frame| FrameDelta {
+            frame: frame.clone(),
+            before: a.get(frame).copied().unwrap_or(0),
+            after: b.get(frame).copied().unwrap_or(0),
+        })
+        .collect();
+    rows.sort_by(|x, y| {
+        y.delta()
+            .abs()
+            .cmp(&x.delta().abs())
+            .then_with(|| x.frame.cmp(&y.frame))
+    });
+    rows
+}
+
+/// Renders a delta table: grew-by-self-time first (the regression
+/// suspects), then shrank, percentages relative to each profile's total
+/// samples so profiles of different lengths compare fairly.
+pub fn render(rows: &[FrameDelta]) -> String {
+    let total_before: u64 = rows.iter().map(|r| r.before).sum();
+    let total_after: u64 = rows.iter().map(|r| r.after).sum();
+    let pct = |n: u64, total: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / total as f64
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<40} {:>10} {:>10} {:>8} {:>8} {:>8}\n",
+        "frame", "before", "after", "Δsamples", "before%", "after%"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<40} {:>10} {:>10} {:>+8} {:>7.2}% {:>7.2}%\n",
+            r.frame,
+            r.before,
+            r.after,
+            r.delta(),
+            pct(r.before, total_before),
+            pct(r.after, total_after),
+        ));
+    }
+    out.push_str(&format!(
+        "{:<40} {:>10} {:>10} {:>+8}\n",
+        "total",
+        total_before,
+        total_after,
+        total_after as i64 - total_before as i64
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        let good = parse("a;b 3\na 2\n\n").expect("parses");
+        assert_eq!(good.len(), 2);
+        assert_eq!(good["a;b"], 3);
+        assert!(parse("nocount\n").unwrap_err().contains("line 1"));
+        assert!(parse("a;b notanum\n").unwrap_err().contains("line 1"));
+        assert!(parse("a;; 3\n").unwrap_err().contains("empty frame"));
+        // Duplicate stacks accumulate.
+        assert_eq!(parse("x 1\nx 2\n").expect("parses")["x"], 3);
+    }
+
+    #[test]
+    fn self_time_goes_to_the_leaf() {
+        let stacks = parse("engine;trial 10\nengine;trial;eval 30\nengine 5\n").expect("parses");
+        let selfs = self_times(&stacks);
+        assert_eq!(selfs["engine"], 5);
+        assert_eq!(selfs["trial"], 10);
+        assert_eq!(selfs["eval"], 30);
+    }
+
+    #[test]
+    fn diff_sorts_by_magnitude_and_handles_one_sided_frames() {
+        let before = parse("a;hot 100\na;cold 50\na;gone 10\n").expect("parses");
+        let after = parse("a;hot 300\na;cold 45\na;new 20\n").expect("parses");
+        let rows = diff(&before, &after);
+        assert_eq!(rows[0].frame, "hot");
+        assert_eq!(rows[0].delta(), 200);
+        let gone = rows.iter().find(|r| r.frame == "gone").expect("present");
+        assert_eq!((gone.before, gone.after), (10, 0));
+        let new = rows.iter().find(|r| r.frame == "new").expect("present");
+        assert_eq!((new.before, new.after), (0, 20));
+        let rendered = render(&rows);
+        assert!(rendered.contains("hot"), "{rendered}");
+        assert!(rendered.contains("total"), "{rendered}");
+        // Deterministic: same inputs, same bytes.
+        assert_eq!(rendered, render(&diff(&before, &after)));
+    }
+}

@@ -16,13 +16,15 @@ use relaxfault_relsim::scenario::{Mechanism, ReplacementPolicy, Scenario};
 use relaxfault_util::export;
 use relaxfault_util::json::Value;
 use relaxfault_util::table::{format_bytes, format_pct, Table};
-use relaxfault_util::{crashdump, obs, persist, profiler, serve};
+use relaxfault_util::{crashdump, history, obs, persist, profiler, serve};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub mod diff;
+pub mod folded;
 pub mod perf;
+pub mod report;
 
 /// Nodes in the paper's evaluated system.
 pub const SYSTEM_NODES: u64 = 16_384;
@@ -178,11 +180,30 @@ pub fn current_run_name() -> String {
 }
 
 /// Standard harness shutdown, called last in every `fig*`/`table*` main:
-/// harvests the span profiler into `<results>/obs/<run>.folded`, keeps the
-/// live endpoint answering through the `--linger-ms` window (a `/quit`
-/// request ends it early), then stops the endpoint. A no-op when neither
-/// the profiler nor the endpoint is active.
+/// appends the run's metrics snapshot to the perf-history ledger
+/// (`<results>/history/ledger.jsonl`), harvests the span profiler into
+/// `<results>/obs/<run>.folded`, keeps the live endpoint answering
+/// through the `--linger-ms` window (a `/quit` request ends it early),
+/// then stops the endpoint. A no-op when neither metrics nor the
+/// profiler nor the endpoint is active.
 pub fn obs_finish() {
+    if obs::metrics_enabled() {
+        let run = current_run_name();
+        let dir = obs::results_dir();
+        // Only runs that actually wrote a snapshot get ledgered; a
+        // ledger failure must not fail the run that produced the data.
+        if std::path::Path::new(&dir)
+            .join("obs")
+            .join(format!("{run}.json"))
+            .exists()
+        {
+            match history::append_run_snapshot(&dir, &run) {
+                Ok(true) => println!("history: ledgered run {run}"),
+                Ok(false) => {}
+                Err(e) => eprintln!("history append failed: {e}"),
+            }
+        }
+    }
     if profiler::active() {
         let folded = profiler::stop();
         if folded.is_empty() {

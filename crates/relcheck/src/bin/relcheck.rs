@@ -5,22 +5,31 @@
 //! relcheck replay <file.json>    re-execute a persisted repro case,
 //!                                fleet checkpoint, or crash dump
 //!                                (dispatched by `kind`)
+//! relcheck ledger <ledger.jsonl> strict-parse a perf-history ledger and
+//!                                enforce its structural invariants
+//!                                (unique verified ids, valid run names,
+//!                                finite medians, per-lineage series
+//!                                monotonicity)
 //! ```
 //!
 //! Exit codes: 0 success / reproduced, 1 usage or replay error,
 //! 2 replay did not reproduce the recorded failure, 3 an oracle property
-//! failed (its repro path is printed).
+//! or ledger invariant failed (the repro path / offending entry is
+//! printed).
 
 use relaxfault_relcheck::replay::{
     load_any, replay, replay_crash_dump, replay_fleet, LoadedCase, ReplayReport,
 };
 use relaxfault_relcheck::run_smoke;
-use relaxfault_util::obs;
+use relaxfault_util::{history, obs};
 use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: relcheck smoke [--cases N] | relcheck replay <case.json>");
+    eprintln!(
+        "usage: relcheck smoke [--cases N] | relcheck replay <case.json> \
+         | relcheck ledger <ledger.jsonl>"
+    );
     ExitCode::from(1)
 }
 
@@ -95,6 +104,32 @@ fn main() -> ExitCode {
                 Err(e) => {
                     eprintln!("relcheck replay: {e}");
                     ExitCode::from(1)
+                }
+            }
+        }
+        Some("ledger") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let ledger = match history::Ledger::load(Path::new(path)) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("relcheck ledger: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            match history::check_invariants(&ledger) {
+                Ok(()) => {
+                    println!(
+                        "relcheck ledger: {} entries, {} series, all invariants held",
+                        ledger.entries.len(),
+                        history::series(&ledger.entries).len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("relcheck ledger: invariant violated: {e}");
+                    ExitCode::from(3)
                 }
             }
         }

@@ -64,6 +64,7 @@ pub mod dist;
 pub mod export;
 pub mod flight;
 pub mod hash;
+pub mod history;
 pub mod json;
 pub mod obs;
 pub mod persist;

@@ -192,6 +192,27 @@ mod tests {
     use crate::obs;
 
     #[test]
+    fn folded_output_is_deterministically_sorted() {
+        // folded-diff and the CI comparisons treat `.folded` files as
+        // comparable text: insertion order must never leak into the
+        // rendering, only the sorted stack order.
+        let mut samples = BTreeMap::new();
+        for stack in ["zz.last", "aa.first", "mm.mid;leaf", "mm.mid"] {
+            samples.insert(stack.to_string(), 1u64);
+        }
+        let rendered = render_folded(&samples);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(
+            lines,
+            ["aa.first 1", "mm.mid 1", "mm.mid;leaf 1", "zz.last 1"],
+            "folded output must be sorted by stack"
+        );
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+
+    #[test]
     fn idle_profiler_pushes_nothing() {
         let _serial = obs::exclusive();
         assert!(!active());

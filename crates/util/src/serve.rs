@@ -154,40 +154,68 @@ impl Drop for ObsServer {
     }
 }
 
+/// Hard cap on the request head: nothing a poller legitimately sends
+/// comes anywhere near this, so anything longer is garbage or abuse and
+/// is answered `400` without buffering more.
+const MAX_HEAD_BYTES: usize = 8192;
+
 fn handle_conn(mut stream: TcpStream, quit: &AtomicBool, started: Instant) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    // Read until the end of the request head (or timeout); only the
-    // request line matters — every route is a body-less GET.
+    // Read until the end of the request head; only the request line
+    // matters — every route is a body-less GET. The read is bounded: a
+    // head that exceeds [`MAX_HEAD_BYTES`], times out, or whose
+    // connection closes before the `\r\n\r\n` terminator is a malformed
+    // request, answered 400 rather than parsed on a partial line.
     let mut head = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
+    let mut complete = false;
     loop {
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => {
                 head.extend_from_slice(&chunk[..n]);
-                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    complete = true;
+                    break;
+                }
+                if head.len() > MAX_HEAD_BYTES {
                     break;
                 }
             }
             Err(_) => break,
         }
     }
+    let bad_request = |reason: &str| {
+        (
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            format!("{reason}\n"),
+        )
+    };
     let request_line = String::from_utf8_lossy(&head)
         .lines()
         .next()
         .unwrap_or_default()
         .to_string();
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or_default();
-    let path = parts.next().unwrap_or_default();
-    let (status, content_type, body) = if method != "GET" {
+    let (method, path) = (parts.next(), parts.next());
+    let (status, content_type, body) = if !complete {
+        if head.len() > MAX_HEAD_BYTES {
+            bad_request("request head exceeds 8192 bytes")
+        } else {
+            bad_request("request head ended before the blank-line terminator")
+        }
+    } else if method.is_none() || path.is_none() {
+        bad_request("malformed request line (expected `METHOD PATH ...`)")
+    } else if method != Some("GET") {
         (
             "405 Method Not Allowed",
             "text/plain; charset=utf-8",
             "only GET is supported\n".to_string(),
         )
     } else {
+        let path = path.expect("checked above");
         match path {
             "/health" => {
                 let health = Value::object([
@@ -247,6 +275,60 @@ mod tests {
         let mut out = String::new();
         stream.read_to_string(&mut out).expect("read response");
         out
+    }
+
+    /// Sends raw bytes (optionally closing the write half early) and
+    /// returns whatever the server answers.
+    fn raw_request(addr: SocketAddr, bytes: &[u8], close_write: bool) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(bytes).expect("send bytes");
+        if close_write {
+            stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+        }
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        out
+    }
+
+    #[test]
+    fn malformed_requests_get_400_not_a_panic() {
+        let server = ObsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.addr();
+
+        // Partial read: the client gives up mid-request-line.
+        let partial = raw_request(addr, b"GET /hea", true);
+        assert!(partial.starts_with("HTTP/1.0 400"), "partial: {partial}");
+        assert!(partial.contains("terminator"), "partial: {partial}");
+
+        // Empty request: connect and immediately close.
+        let empty = raw_request(addr, b"", true);
+        assert!(empty.starts_with("HTTP/1.0 400"), "empty: {empty}");
+
+        // Garbage bytes with a terminated head but no parseable
+        // `METHOD PATH` pair.
+        let garbage = raw_request(addr, b"\xff\xfe\x00\x01garbage\r\n\r\n", false);
+        assert!(garbage.starts_with("HTTP/1.0 400"), "garbage: {garbage}");
+
+        // Oversized head: more than the cap without a terminator.
+        let oversized = raw_request(addr, &vec![b'A'; MAX_HEAD_BYTES + 512], false);
+        assert!(
+            oversized.starts_with("HTTP/1.0 400"),
+            "oversized: {oversized}"
+        );
+        assert!(oversized.contains("8192"), "oversized: {oversized}");
+
+        // Non-GET on a real route: still 405, not 400.
+        let post = raw_request(addr, b"POST /health HTTP/1.0\r\n\r\n", false);
+        assert!(post.starts_with("HTTP/1.0 405"), "post: {post}");
+
+        // And a well-formed GET for a missing route is still a 404 —
+        // the hardening must not break ordinary dispatch.
+        let missing = raw_request(addr, b"GET /no/such/route HTTP/1.0\r\n\r\n", false);
+        assert!(missing.starts_with("HTTP/1.0 404"), "missing: {missing}");
+
+        server.stop();
     }
 
     #[test]

@@ -200,3 +200,70 @@ if [ -f results/baselines/engine_hot.json ]; then
         --threshold 0.5 --out results/ci/engine_hot_regression_verdict.json \
         || exit 2
 fi
+
+# Perf-history observatory gate: the CI runs above were ledgered at
+# obs_finish; ingest sweeps in the rest (e.g. the engine_hot bench, which
+# writes its own snapshot), and a second ingest over the unchanged tree
+# must be a byte-level no-op. The ledger must satisfy relcheck's
+# structural invariants and the strict obs_validate schema, and a
+# truncated copy must be rejected. On trees with the committed engine_hot
+# baseline, the trend check runs on a scratch copy: extended with a flat
+# synthetic tail it must pass twice with byte-identical dashboards, and
+# with an injected 2x engine_hot.fig10_mix regression it must fail naming
+# the series and changepoint epoch. Verdicts (check log + dashboards)
+# are archived under results/ci/history_gate/. Any failure exits 6.
+rm -rf results/ci/history_gate results/ci/history_truncated
+cargo run --release -q -p relaxfault-bench --bin obs_report -- ingest --results results/ci \
+    || exit 6
+mkdir -p results/ci/history_gate
+cp results/ci/history/ledger.jsonl results/ci/history_gate/ledger.jsonl
+cargo run --release -q -p relaxfault-bench --bin obs_report -- ingest --results results/ci \
+    || exit 6
+cmp -s results/ci/history/ledger.jsonl results/ci/history_gate/ledger.jsonl \
+    || { echo "history gate: re-ingest was not a byte-level no-op" >&2; exit 6; }
+cargo run --release -q -p relaxfault-relcheck --bin relcheck -- ledger \
+    results/ci/history/ledger.jsonl || exit 6
+cargo run --release -q -p relaxfault-bench --bin obs_report -- report --results results/ci \
+    || exit 6
+cargo run --release -q -p relaxfault-bench --bin obs_validate results/ci/history \
+    || exit 6
+mkdir -p results/ci/history_truncated
+head -c $(( $(wc -c < results/ci/history/ledger.jsonl) - 3 )) \
+    results/ci/history/ledger.jsonl > results/ci/history_truncated/ledger.jsonl
+if cargo run --release -q -p relaxfault-bench --bin obs_validate \
+    results/ci/history_truncated >/dev/null 2>&1; then
+    echo "history gate: truncated ledger was accepted" >&2
+    exit 6
+fi
+if [ -f results/baselines/engine_hot.json ]; then
+    scratch=results/ci/history_gate/ledger.jsonl
+    cargo run --release -q -p relaxfault-bench --bin obs_report -- extend \
+        --ledger "$scratch" --series engine_hot.fig10_mix --factor 1.0 --count 6 \
+        || exit 6
+    cargo run --release -q -p relaxfault-bench --bin obs_report -- report \
+        --results results/ci --ledger "$scratch" \
+        --out results/ci/history_gate/report_clean_a.html --check \
+        || { echo "history gate: clean trend failed the check" >&2; exit 6; }
+    cargo run --release -q -p relaxfault-bench --bin obs_report -- report \
+        --results results/ci --ledger "$scratch" \
+        --out results/ci/history_gate/report_clean_b.html --check || exit 6
+    cmp -s results/ci/history_gate/report_clean_a.html \
+        results/ci/history_gate/report_clean_b.html \
+        || { echo "history gate: dashboard render is not deterministic" >&2; exit 6; }
+    cargo run --release -q -p relaxfault-bench --bin obs_report -- extend \
+        --ledger "$scratch" --series engine_hot.fig10_mix --factor 2.0 --count 3 \
+        || exit 6
+    if cargo run --release -q -p relaxfault-bench --bin obs_report -- report \
+        --results results/ci --ledger "$scratch" \
+        --out results/ci/history_gate/report_regressed.html --check \
+        > results/ci/history_gate/check.log; then
+        echo "history gate: injected 2x regression was not caught" >&2
+        exit 6
+    fi
+    grep -q "REGRESSION bench:engine_hot.fig10_mix" results/ci/history_gate/check.log \
+        || { echo "history gate: regression verdict does not name the series" >&2; exit 6; }
+    grep -Eq "at epoch [0-9]+" results/ci/history_gate/check.log \
+        || { echo "history gate: regression verdict does not name the epoch" >&2; exit 6; }
+    cargo run --release -q -p relaxfault-bench --bin obs_validate results/ci/history_gate \
+        || exit 6
+fi
