@@ -94,12 +94,14 @@ fn main() {
     // per-operation cost.
     let per_op_ns = ns_of("obs_disabled_primitive") / 2.0;
     // The engine loop adds a trace-scope guard, a span gate, one hoisted
-    // metrics-enabled check, and (since the live telemetry plane) one
-    // flight-recorder gate and one profiler gate per evaluated trial — all
-    // single relaxed loads when their subsystem is off; its per-trial
-    // counter updates sit behind the one metrics check, so allow five
-    // gated operations on top of the updates evaluation itself performs.
-    let overhead_pct = (updates_per_eval + 5.0) * per_op_ns / eval_ns * 100.0;
+    // metrics-enabled check, (since the live telemetry plane) one
+    // flight-recorder gate and one profiler gate, and (since bit-slicing)
+    // one lane-mode select branch per evaluated trial — all single relaxed
+    // loads or predicted branches when their subsystem is off; its
+    // per-trial counter updates sit behind the one metrics check, so allow
+    // six gated operations on top of the updates evaluation itself
+    // performs.
+    let overhead_pct = (updates_per_eval + 6.0) * per_op_ns / eval_ns * 100.0;
     println!(
         "obs disabled-path overhead: {updates_per_eval:.1} updates/eval x \
          {per_op_ns:.2}ns/op = {overhead_pct:.3}% of {eval_ns:.0}ns/eval"

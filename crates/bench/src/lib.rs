@@ -77,6 +77,11 @@ impl BenchArgs {
 /// * `--profile` (or `RF_PROF=on`) starts the self-sampling span profiler
 ///   at `RF_PROF_HZ` (default 997 Hz); [`obs_finish`] writes the folded
 ///   stacks to `<results>/obs/<run>.folded`;
+/// * `--lanes scalar|u64|u128` (or `RF_LANES` in the environment) pins the
+///   engine's trial-lane mode; the choice is recorded in the run manifest
+///   so history series stay comparable per lane configuration. An invalid
+///   value, or an override arriving after the mode was already pinned to
+///   something else, exits with an error;
 /// * `--linger-ms N` keeps the endpoint answering for up to `N` ms after
 ///   the work completes (until a client requests `/quit`), so pollers can
 ///   read final state — the CI smoke gate relies on this;
@@ -91,6 +96,7 @@ pub fn obs_init() -> BenchArgs {
     let mut parsed = BenchArgs::default();
     let mut run = None;
     let mut serve_spec: Option<String> = None;
+    let mut lanes_spec: Option<String> = None;
     let mut profile = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -106,6 +112,10 @@ pub fn obs_init() -> BenchArgs {
             serve_spec = Some(s.to_string());
         } else if a == "--profile" {
             profile = true;
+        } else if a == "--lanes" {
+            lanes_spec = args.next();
+        } else if let Some(l) = a.strip_prefix("--lanes=") {
+            lanes_spec = Some(l.to_string());
         } else if a == "--linger-ms" {
             if let Some(ms) = args.next().and_then(|v| v.parse().ok()) {
                 LINGER_MS.store(ms, Ordering::Relaxed);
@@ -120,6 +130,26 @@ pub fn obs_init() -> BenchArgs {
     }
     if let Some(r) = run {
         let _ = RUN_OVERRIDE.set(r);
+    }
+    if let Some(spec) = lanes_spec {
+        match relaxfault_util::lanes::LaneMode::parse(&spec) {
+            Some(m) => {
+                if !relaxfault_util::lanes::set_mode(m) {
+                    // The mode pins on first use; a too-late or conflicting
+                    // override silently taking the old value would corrupt
+                    // the run manifest's `lanes` record.
+                    eprintln!(
+                        "--lanes {spec}: lane mode already pinned to {}",
+                        relaxfault_util::lanes::mode().label()
+                    );
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                eprintln!("--lanes {spec}: expected scalar, u64, or u128");
+                std::process::exit(1);
+            }
+        }
     }
     if serve_spec.is_none() {
         serve_spec = std::env::var("RF_OBS_ADDR").ok().filter(|s| !s.is_empty());

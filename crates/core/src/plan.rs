@@ -92,17 +92,21 @@ fn ppr_metrics() -> &'static PlanMetrics {
 /// `PlanScratch` works with any planner.
 #[derive(Debug, Clone, Default)]
 pub struct PlanScratch {
-    /// `(set, key)` candidate repair lines for the LLC planners.
-    cand: Vec<(u64, u64)>,
+    /// Materialized candidate planes, struct-of-arrays: `cand_sets[i]` /
+    /// `cand_keys[i]` describe candidate `i`. The production path streams
+    /// candidates straight into the occupancy without materializing them;
+    /// these planes exist for the enumeration-pinning tests.
+    #[cfg(test)]
+    cand_sets: Vec<u32>,
+    #[cfg(test)]
+    cand_keys: Vec<u64>,
     /// `(flat rank, device, bank, row)` rows for the PPR planner.
     rows: Vec<(u32, u32, u32, u32)>,
-    /// Per-set fresh-line counts for the current `try_add` call, indexed
-    /// by set. Zeroed (via `touched`) before the call returns.
+    /// Per-set fresh-line counts for the current begin/offer/finish add,
+    /// indexed by set. Zeroed (via `touched`) before `finish` returns.
     set_counts: Vec<u32>,
     /// Sets with a nonzero entry in `set_counts`.
     touched: Vec<u32>,
-    /// Keys inserted by the current `try_add` call, for rollback.
-    keys: Vec<u64>,
 }
 
 impl PlanScratch {
@@ -145,19 +149,81 @@ pub trait RepairMechanism {
     fn max_ways_used(&self) -> u32;
 }
 
-/// Shared LLC-occupancy bookkeeping for the two cache-based mechanisms.
+/// Shared LLC-occupancy bookkeeping for the two cache-based mechanisms,
+/// stored struct-of-arrays: a flat slot plane (`max_ways` key slots per
+/// set) plus a parallel count plane, replacing the former global hash
+/// set. A line's key determines its set (the key *is* the line address
+/// above the offset bits), so per-set storage loses no dedup power, the
+/// admission check is a bounded linear scan over at most `max_ways`
+/// contiguous keys — no hashing, no probing — and rollback is O(touched
+/// sets): truncating each count plane entry un-inserts every fresh key at
+/// once.
 #[derive(Debug, Clone)]
 struct LlcOccupancy {
     max_ways: u32,
     line_bytes: u64,
     sets: u64,
-    lines: FxHashSet<u64>,
-    /// Lines locked per set, indexed by set (32 KiB at 8192 sets — flat
-    /// array beats a hash map in the per-candidate admission check).
-    per_set: Vec<u32>,
-    /// Sets with a nonzero `per_set` entry, for sparse reset.
+    /// Key plane: `max_ways` contiguous slots per set; only the first
+    /// `counts[set]` are live (stale slots are never read).
+    slots: Vec<u64>,
+    /// Count plane: lines locked per set, one byte each (8 KiB at 8192
+    /// sets — the whole plane stays L1/L2-resident across trials).
+    counts: Vec<u8>,
+    /// Signature plane: a 64-bit bloom word per set, the OR of every live
+    /// key's [`key_sig`] bit. A candidate whose bit is absent is
+    /// *provably* fresh, so the dup scan is skipped — the common case for
+    /// large faults, whose candidates are internally distinct.
+    sig: Vec<u64>,
+    /// Pending-candidate planes for [`Self::offer`]: candidates buffer
+    /// here until [`BATCH`](Self::BATCH) accumulate, then the batch's
+    /// occupancy lines are prefetched together and drained in order. A
+    /// large fault touches sets all over the 1 MiB slot plane; issuing
+    /// the loads a batch ahead overlaps the misses instead of paying
+    /// each one serially. Admission order is unchanged, so verdicts and
+    /// committed state are bit-identical to unbatched processing.
+    batch_sets: Vec<u32>,
+    batch_keys: Vec<u64>,
+    /// Sets with a nonzero `counts` entry, for sparse reset/iteration.
     dirty_sets: Vec<u32>,
+    /// Total lines locked (the sum of `counts`).
+    line_count: u64,
     max_used: u32,
+}
+
+/// Admits one candidate into the occupancy planes (the per-candidate body
+/// of [`LlcOccupancy::admit_batch`], split out so the batch planes and the
+/// occupancy planes can be borrowed disjointly). Returns `false` when the
+/// set is already at the way limit.
+#[inline]
+fn admit_one(
+    stride: usize,
+    slots: &mut [u64],
+    counts: &mut [u8],
+    sig: &mut [u64],
+    set: u32,
+    key: u64,
+    scratch: &mut PlanScratch,
+) -> bool {
+    let si = set as usize;
+    let cnt = counts[si] as usize;
+    let base = si * stride;
+    let bit = LlcOccupancy::key_sig(key);
+    let s = sig[si];
+    if s & bit != 0 && slots[base..base + cnt].contains(&key) {
+        return true; // already repaired, or a duplicate candidate
+    }
+    if cnt == stride {
+        return false;
+    }
+    slots[base + cnt] = key;
+    counts[si] = (cnt + 1) as u8;
+    sig[si] = s | bit;
+    let fresh = &mut scratch.set_counts[si];
+    if *fresh == 0 {
+        scratch.touched.push(set);
+    }
+    *fresh += 1;
+    true
 }
 
 impl LlcOccupancy {
@@ -166,23 +232,29 @@ impl LlcOccupancy {
             max_ways >= 1 && max_ways <= llc.ways,
             "way limit out of range"
         );
+        assert!(max_ways <= u8::MAX as u32, "count plane is u8");
         Self {
             max_ways,
             line_bytes: llc.line_bytes as u64,
             sets: llc.sets(),
-            lines: FxHashSet::default(),
-            per_set: vec![0; llc.sets() as usize],
+            slots: vec![0; llc.sets() as usize * max_ways as usize],
+            counts: vec![0; llc.sets() as usize],
+            sig: vec![0; llc.sets() as usize],
+            batch_sets: Vec::with_capacity(Self::BATCH),
+            batch_keys: Vec::with_capacity(Self::BATCH),
             dirty_sets: Vec::new(),
+            line_count: 0,
             max_used: 0,
         }
     }
 
     fn reset(&mut self) {
-        self.lines.clear();
         for &s in &self.dirty_sets {
-            self.per_set[s as usize] = 0;
+            self.counts[s as usize] = 0;
+            self.sig[s as usize] = 0;
         }
         self.dirty_sets.clear();
+        self.line_count = 0;
         self.max_used = 0;
     }
 
@@ -192,51 +264,129 @@ impl LlcOccupancy {
         self.sets * self.max_ways as u64
     }
 
-    /// Tries to add the `(set, key)` pairs in `scratch.cand` atomically:
-    /// either every new line fits under the per-set way limit and all are
-    /// committed, or nothing changes. One pass, no sort: keys go straight
-    /// into `lines` (which doubles as the duplicate filter), fresh counts
-    /// accumulate in a flat per-set array, and the first overfull set
-    /// aborts the scan and rolls the inserted keys back. Whether *any*
-    /// set overflows is independent of candidate order, so the verdict —
-    /// and the committed state — match an exhaustive check exactly.
-    fn try_add(&mut self, scratch: &mut PlanScratch) -> bool {
+    /// One bloom bit per key for the per-set signature word. The multiply
+    /// spreads key bits so that within one set (where low key bits are
+    /// often constant) the chosen bit still varies.
+    #[inline]
+    fn key_sig(key: u64) -> u64 {
+        1u64 << (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58)
+    }
+
+    /// Opens an atomic add: candidates are streamed in via [`Self::offer`]
+    /// as the planner enumerates them (no materialized candidate list),
+    /// then [`Self::finish`] commits or rolls back. Either every new line
+    /// fits under the per-set way limit and all are committed, or nothing
+    /// changes. Whether *any* set overflows is independent of candidate
+    /// order, so the verdict — and the committed state — match an
+    /// exhaustive check exactly.
+    fn begin(&mut self, scratch: &mut PlanScratch) {
         if scratch.set_counts.len() < self.sets as usize {
             scratch.set_counts.resize(self.sets as usize, 0);
         }
-        scratch.keys.clear();
         debug_assert!(scratch.touched.is_empty());
-        let mut ok = true;
-        for &(set, key) in &scratch.cand {
-            if !self.lines.insert(key) {
-                continue; // already repaired, or a duplicate candidate
-            }
-            scratch.keys.push(key);
+    }
+
+    /// Candidates buffered between prefetch-and-drain rounds. One round's
+    /// occupancy lines fit in L1 while giving the prefetcher enough
+    /// lookahead to overlap the whole round's misses.
+    const BATCH: usize = 64;
+
+    /// Offers one candidate line, buffering it for batched admission.
+    /// Each key is eventually checked against its set's live slots
+    /// (covering both already-locked lines and earlier candidates of
+    /// this call); fresh insertions bump the count plane directly.
+    /// Returns `false` when a set hit the way limit — the caller must
+    /// stop offering and [`Self::finish`] with `ok = false`, which also
+    /// spares enumerating the rest of the fault.
+    #[inline]
+    fn offer(&mut self, set: u32, key: u64, scratch: &mut PlanScratch) -> bool {
+        self.batch_sets.push(set);
+        self.batch_keys.push(key);
+        if self.batch_sets.len() == Self::BATCH {
+            self.admit_batch(scratch)
+        } else {
+            true
+        }
+    }
+
+    /// Prefetches every buffered candidate's occupancy lines, then admits
+    /// the batch in offer order. Returns `false` on the first overfull
+    /// set (leaving that round partially admitted, exactly as unbatched
+    /// processing would — [`Self::finish`] rolls it back).
+    fn admit_batch(&mut self, scratch: &mut PlanScratch) -> bool {
+        let stride = self.max_ways as usize;
+        #[cfg(target_arch = "x86_64")]
+        for &set in &self.batch_sets {
             let si = set as usize;
-            let c = &mut scratch.set_counts[si];
-            if *c == 0 {
-                scratch.touched.push(set as u32);
+            // Safety: prefetch is a hint — it never dereferences — and
+            // both indices are in bounds anyway (set < sets).
+            unsafe {
+                use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                _mm_prefetch(self.sig.as_ptr().add(si).cast(), _MM_HINT_T0);
+                _mm_prefetch(self.slots.as_ptr().add(si * stride).cast(), _MM_HINT_T0);
             }
-            *c += 1;
-            if self.per_set[si] + *c > self.max_ways {
+        }
+        let mut ok = true;
+        let Self {
+            slots,
+            counts,
+            sig,
+            batch_sets,
+            batch_keys,
+            ..
+        } = self;
+        for (&set, &key) in batch_sets.iter().zip(batch_keys.iter()) {
+            if !admit_one(stride, slots, counts, sig, set, key, scratch) {
                 ok = false;
                 break;
             }
         }
+        batch_sets.clear();
+        batch_keys.clear();
+        ok
+    }
+
+    /// Closes the add opened by [`Self::begin`]: drains any buffered
+    /// candidates, then on `ok` commits the bookkeeping (dirty-set
+    /// tracking, line totals, high-water mark); otherwise rolls back by
+    /// subtracting the per-set fresh counts from the count plane — the
+    /// freshly written slots become stale without being touched. Always
+    /// leaves the scratch planes zeroed for reuse.
+    fn finish(&mut self, ok: bool, scratch: &mut PlanScratch) -> bool {
+        let ok = if ok {
+            self.admit_batch(scratch)
+        } else {
+            // Aborted mid-enumeration: the buffered tail was never
+            // admitted and must not survive into the next call.
+            self.batch_sets.clear();
+            self.batch_keys.clear();
+            ok
+        };
+        let stride = self.max_ways as usize;
         if ok {
             for &s in &scratch.touched {
                 let si = s as usize;
-                let was = self.per_set[si];
-                if was == 0 {
+                let fresh = scratch.set_counts[si];
+                let now = self.counts[si] as u32;
+                if now == fresh {
                     self.dirty_sets.push(s);
                 }
-                let now = was + scratch.set_counts[si];
-                self.per_set[si] = now;
                 self.max_used = self.max_used.max(now);
+                self.line_count += fresh as u64;
             }
         } else {
-            for &k in &scratch.keys {
-                self.lines.remove(&k);
+            for &s in &scratch.touched {
+                let si = s as usize;
+                self.counts[si] -= scratch.set_counts[si] as u8;
+                // The slot plane needs no repair (stale tails are never
+                // read), but the signature word must drop the rolled-back
+                // keys' bits: rebuild it from the surviving slots.
+                let base = si * stride;
+                let mut sig = 0u64;
+                for &k in &self.slots[base..base + self.counts[si] as usize] {
+                    sig |= Self::key_sig(k);
+                }
+                self.sig[si] = sig;
             }
         }
         for &s in &scratch.touched {
@@ -247,21 +397,40 @@ impl LlcOccupancy {
     }
 
     fn lines_used(&self) -> u64 {
-        self.lines.len() as u64
+        self.line_count
     }
 
     fn bytes_used(&self) -> u64 {
         self.lines_used() * self.line_bytes
     }
 
+    /// The keys of every locked line, in arbitrary order.
+    fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        let stride = self.max_ways as usize;
+        self.dirty_sets.iter().flat_map(move |&s| {
+            let si = s as usize;
+            self.slots[si * stride..si * stride + self.counts[si] as usize]
+                .iter()
+                .copied()
+        })
+    }
+
+    /// `(set, lines locked)` for every occupied set, in arbitrary order.
+    fn occupied(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.dirty_sets
+            .iter()
+            .map(|&s| (s, self.counts[s as usize] as u32))
+    }
+
     /// Verifies the occupancy bookkeeping against itself: the sparse
-    /// `dirty_sets` view, the flat `per_set` array, the locked-line set,
-    /// and the `max_used` high-water mark must all tell the same story.
-    /// O(sets) — meant for tests and the `RF_CHECK=1` engine hook, not the
-    /// hot path.
+    /// `dirty_sets` view, the count plane, the live slot plane, the line
+    /// total, and the `max_used` high-water mark must all tell the same
+    /// story. O(sets) — meant for tests and the `RF_CHECK=1` engine hook,
+    /// not the hot path.
     fn check_invariants(&self) -> Result<(), String> {
         let mut sum = 0u64;
         let mut seen = FxHashSet::default();
+        let stride = self.max_ways as usize;
         for &s in &self.dirty_sets {
             if s as u64 >= self.sets {
                 return Err(format!("dirty set {s} out of range ({})", self.sets));
@@ -269,7 +438,8 @@ impl LlcOccupancy {
             if !seen.insert(s) {
                 return Err(format!("set {s} appears twice in dirty_sets"));
             }
-            let c = self.per_set[s as usize];
+            let si = s as usize;
+            let c = self.counts[si] as u32;
             if c == 0 {
                 return Err(format!("dirty set {s} has zero occupancy"));
             }
@@ -279,15 +449,35 @@ impl LlcOccupancy {
                     self.max_ways
                 ));
             }
+            let live = &self.slots[si * stride..si * stride + c as usize];
+            let mut keys: FxHashSet<u64> = FxHashSet::default();
+            let mut sig = 0u64;
+            for &k in live {
+                if !keys.insert(k) {
+                    return Err(format!("set {s} holds key {k:#x} twice"));
+                }
+                sig |= Self::key_sig(k);
+            }
+            if sig != self.sig[si] {
+                return Err(format!(
+                    "set {s} signature {:#x} disagrees with live slots ({sig:#x})",
+                    self.sig[si]
+                ));
+            }
             sum += c as u64;
         }
-        if sum != self.lines.len() as u64 {
+        if sum != self.line_count {
             return Err(format!(
-                "per-set occupancy sums to {sum} but {} lines are locked",
-                self.lines.len()
+                "per-set occupancy sums to {sum} but {} lines are counted",
+                self.line_count
             ));
         }
-        let nonzero = self.per_set.iter().filter(|&&c| c != 0).count();
+        for (si, &c) in self.counts.iter().enumerate() {
+            if c == 0 && self.sig[si] != 0 {
+                return Err(format!("empty set {si} has stale signature bits"));
+            }
+        }
+        let nonzero = self.counts.iter().filter(|&&c| c != 0).count();
         if nonzero != self.dirty_sets.len() {
             return Err(format!(
                 "{nonzero} sets occupied but only {} tracked dirty",
@@ -296,7 +486,7 @@ impl LlcOccupancy {
         }
         // Lines only accumulate between resets, so the high-water mark must
         // equal the current maximum exactly.
-        let max = self.per_set.iter().copied().max().unwrap_or(0);
+        let max = self.counts.iter().copied().max().unwrap_or(0) as u32;
         if self.max_used != max {
             return Err(format!(
                 "max_used {} disagrees with per-set maximum {max}",
@@ -322,12 +512,17 @@ impl LlcOccupancy {
 /// enumeration against the direct per-block encoding.
 #[derive(Debug, Clone)]
 struct LineDeltas {
-    /// `(addr, set)` delta per column index (colblock or colgroup).
-    col: Vec<(u64, u64)>,
-    /// `(addr, set)` delta per `row & 255`.
-    row_lo: Vec<(u64, u64)>,
-    /// `(addr, set)` delta per `row >> 8`.
-    row_hi: Vec<(u64, u64)>,
+    /// Address / set delta planes per column index (colblock or
+    /// colgroup), struct-of-arrays: `col_addr[c]` and `col_set[c]`
+    /// describe column `c`.
+    col_addr: Vec<u64>,
+    col_set: Vec<u64>,
+    /// Delta planes per `row & 255`.
+    row_lo_addr: Vec<u64>,
+    row_lo_set: Vec<u64>,
+    /// Delta planes per `row >> 8`.
+    row_hi_addr: Vec<u64>,
+    row_hi_set: Vec<u64>,
 }
 
 impl LineDeltas {
@@ -336,23 +531,80 @@ impl LineDeltas {
     /// map to address 0).
     fn new(llc: &CacheConfig, rows: u32, cols: u32, addr_of: impl Fn(u32, u32) -> u64) -> Self {
         debug_assert_eq!(addr_of(0, 0), 0, "layout must be origin-zero");
-        let pair = |a: u64| (a, llc.set_of(a));
+        let col: Vec<u64> = (0..cols).map(|c| addr_of(0, c)).collect();
+        let row_lo: Vec<u64> = (0..rows.min(256)).map(|r| addr_of(r, 0)).collect();
+        let row_hi: Vec<u64> = (0..rows.div_ceil(256))
+            .map(|h| addr_of(h << 8, 0))
+            .collect();
+        let sets = |v: &[u64]| v.iter().map(|&a| llc.set_of(a)).collect();
         Self {
-            col: (0..cols).map(|c| pair(addr_of(0, c))).collect(),
-            row_lo: (0..rows.min(256)).map(|r| pair(addr_of(r, 0))).collect(),
-            row_hi: (0..rows.div_ceil(256))
-                .map(|h| pair(addr_of(h << 8, 0)))
-                .collect(),
+            col_set: sets(&col),
+            row_lo_set: sets(&row_lo),
+            row_hi_set: sets(&row_hi),
+            col_addr: col,
+            row_lo_addr: row_lo,
+            row_hi_addr: row_hi,
         }
     }
 
     /// The `(addr, set)` delta of `row` relative to row 0.
     #[inline]
     fn row(&self, row: u32) -> (u64, u64) {
-        let (la, ls) = self.row_lo[(row & 255) as usize];
-        let (ha, hs) = self.row_hi[(row >> 8) as usize];
-        (la ^ ha, ls ^ hs)
+        let (lo, hi) = ((row & 255) as usize, (row >> 8) as usize);
+        (
+            self.row_lo_addr[lo] ^ self.row_hi_addr[hi],
+            self.row_lo_set[lo] ^ self.row_hi_set[hi],
+        )
     }
+
+    /// The `(addr, set)` delta of column `c` relative to column 0.
+    #[inline]
+    fn col(&self, c: usize) -> (u64, u64) {
+        (self.col_addr[c], self.col_set[c])
+    }
+}
+
+/// Streams the `(set, key)` of every RelaxFault repair line of `regions`
+/// into `f`, in enumeration order, using the XOR-delta tables: one full
+/// `repair_addr` per (region, bank), then two XORs per line. Stops early
+/// — returning `false` — as soon as `f` does, so a consumer that has
+/// already decided the fault is unrepairable never pays for the rest of
+/// the footprint.
+fn relax_lines_each(
+    map: &RelaxMap,
+    dram: &DramConfig,
+    llc: &CacheConfig,
+    deltas: &LineDeltas,
+    regions: &[FaultRegion],
+    f: &mut impl FnMut(u32, u64) -> bool,
+) -> bool {
+    let off = llc.offset_bits();
+    for r in regions {
+        for rect in r.footprint(dram).rects {
+            let groups = rect.colblocks.divided(map.coalesce_factor());
+            for bank in rect.banks.iter() {
+                let base = map.repair_addr(&RepairLine {
+                    rank: r.rank,
+                    device: r.device,
+                    bank,
+                    row: 0,
+                    colgroup: 0,
+                });
+                let set_base = llc.set_of(base);
+                for row in rect.rows.iter() {
+                    let (ra, rs) = deltas.row(row);
+                    let (row_addr, row_set) = (base ^ ra, set_base ^ rs);
+                    for colgroup in groups.iter() {
+                        let (ca, cs) = deltas.col(colgroup as usize);
+                        if !f((row_set ^ cs) as u32, (row_addr ^ ca) >> off) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
 }
 
 /// The paper's contribution: coalescing repair in the LLC (Figure 7c
@@ -411,15 +663,12 @@ impl RelaxFault {
     /// The keys of every locked repair line, in arbitrary order. Read-only
     /// view for differential oracles and regression tests.
     pub fn line_keys(&self) -> impl Iterator<Item = u64> + '_ {
-        self.occ.lines.iter().copied()
+        self.occ.keys()
     }
 
     /// `(set, lines locked)` for every occupied set, in arbitrary order.
     pub fn occupied_sets(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.occ
-            .dirty_sets
-            .iter()
-            .map(|&s| (s, self.occ.per_set[s as usize]))
+        self.occ.occupied()
     }
 
     /// Verifies the planner's occupancy bookkeeping (see
@@ -443,6 +692,28 @@ impl RelaxFault {
                     * rect.colblocks.divided(self.map.coalesce_factor()).len()
             })
             .sum()
+    }
+
+    /// Enumerates the set/key planes of every repair line into
+    /// `scratch.cand_sets` / `cand_keys` — the materialized form of
+    /// [`relax_lines_each`], for tests that pin the fast enumeration
+    /// against the direct per-line mapping.
+    #[cfg(test)]
+    fn lines_into(&self, regions: &[FaultRegion], scratch: &mut PlanScratch) {
+        scratch.cand_sets.clear();
+        scratch.cand_keys.clear();
+        relax_lines_each(
+            &self.map,
+            &self.dram,
+            &self.llc,
+            &self.deltas,
+            regions,
+            &mut |set, key| {
+                scratch.cand_sets.push(set);
+                scratch.cand_keys.push(key);
+                true
+            },
+        );
     }
 
     /// Enumerates the repair lines of one fault.
@@ -484,35 +755,22 @@ impl RepairMechanism for RelaxFault {
             relaxfault_metrics().record("RelaxFault", RepairOutcome::RejectedCapacity, need);
             return false;
         }
-        // Enumerate candidate lines with the XOR-delta tables: one full
-        // `repair_addr` per (region, bank), then two XORs per line.
-        scratch.cand.clear();
-        let off = self.llc.offset_bits();
-        for r in regions {
-            for rect in r.footprint(&self.dram).rects {
-                let groups = rect.colblocks.divided(self.map.coalesce_factor());
-                for bank in rect.banks.iter() {
-                    let base = self.map.repair_addr(&RepairLine {
-                        rank: r.rank,
-                        device: r.device,
-                        bank,
-                        row: 0,
-                        colgroup: 0,
-                    });
-                    let set_base = self.llc.set_of(base);
-                    for row in rect.rows.iter() {
-                        let (ra, rs) = self.deltas.row(row);
-                        let (row_addr, row_set) = (base ^ ra, set_base ^ rs);
-                        for colgroup in groups.iter() {
-                            let (ca, cs) = self.deltas.col[colgroup as usize];
-                            scratch.cand.push((row_set ^ cs, (row_addr ^ ca) >> off));
-                        }
-                    }
-                }
-            }
-        }
+        // Enumeration streams straight into the occupancy — no candidate
+        // list is materialized, and a conflicting fault stops enumerating
+        // at the first overfull set.
         let before = self.occ.lines_used();
-        let ok = self.occ.try_add(scratch);
+        self.occ.begin(scratch);
+        let Self {
+            map,
+            dram,
+            llc,
+            deltas,
+            occ,
+        } = self;
+        let all = relax_lines_each(map, dram, llc, deltas, regions, &mut |set, key| {
+            occ.offer(set, key, scratch)
+        });
+        let ok = occ.finish(all, scratch);
         let outcome = if ok {
             RepairOutcome::Accepted
         } else {
@@ -596,15 +854,12 @@ impl FreeFault {
 
     /// The keys of every locked repair line, in arbitrary order.
     pub fn line_keys(&self) -> impl Iterator<Item = u64> + '_ {
-        self.occ.lines.iter().copied()
+        self.occ.keys()
     }
 
     /// `(set, lines locked)` for every occupied set, in arbitrary order.
     pub fn occupied_sets(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.occ
-            .dirty_sets
-            .iter()
-            .map(|&s| (s, self.occ.per_set[s as usize]))
+        self.occ.occupied()
     }
 
     /// Verifies the planner's occupancy bookkeeping (see
@@ -617,43 +872,73 @@ impl FreeFault {
         self.occ.check_invariants()
     }
 
-    /// Enumerates the `(set, key)` pairs of every faulty physical block
-    /// into `out`.
-    fn blocks(&self, regions: &[FaultRegion], out: &mut Vec<(u64, u64)>) {
-        out.clear();
-        let off = self.llc.offset_bits();
-        for r in regions {
-            for rect in r.footprint(&self.dram).rects {
-                for bank in rect.banks.iter() {
-                    // One full encode per (region, bank); every other
-                    // block is two XORs via the delta tables.
-                    let base = self
-                        .dram_map
-                        .encode(
-                            DramLoc {
-                                channel: r.rank.channel,
-                                dimm: r.rank.dimm,
-                                rank: r.rank.rank,
-                                bank,
-                                row: 0,
-                                colblock: 0,
-                            },
-                            0,
-                        )
-                        .0;
-                    let set_base = self.llc.set_of(base);
-                    for row in rect.rows.iter() {
-                        let (ra, rs) = self.deltas.row(row);
-                        let (row_addr, row_set) = (base ^ ra, set_base ^ rs);
-                        for colblock in rect.colblocks.iter() {
-                            let (ca, cs) = self.deltas.col[colblock as usize];
-                            out.push((row_set ^ cs, (row_addr ^ ca) >> off));
+    /// Enumerates the set/key planes of every faulty physical block into
+    /// `scratch.cand_sets` / `cand_keys` — the materialized form of
+    /// [`free_blocks_each`], for tests that pin the fast enumeration
+    /// against direct encoding.
+    #[cfg(test)]
+    fn blocks(&self, regions: &[FaultRegion], scratch: &mut PlanScratch) {
+        scratch.cand_sets.clear();
+        scratch.cand_keys.clear();
+        free_blocks_each(
+            &self.dram_map,
+            &self.dram,
+            &self.llc,
+            &self.deltas,
+            regions,
+            &mut |set, key| {
+                scratch.cand_sets.push(set);
+                scratch.cand_keys.push(key);
+                true
+            },
+        );
+    }
+}
+
+/// Streams the `(set, key)` of every faulty physical block of `regions`
+/// into `f`: one full encode per (region, bank), every other block two
+/// XORs via the delta tables. Stops early — returning `false` — as soon
+/// as `f` does.
+fn free_blocks_each(
+    dram_map: &AddressMap,
+    dram: &DramConfig,
+    llc: &CacheConfig,
+    deltas: &LineDeltas,
+    regions: &[FaultRegion],
+    f: &mut impl FnMut(u32, u64) -> bool,
+) -> bool {
+    let off = llc.offset_bits();
+    for r in regions {
+        for rect in r.footprint(dram).rects {
+            for bank in rect.banks.iter() {
+                let base = dram_map
+                    .encode(
+                        DramLoc {
+                            channel: r.rank.channel,
+                            dimm: r.rank.dimm,
+                            rank: r.rank.rank,
+                            bank,
+                            row: 0,
+                            colblock: 0,
+                        },
+                        0,
+                    )
+                    .0;
+                let set_base = llc.set_of(base);
+                for row in rect.rows.iter() {
+                    let (ra, rs) = deltas.row(row);
+                    let (row_addr, row_set) = (base ^ ra, set_base ^ rs);
+                    for colblock in rect.colblocks.iter() {
+                        let (ca, cs) = deltas.col(colblock as usize);
+                        if !f((row_set ^ cs) as u32, (row_addr ^ ca) >> off) {
+                            return false;
                         }
                     }
                 }
             }
         }
     }
+    true
 }
 
 impl RepairMechanism for FreeFault {
@@ -667,9 +952,21 @@ impl RepairMechanism for FreeFault {
             freefault_metrics().record("FreeFault", RepairOutcome::RejectedCapacity, need);
             return false;
         }
-        self.blocks(regions, &mut scratch.cand);
+        // Stream blocks straight into the occupancy (see
+        // `RelaxFault::try_repair_with`).
         let before = self.occ.lines_used();
-        let ok = self.occ.try_add(scratch);
+        self.occ.begin(scratch);
+        let Self {
+            dram,
+            dram_map,
+            llc,
+            deltas,
+            occ,
+        } = self;
+        let all = free_blocks_each(dram_map, dram, llc, deltas, regions, &mut |set, key| {
+            occ.offer(set, key, scratch)
+        });
+        let ok = occ.finish(all, scratch);
         let outcome = if ok {
             RepairOutcome::Accepted
         } else {
@@ -1168,8 +1465,14 @@ mod tests {
         let ff = FreeFault::new(&d, &c, 16);
         let map = AddressMap::nehalem_like(&d, true);
         for r in delta_probe_regions() {
-            let mut fast = Vec::new();
-            ff.blocks(std::slice::from_ref(&r), &mut fast);
+            let mut scratch = PlanScratch::new();
+            ff.blocks(std::slice::from_ref(&r), &mut scratch);
+            let fast: Vec<(u64, u64)> = scratch
+                .cand_sets
+                .iter()
+                .zip(&scratch.cand_keys)
+                .map(|(&s, &k)| (s as u64, k))
+                .collect();
             let mut naive = Vec::new();
             for rect in r.footprint(&d).rects {
                 for bank in rect.banks.iter() {
@@ -1202,10 +1505,15 @@ mod tests {
         let d = dram();
         let c = llc();
         for r in delta_probe_regions() {
-            let mut rf = RelaxFault::new(&d, &c, 16);
+            let rf = RelaxFault::new(&d, &c, 16);
             let mut scratch = PlanScratch::new();
-            rf.try_repair_with(std::slice::from_ref(&r), &mut scratch);
-            let mut fast = scratch.cand.clone();
+            rf.lines_into(std::slice::from_ref(&r), &mut scratch);
+            let mut fast: Vec<(u64, u64)> = scratch
+                .cand_sets
+                .iter()
+                .zip(&scratch.cand_keys)
+                .map(|(&s, &k)| (s as u64, k))
+                .collect();
             fast.sort_unstable();
             let mut naive: Vec<(u64, u64)> = rf
                 .repair_lines(std::slice::from_ref(&r))

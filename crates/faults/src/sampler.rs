@@ -42,7 +42,7 @@ use crate::modes::{FaultMode, Transience, HOURS_PER_YEAR};
 use crate::region::RegionList;
 use relaxfault_dram::{DramConfig, RankId};
 use relaxfault_util::dist::{poisson, LogNormal};
-use relaxfault_util::rng::Rng;
+use relaxfault_util::rng::{u64_is_below, unit_f64_threshold, Rng};
 
 /// Mean above which the gate approximation is abandoned for the exact
 /// two-stage draw.
@@ -55,6 +55,11 @@ struct ProcessGate {
     lambda: f64,
     /// P(N = 0) under the lognormal mixture.
     q0: f64,
+    /// `q0` as an integer mantissa threshold (see
+    /// [`relaxfault_util::rng::unit_f64_threshold`]): the fast-gate draw
+    /// compares a raw `u64` against it, bit-identical to the `f64`
+    /// compare but without the int→float conversion.
+    q0_threshold: u64,
     /// Whether to use the exact slow path.
     slow: bool,
 }
@@ -101,6 +106,10 @@ pub struct FaultSampler {
     e_dimm: f64,
     /// P(the whole node lifetime has zero events) — the fast-path gate.
     q_node: f64,
+    /// `q_node` as an integer mantissa threshold: comparing a raw `u64`
+    /// draw against it is bit-identical to the `f64` gate compare (see
+    /// [`relaxfault_util::rng::unit_f64_threshold`]).
+    clean_threshold: u64,
 }
 
 impl FaultSampler {
@@ -134,6 +143,7 @@ impl FaultSampler {
                         transience,
                         lambda,
                         q0,
+                        q0_threshold: unit_f64_threshold(q0),
                         slow: lambda > SLOW_PATH_THRESHOLD,
                     }
                 })
@@ -173,6 +183,7 @@ impl FaultSampler {
             suffix,
             e_dimm,
             q_node,
+            clean_threshold: unit_f64_threshold(q_node),
         }
     }
 
@@ -189,6 +200,17 @@ impl FaultSampler {
     /// would have returned an empty lifetime from the same stream).
     pub fn trial_is_clean<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
         rng.gen::<f64>() < self.q_node
+    }
+
+    /// The zero-fault verdict [`FaultSampler::trial_is_clean`] would reach
+    /// from a stream whose first raw draw is `first`, computed without
+    /// constructing the generator or touching floating point. The
+    /// bit-sliced engine packs these verdicts into lane masks; equivalence
+    /// with the gate draw is pinned by
+    /// `tests::first_draw_gate_matches_trial_is_clean`.
+    #[inline]
+    pub fn trial_is_clean_from_first(&self, first: u64) -> bool {
+        u64_is_below(first, self.clean_threshold)
     }
 
     /// Samples one node lifetime (drop-in replacement for
@@ -398,7 +420,7 @@ impl FaultSampler {
             };
             return poisson(rng, gate.lambda * m);
         }
-        if rng.gen::<f64>() < gate.q0 {
+        if u64_is_below(rng.next_u64(), gate.q0_threshold) {
             return 0;
         }
         self.sample_count_nonzero(gate, rng)
@@ -565,6 +587,26 @@ mod tests {
             assert_eq!(full, gated, "seed {seed} diverged");
         }
         assert!(saw_faulty > 10, "only {saw_faulty} faulty trials");
+    }
+
+    #[test]
+    fn first_draw_gate_matches_trial_is_clean() {
+        // The lane-mask gate (integer compare on the stream's first raw
+        // draw) must agree with the f64 gate draw on every seed — it is
+        // the same decision, so the bit-sliced engine can skip generator
+        // construction for clean trials.
+        use relaxfault_util::rng::first_u64_from_seed;
+        let model = FaultModel::isca16(FitRates::cielo(), 6.0);
+        let s = FaultSampler::new(&model, &cfg());
+        let mut faulty = 0;
+        for seed in 0..5000u64 {
+            let mut rng = Rng64::seed_from_u64(seed);
+            let drawn = s.trial_is_clean(&mut rng);
+            let masked = s.trial_is_clean_from_first(first_u64_from_seed(seed));
+            assert_eq!(drawn, masked, "seed {seed}");
+            faulty += !drawn as u32;
+        }
+        assert!(faulty > 100, "only {faulty} faulty gates exercised");
     }
 
     #[test]

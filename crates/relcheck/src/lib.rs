@@ -19,14 +19,21 @@
 //!   reproduction by fault-population digest (engine cases) or by
 //!   re-failing the decoded property (oracle cases).
 //!
-//! The `relcheck` binary drives the two entry points CI uses:
+//! * [`lanematrix`] — the bit-slicing equivalence gate: one pinned
+//!   scenario mix digested across every `(lane mode, thread count)`
+//!   cell, all nine digests required identical.
+//!
+//! The `relcheck` binary drives the entry points CI uses:
 //! `relcheck smoke` runs every oracle property at a reduced case count,
-//! and `relcheck replay <case.json>` re-executes a persisted failure with
-//! tracing forced on.
+//! `relcheck replay <case.json>` re-executes a persisted failure with
+//! tracing forced on, and `relcheck lane-matrix` emits the lane
+//! equivalence verdict JSON.
 
 pub mod gen;
+pub mod lanematrix;
 pub mod oracle;
 pub mod replay;
 
+pub use lanematrix::{run_lane_matrix, LaneMatrixVerdict};
 pub use oracle::{check_with_repro, run_smoke, PROP_CASES};
 pub use replay::{load_any, replay, replay_fleet, LoadedCase, ReplayReport};

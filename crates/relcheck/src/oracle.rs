@@ -26,10 +26,13 @@ use relaxfault_core::plan::{FreeFault, Ppr, RelaxFault, RepairMechanism};
 use relaxfault_dram::{AddressMap, DramConfig, DramLoc};
 use relaxfault_ecc::EccOutcome;
 use relaxfault_faults::{Extent, FaultModel, FaultRegion, FaultSampler, NodeFaults};
-use relaxfault_relsim::engine::{run_scenarios, RunConfig, ScenarioResult};
+use relaxfault_relsim::engine::{
+    run_scenarios, run_scenarios_with_lanes, RunConfig, ScenarioResult,
+};
 use relaxfault_relsim::node::{evaluate_node_with, EvalScratch, NodeOutcome};
 use relaxfault_relsim::repro::ReproCase;
 use relaxfault_relsim::scenario::{Mechanism, ReplacementPolicy, Scenario};
+use relaxfault_util::lanes::LaneMode;
 use relaxfault_util::prop::{self, PropResult, Source};
 use relaxfault_util::rng::{mix64, Rng, Rng64};
 use relaxfault_util::stats::Ecdf;
@@ -844,6 +847,49 @@ pub fn engine_oracle_property(src: &mut Source) -> PropResult {
     Ok(())
 }
 
+/// Bit-sliced-engine differential: [`run_scenarios_with_lanes`] under
+/// `u64`/`u128` lanes against the scalar path, on corner-biased shapes —
+/// sub-block trial counts (pure scalar tails), exact lane multiples and
+/// their off-by-ones, near-zero-fault populations (the popcount bulk
+/// retire), and rollback-heavy ones (high FIT scale against 1-way
+/// planners). Results must be bit-identical in every field.
+pub fn lanes_oracle_property(src: &mut Source) -> PropResult {
+    let trials = match src.choice_index(4) {
+        0 => src.u64(1, 63),
+        1 => [64, 128, 192, 256][src.choice_index(4)],
+        2 => [63, 65, 127, 129][src.choice_index(4)],
+        _ => src.u64(1, 300),
+    };
+    // 0.2 leaves almost every lane bit clean; 300 makes faults (and
+    // failed try_add offers against the 1-way arm) the common case.
+    let fit = [0.2, 40.0, 300.0][src.choice_index(3)];
+    let base = Scenario::isca16_baseline()
+        .with_fit_scale(fit)
+        .with_replacement(ReplacementPolicy::None);
+    let arms = vec![
+        base.clone()
+            .with_mechanism(Mechanism::RelaxFault { max_ways: 1 }),
+        base.clone().with_mechanism(Mechanism::FreeFault {
+            max_ways: gen::arb_max_ways(src),
+        }),
+        base.with_mechanism(Mechanism::Ppr),
+    ];
+    let run = RunConfig {
+        trials,
+        seed: src.u64(0, u64::MAX),
+        threads: src.usize(1, 4),
+        // Small explicit chunks are never lane-aligned, so every chunk
+        // ends in a scalar remainder tail.
+        chunk_size: src.u64(0, 150),
+    };
+    let scalar = run_scenarios_with_lanes(&arms, &run, LaneMode::Scalar);
+    for mode in [LaneMode::U64, LaneMode::U128] {
+        let sliced = run_scenarios_with_lanes(&arms, &run, mode);
+        prop_assert_eq!(sliced, scalar, "{} diverged from scalar", mode.label());
+    }
+    Ok(())
+}
+
 /// A named differential property: the replay dispatch key and the
 /// property function it resolves to.
 pub type PropCase = (&'static str, fn(&mut Source) -> PropResult);
@@ -856,6 +902,7 @@ pub const PROP_CASES: &[PropCase] = &[
     ("ppr_oracle", ppr_oracle_property),
     ("eval_oracle", eval_oracle_property),
     ("engine_oracle", engine_oracle_property),
+    ("lanes", lanes_oracle_property),
 ];
 
 /// Runs a named property `cases` times; on failure, persists the shrunk

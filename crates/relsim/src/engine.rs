@@ -11,8 +11,9 @@ use crate::repro::{trial_digest, ReproCase};
 use crate::scenario::Scenario;
 use relaxfault_dram::DramConfig;
 use relaxfault_faults::{FaultMode, FaultModel, FaultSampler, NodeFaults};
+use relaxfault_util::lanes::{self, Lane, LaneMode};
 use relaxfault_util::obs::{self, Counter, Histogram, Level};
-use relaxfault_util::rng::{mix64, Rng64};
+use relaxfault_util::rng::{first_u64_from_seed, mix64, Rng64};
 use relaxfault_util::stats::{wilson_interval, Ecdf};
 use relaxfault_util::trace_event;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -297,34 +298,333 @@ pub fn eval_rng_seed(seed: u64, trial: u64) -> u64 {
     mix64(seed ^ 0xECC, trial, 0)
 }
 
-/// Runs every scenario arm over `run.trials` node lifetimes.
+/// One engine worker's reusable state: per-arm accumulators, per-group
+/// samplers, the sampled lifetime buffer, and one evaluation scratch
+/// (planner included) per arm. Both the scalar per-trial path and the
+/// bit-sliced block path drive the same faulty-trial pipeline here, so
+/// their results are identical by construction everywhere except the
+/// zero-fault gate — and the gate decision itself is pinned equal by
+/// `FaultSampler::trial_is_clean_from_first`.
+struct Worker<'a> {
+    scenarios: &'a [Scenario],
+    cfg: DramConfig,
+    groups: &'a [(FaultModel, Vec<usize>)],
+    samplers: Vec<FaultSampler>,
+    seed: u64,
+    local: Vec<ScenarioResult>,
+    node: NodeFaults,
+    scratches: Vec<EvalScratch>,
+    metrics: &'static EngineMetrics,
+    // One enabled-check per worker instead of ~20 per trial: obs state is
+    // fixed before the run starts, so the gated no-op loads inside every
+    // Counter::add would be pure overhead on the (common) disabled path.
+    metrics_on: bool,
+    // Same treatment for the RF_CHECK invariant hook: resolved once, so
+    // the off path is a single branch per trial.
+    check_on: bool,
+    forced_fail: Option<u64>,
+}
+
+impl<'a> Worker<'a> {
+    fn new(
+        scenarios: &'a [Scenario],
+        cfg: DramConfig,
+        groups: &'a [(FaultModel, Vec<usize>)],
+        seed: u64,
+    ) -> Self {
+        Self {
+            scenarios,
+            cfg,
+            groups,
+            samplers: groups
+                .iter()
+                .map(|(model, _)| FaultSampler::new(model, &cfg))
+                .collect(),
+            seed,
+            local: scenarios
+                .iter()
+                .map(|s| ScenarioResult::new(s.mechanism.label()))
+                .collect(),
+            node: NodeFaults::default(),
+            scratches: scenarios.iter().map(|_| EvalScratch::new()).collect(),
+            metrics: engine_metrics(),
+            metrics_on: obs::metrics_enabled(),
+            check_on: rf_check_enabled(),
+            forced_fail: rf_check_fail_trial(),
+        }
+    }
+
+    /// Retires `count` clean trials of `groups[gi]` in bulk: a clean trial
+    /// contributes nothing but its trial count, so this is the *entire*
+    /// cost of the zero-fault fast path.
+    fn retire_clean(&mut self, gi: usize, count: u64) {
+        let members = &self.groups[gi].1;
+        if self.metrics_on {
+            self.metrics.fast_path_skips.add(count);
+            self.metrics.trial_evals.add(count * members.len() as u64);
+        }
+        for &si in members {
+            self.local[si].trials += count;
+        }
+    }
+
+    /// One trial of every group through the scalar path: one
+    /// precomputed-probability draw (the first of this trial's stream)
+    /// decides whether the lifetime is empty. A clean trial skips sampling
+    /// and evaluation entirely; a full `sample_node` call would return the
+    /// empty lifetime from this same stream, and `evaluate_node` never
+    /// touches its RNG on empty lifetimes — bit-for-bit identical results
+    /// either way.
+    fn run_trial(&mut self, trial: u64) {
+        for gi in 0..self.groups.len() {
+            let mut sample_rng = Rng64::seed_from_u64(sample_rng_seed(self.seed, trial, gi as u64));
+            if self.samplers[gi].trial_is_clean(&mut sample_rng) {
+                self.retire_clean(gi, 1);
+                // The forced-failure hook fires on clean trials too
+                // (digest-less: there is no sampled population to pin), so
+                // CI can exercise the repro loop on any trial index
+                // without knowing the seed's fault layout.
+                if self.check_on && self.forced_fail == Some(trial) {
+                    rf_check_failure(
+                        self.scenarios,
+                        &self.groups[gi].1,
+                        self.seed,
+                        trial,
+                        gi as u64,
+                        None,
+                        "forced failure (RF_CHECK_FAIL_TRIAL)",
+                    );
+                }
+                continue;
+            }
+            self.run_faulty(trial, gi, &mut sample_rng);
+        }
+    }
+
+    /// The trial range `[lo, hi)` through the bit-sliced gate: full
+    /// `L::BITS`-trial blocks pack their gate verdicts into one lane mask
+    /// (bit `i` ⇔ trial `block + i` is faulty) computed straight from each
+    /// stream's first raw draw — no generator construction, no floats.
+    /// Clean trials retire in one popcount; the surviving bits walk the
+    /// scalar faulty pipeline in ascending trial order. The sub-block
+    /// remainder tail falls back to the scalar per-trial path.
+    fn run_range_sliced<L: Lane>(&mut self, lo: u64, hi: u64) {
+        let bits = L::BITS as u64;
+        let mut block = lo;
+        while block + bits <= hi {
+            for gi in 0..self.groups.len() {
+                let sampler = &self.samplers[gi];
+                let seed = self.seed;
+                let faulty: L = lanes::pack(L::BITS, |i| {
+                    let first =
+                        first_u64_from_seed(sample_rng_seed(seed, block + i as u64, gi as u64));
+                    !sampler.trial_is_clean_from_first(first)
+                });
+                let clean = (L::BITS - faulty.popcount()) as u64;
+                if clean != 0 {
+                    self.retire_clean(gi, clean);
+                }
+                let mut m = faulty;
+                while m != L::ZERO {
+                    let trial = block + m.trailing_zeros() as u64;
+                    m = m.clear_lowest();
+                    let mut sample_rng =
+                        Rng64::seed_from_u64(sample_rng_seed(self.seed, trial, gi as u64));
+                    // Consume the gate draw so the stream position matches
+                    // the scalar path exactly.
+                    let gate = self.samplers[gi].trial_is_clean(&mut sample_rng);
+                    debug_assert!(!gate, "lane gate disagreed with the scalar gate");
+                    let _ = gate;
+                    self.run_faulty(trial, gi, &mut sample_rng);
+                }
+            }
+            block += bits;
+        }
+        for trial in block..hi {
+            self.run_trial(trial);
+        }
+    }
+
+    /// The faulty-trial pipeline, shared verbatim by both paths:
+    /// sample the conditional lifetime, then evaluate every member arm on
+    /// it. `sample_rng` must be positioned immediately after the failed
+    /// gate draw.
+    fn run_faulty(&mut self, trial: u64, gi: usize, sample_rng: &mut Rng64) {
+        let scenarios = self.scenarios;
+        let groups = self.groups;
+        let members = &groups[gi].1;
+        let metrics = self.metrics;
+        // Deterministic merge key for every event this trial/group emits,
+        // on any worker thread.
+        let _obs_scope = obs::scope(trial, gi as u64);
+        let _trial_span = metrics.trial_ns.start_span();
+        self.samplers[gi].sample_faulty_into(sample_rng, &mut self.node);
+        if self.check_on {
+            let digest = Some(trial_digest(&self.node));
+            if let Err(e) = self.node.check_invariants(&self.cfg) {
+                rf_check_failure(
+                    scenarios,
+                    members,
+                    self.seed,
+                    trial,
+                    gi as u64,
+                    digest,
+                    &format!("sampled population: {e}"),
+                );
+            }
+            if self.forced_fail == Some(trial) {
+                rf_check_failure(
+                    scenarios,
+                    members,
+                    self.seed,
+                    trial,
+                    gi as u64,
+                    digest,
+                    "forced failure (RF_CHECK_FAIL_TRIAL)",
+                );
+            }
+        }
+        for &si in members {
+            let mut eval_rng = Rng64::seed_from_u64(eval_rng_seed(self.seed, trial));
+            let out = evaluate_node_with(
+                &scenarios[si],
+                &self.node,
+                &mut eval_rng,
+                &mut self.scratches[si],
+            );
+            if self.check_on {
+                if let Err(e) = self.scratches[si].check_invariants() {
+                    rf_check_failure(
+                        scenarios,
+                        members,
+                        self.seed,
+                        trial,
+                        gi as u64,
+                        Some(trial_digest(&self.node)),
+                        &format!("arm {si} planner: {e}"),
+                    );
+                }
+            }
+            if self.metrics_on {
+                metrics.trial_evals.inc();
+                if out.faulty {
+                    metrics.faulty_nodes.inc();
+                    if out.fully_repaired {
+                        metrics.fully_repaired_nodes.inc();
+                    } else {
+                        metrics.repair_fallback_nodes.inc();
+                    }
+                }
+                metrics.dues.add(out.dues as u64);
+                metrics.transient_dues.add(out.transient_dues as u64);
+                metrics.sdcs.add(out.sdcs as u64);
+                metrics.replacements.add(out.replacements as u64);
+                metrics.permanent_faults.add(out.permanent_faults as u64);
+                metrics.unrepaired_faults.add(out.unrepaired_faults as u64);
+                for (c, n) in metrics
+                    .unrepaired_by_mode
+                    .iter()
+                    .zip(out.unrepaired_by_mode)
+                {
+                    c.add(n as u64);
+                }
+            }
+            if out.faulty {
+                trace_event!(target: "relsim", Level::Debug, "trial_eval",
+                arm = si,
+                repaired = out.fully_repaired,
+                permanent_faults = out.permanent_faults,
+                unrepaired = out.unrepaired_faults,
+                dues = out.dues,
+                sdcs = out.sdcs,
+                replacements = out.replacements);
+            }
+            let r = &mut self.local[si];
+            r.trials += 1;
+            r.faulty_nodes += out.faulty as u64;
+            r.fully_repaired_nodes += out.fully_repaired as u64;
+            if out.fully_repaired {
+                r.repair_bytes.add(out.repair_bytes as f64);
+            }
+            r.dues += out.dues as u64;
+            r.transient_dues += out.transient_dues as u64;
+            r.sdcs += out.sdcs as u64;
+            r.replacements += out.replacements as u64;
+            r.unrepaired_faults += out.unrepaired_faults as u64;
+            r.permanent_faults += out.permanent_faults as u64;
+            r.max_ways_seen = r.max_ways_seen.max(out.max_ways);
+            for (a, b) in r.unrepaired_by_mode.iter_mut().zip(out.unrepaired_by_mode) {
+                *a += b as u64;
+            }
+        }
+    }
+}
+
+/// Runs every scenario arm over `run.trials` node lifetimes with the
+/// process-global lane mode ([`lanes::mode`], settable via `RF_LANES` or
+/// `--lanes`). See [`run_scenarios_with_lanes`].
+///
+/// # Panics
+///
+/// Panics if `scenarios` is empty or arms disagree on the DRAM config.
+pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioResult> {
+    run_scenarios_with_lanes(scenarios, run, lanes::mode())
+}
+
+/// Runs every scenario arm over `run.trials` node lifetimes with an
+/// explicit trial-lane mode.
 ///
 /// Arms with identical fault models see identical fault populations, and
 /// every trial's RNG streams are keyed on `(seed, trial, group)` — never on
 /// which worker thread ran the trial — so results are bit-identical for a
 /// given seed at any `threads` setting.
 ///
+/// Under [`LaneMode::U64`]/[`LaneMode::U128`] the zero-fault gate is
+/// evaluated bit-sliced, `L::BITS` trials per lane word: the gate verdicts
+/// pack into a fault mask, clean trials retire in bulk via popcount, and
+/// only the set bits walk the full sample/evaluate pipeline. Chunk-tail
+/// remainders shorter than a lane word fall back to the scalar path, and
+/// `RF_CHECK=1` forces the scalar path entirely (the in-loop invariant
+/// hooks are per-trial). Every mode is bit-identical to
+/// [`LaneMode::Scalar`] — pinned by the `relcheck` `lanes` oracle and the
+/// unit tests here.
+///
 /// # Panics
 ///
 /// Panics if `scenarios` is empty or arms disagree on the DRAM config.
-pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioResult> {
+pub fn run_scenarios_with_lanes(
+    scenarios: &[Scenario],
+    run: &RunConfig,
+    lane_mode: LaneMode,
+) -> Vec<ScenarioResult> {
     assert!(!scenarios.is_empty(), "no scenarios given");
     let cfg = scenarios[0].dram;
     assert!(
         scenarios.iter().all(|s| s.dram == cfg),
         "all arms must share one DRAM geometry"
     );
+    // RF_CHECK's in-loop invariant hooks are per-trial (digests, repro
+    // emission), so checking runs always take the scalar path.
+    let mode = if rf_check_enabled() {
+        LaneMode::Scalar
+    } else {
+        lane_mode
+    };
     trace_event!(target: "relsim", Level::Info, "run_start",
-        arms = scenarios.len(), trials = run.trials, seed = run.seed);
+        arms = scenarios.len(), trials = run.trials, seed = run.seed,
+        lanes = mode.label());
     if obs::metrics_enabled() || obs::enabled("relsim", Level::Info) {
-        // Fold the full scenario configuration (and trial count) into one
-        // hash so the run manifest records *what* was simulated. Gated so
-        // the disabled path stays free of JSON serialization.
+        // Fold the full scenario configuration (and trial count, and the
+        // effective lane mode) into one hash so the run manifest records
+        // *what* was simulated — history series stay comparable per lane
+        // config. Gated so the disabled path stays free of JSON
+        // serialization.
         let mut config = String::new();
         for s in scenarios {
             config.push_str(&s.to_json().to_pretty());
         }
         config.push_str(&run.trials.to_string());
+        config.push_str(mode.label());
         obs::note_run_context(
             run.seed,
             run.threads.max(1) as u64,
@@ -359,185 +659,24 @@ pub fn run_scenarios(scenarios: &[Scenario], run: &RunConfig) -> Vec<ScenarioRes
             let seed = run.seed;
             let trials = run.trials;
             handles.push(scope.spawn(move || {
-                let mut local: Vec<ScenarioResult> = scenarios
-                    .iter()
-                    .map(|s| ScenarioResult::new(s.mechanism.label()))
-                    .collect();
-                let samplers: Vec<FaultSampler> = groups
-                    .iter()
-                    .map(|(model, _)| FaultSampler::new(model, &cfg))
-                    .collect();
-                // Per-worker reusable state: the sampled lifetime and one
-                // evaluation scratch (planner included) per arm.
-                let mut node = NodeFaults::default();
-                let mut scratches: Vec<EvalScratch> =
-                    scenarios.iter().map(|_| EvalScratch::new()).collect();
-                let metrics = engine_metrics();
-                // One enabled-check per worker instead of ~20 per trial:
-                // obs state is fixed before the run starts, so the gated
-                // no-op loads inside every Counter::add would be pure
-                // overhead on the (common) disabled path.
-                let metrics_on = obs::metrics_enabled();
-                // Same treatment for the RF_CHECK invariant hook: resolved
-                // once, so the off path is a single branch per trial.
-                let check_on = rf_check_enabled();
-                let forced_fail = rf_check_fail_trial();
+                let mut worker = Worker::new(scenarios, cfg, groups, seed);
                 loop {
                     let lo = next_chunk.fetch_add(chunk, Ordering::Relaxed);
                     if lo >= trials {
                         break;
                     }
                     let hi = (lo + chunk).min(trials);
-                    for trial in lo..hi {
-                        for (gi, (_, members)) in groups.iter().enumerate() {
-                            let mut sample_rng =
-                                Rng64::seed_from_u64(sample_rng_seed(seed, trial, gi as u64));
-                            // Zero-fault fast path: one precomputed-
-                            // probability draw (the first of this trial's
-                            // stream) decides whether the lifetime is
-                            // empty. A clean trial contributes nothing but
-                            // its trial count, so skip sampling and
-                            // evaluation entirely; a full sample_node call
-                            // would return the empty lifetime from this
-                            // same stream, and evaluate_node never touches
-                            // its RNG on empty lifetimes — bit-for-bit
-                            // identical results either way.
-                            if samplers[gi].trial_is_clean(&mut sample_rng) {
-                                if metrics_on {
-                                    metrics.fast_path_skips.inc();
-                                    metrics.trial_evals.add(members.len() as u64);
-                                }
-                                for &si in members {
-                                    local[si].trials += 1;
-                                }
-                                // The forced-failure hook fires on clean
-                                // trials too (digest-less: there is no
-                                // sampled population to pin), so CI can
-                                // exercise the repro loop on any trial
-                                // index without knowing the seed's fault
-                                // layout.
-                                if check_on && forced_fail == Some(trial) {
-                                    rf_check_failure(
-                                        scenarios,
-                                        members,
-                                        seed,
-                                        trial,
-                                        gi as u64,
-                                        None,
-                                        "forced failure (RF_CHECK_FAIL_TRIAL)",
-                                    );
-                                }
-                                continue;
-                            }
-                            // Deterministic merge key for every event this
-                            // trial/group emits, on any worker thread.
-                            let _obs_scope = obs::scope(trial, gi as u64);
-                            let _trial_span = metrics.trial_ns.start_span();
-                            samplers[gi].sample_faulty_into(&mut sample_rng, &mut node);
-                            if check_on {
-                                let digest = Some(trial_digest(&node));
-                                if let Err(e) = node.check_invariants(&cfg) {
-                                    rf_check_failure(
-                                        scenarios,
-                                        members,
-                                        seed,
-                                        trial,
-                                        gi as u64,
-                                        digest,
-                                        &format!("sampled population: {e}"),
-                                    );
-                                }
-                                if forced_fail == Some(trial) {
-                                    rf_check_failure(
-                                        scenarios,
-                                        members,
-                                        seed,
-                                        trial,
-                                        gi as u64,
-                                        digest,
-                                        "forced failure (RF_CHECK_FAIL_TRIAL)",
-                                    );
-                                }
-                            }
-                            for &si in members {
-                                let mut eval_rng = Rng64::seed_from_u64(eval_rng_seed(seed, trial));
-                                let out = evaluate_node_with(
-                                    &scenarios[si],
-                                    &node,
-                                    &mut eval_rng,
-                                    &mut scratches[si],
-                                );
-                                if check_on {
-                                    if let Err(e) = scratches[si].check_invariants() {
-                                        rf_check_failure(
-                                            scenarios,
-                                            members,
-                                            seed,
-                                            trial,
-                                            gi as u64,
-                                            Some(trial_digest(&node)),
-                                            &format!("arm {si} planner: {e}"),
-                                        );
-                                    }
-                                }
-                                if metrics_on {
-                                    metrics.trial_evals.inc();
-                                    if out.faulty {
-                                        metrics.faulty_nodes.inc();
-                                        if out.fully_repaired {
-                                            metrics.fully_repaired_nodes.inc();
-                                        } else {
-                                            metrics.repair_fallback_nodes.inc();
-                                        }
-                                    }
-                                    metrics.dues.add(out.dues as u64);
-                                    metrics.transient_dues.add(out.transient_dues as u64);
-                                    metrics.sdcs.add(out.sdcs as u64);
-                                    metrics.replacements.add(out.replacements as u64);
-                                    metrics.permanent_faults.add(out.permanent_faults as u64);
-                                    metrics.unrepaired_faults.add(out.unrepaired_faults as u64);
-                                    for (c, n) in metrics
-                                        .unrepaired_by_mode
-                                        .iter()
-                                        .zip(out.unrepaired_by_mode)
-                                    {
-                                        c.add(n as u64);
-                                    }
-                                }
-                                if out.faulty {
-                                    trace_event!(target: "relsim", Level::Debug, "trial_eval",
-                                    arm = si,
-                                    repaired = out.fully_repaired,
-                                    permanent_faults = out.permanent_faults,
-                                    unrepaired = out.unrepaired_faults,
-                                    dues = out.dues,
-                                    sdcs = out.sdcs,
-                                    replacements = out.replacements);
-                                }
-                                let r = &mut local[si];
-                                r.trials += 1;
-                                r.faulty_nodes += out.faulty as u64;
-                                r.fully_repaired_nodes += out.fully_repaired as u64;
-                                if out.fully_repaired {
-                                    r.repair_bytes.add(out.repair_bytes as f64);
-                                }
-                                r.dues += out.dues as u64;
-                                r.transient_dues += out.transient_dues as u64;
-                                r.sdcs += out.sdcs as u64;
-                                r.replacements += out.replacements as u64;
-                                r.unrepaired_faults += out.unrepaired_faults as u64;
-                                r.permanent_faults += out.permanent_faults as u64;
-                                r.max_ways_seen = r.max_ways_seen.max(out.max_ways);
-                                for (a, b) in
-                                    r.unrepaired_by_mode.iter_mut().zip(out.unrepaired_by_mode)
-                                {
-                                    *a += b as u64;
-                                }
+                    match mode {
+                        LaneMode::Scalar => {
+                            for trial in lo..hi {
+                                worker.run_trial(trial);
                             }
                         }
+                        LaneMode::U64 => worker.run_range_sliced::<u64>(lo, hi),
+                        LaneMode::U128 => worker.run_range_sliced::<u128>(lo, hi),
                     }
                 }
-                local
+                worker.local
             }));
         }
         for h in handles {
@@ -762,6 +901,60 @@ mod tests {
                     r, reference,
                     "threads={threads} chunk_size={chunk_size} diverged"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_modes_are_bit_identical() {
+        // The bit-sliced gate must reproduce the scalar engine exactly:
+        // every lane mode, thread count, and chunk size — including chunks
+        // that are never a multiple of the lane width, so every chunk ends
+        // in a scalar remainder tail — yields the same results. 300 trials
+        // also leaves a sub-block tail at the end of the run itself.
+        let arms = vec![
+            Scenario::isca16_baseline()
+                .with_mechanism(Mechanism::RelaxFault { max_ways: 4 })
+                .with_replacement(ReplacementPolicy::None),
+            Scenario::isca16_baseline().with_mechanism(Mechanism::Ppr),
+        ];
+        let cfg = |threads, chunk_size| RunConfig {
+            trials: 300,
+            seed: 42,
+            threads,
+            chunk_size,
+        };
+        let reference = run_scenarios_with_lanes(&arms, &cfg(1, 0), LaneMode::Scalar);
+        for mode in [LaneMode::U64, LaneMode::U128] {
+            for threads in [1usize, 2, 4] {
+                for chunk_size in [0u64, 1, 77, 131] {
+                    let r = run_scenarios_with_lanes(&arms, &cfg(threads, chunk_size), mode);
+                    assert_eq!(
+                        r,
+                        reference,
+                        "{} threads={threads} chunk_size={chunk_size} diverged",
+                        mode.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_tail_shorter_than_a_block_matches_scalar() {
+        // Runs smaller than one lane word exercise the pure-tail path.
+        let arms = vec![Scenario::isca16_baseline().with_mechanism(Mechanism::Ppr)];
+        for trials in [1u64, 63, 64, 65, 127, 128, 129] {
+            let run = RunConfig {
+                trials,
+                seed: 7,
+                threads: 2,
+                chunk_size: 0,
+            };
+            let reference = run_scenarios_with_lanes(&arms, &run, LaneMode::Scalar);
+            for mode in [LaneMode::U64, LaneMode::U128] {
+                let r = run_scenarios_with_lanes(&arms, &run, mode);
+                assert_eq!(r, reference, "{} trials={trials}", mode.label());
             }
         }
     }

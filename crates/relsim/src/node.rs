@@ -112,9 +112,12 @@ pub struct EvalScratch {
     planner: Option<Planner>,
     /// Mechanism the cached planner was built for.
     mech: Option<Mechanism>,
-    /// Live (unrepaired) permanent regions, tagged with their DIMM index.
-    live: Vec<(u32, FaultRegion)>,
-    /// Flat copy of `live`'s regions for ECC classification.
+    /// DIMM plane of the live (unrepaired) permanent regions; index `i`
+    /// tags `live_regions[i]`. Split struct-of-arrays so the region plane
+    /// feeds ECC classification directly — no per-event repack.
+    live_dimms: Vec<u32>,
+    /// Region plane of the live permanent regions (parallel to
+    /// `live_dimms`).
     live_regions: Vec<FaultRegion>,
     /// DIMM indices of the current event's regions.
     event_dimms: Vec<u32>,
@@ -136,12 +139,27 @@ impl EvalScratch {
     ///
     /// Returns a description of the first violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
+        if self.live_dimms.len() != self.live_regions.len() {
+            return Err(format!(
+                "live planes out of step: {} dimms vs {} regions",
+                self.live_dimms.len(),
+                self.live_regions.len()
+            ));
+        }
         match &self.planner {
             None | Some(Planner::None) => Ok(()),
             Some(Planner::Relax(p)) => p.check_invariants(),
             Some(Planner::Free(p)) => p.check_invariants(),
             Some(Planner::Ppr(p)) => p.check_invariants(),
         }
+    }
+
+    /// Removes every live fault on `dimm`, keeping both planes in
+    /// lockstep and preserving arrival order.
+    fn drop_dimm(&mut self, dimm: u32) {
+        let mut keep = self.live_dimms.iter();
+        self.live_regions.retain(|_| *keep.next().unwrap() != dimm);
+        self.live_dimms.retain(|&d| d != dimm);
     }
 }
 
@@ -205,7 +223,8 @@ pub fn evaluate_events_with<R: Rng + ?Sized>(
     // permanent fault, so the planner is prepared lazily — constructed on
     // the first permanent fault ever, reset on the first of each trial.
     let mut planner_live = false;
-    scratch.live.clear();
+    scratch.live_dimms.clear();
+    scratch.live_regions.clear();
 
     for event in events {
         let permanent = event.is_permanent();
@@ -214,11 +233,8 @@ pub fn evaluate_events_with<R: Rng + ?Sized>(
             out.permanent_faults += 1;
         }
 
-        // 1. ECC classification against live faults of the same ranks.
-        scratch.live_regions.clear();
-        scratch
-            .live_regions
-            .extend(scratch.live.iter().map(|(_, r)| *r));
+        // 1. ECC classification against live faults of the same ranks —
+        //    the region plane is consumed in place.
         let mut outcome = scenario.ecc.classify_arrival(
             cfg,
             &event.regions,
@@ -267,9 +283,10 @@ pub fn evaluate_events_with<R: Rng + ?Sized>(
                 out.dues += 1;
                 if permanent {
                     if scenario.replacement == ReplacementPolicy::AfterDue {
-                        for &dimm in &scratch.event_dimms {
+                        for i in 0..scratch.event_dimms.len() {
+                            let dimm = scratch.event_dimms[i];
                             out.replacements += 1;
-                            scratch.live.retain(|(d, _)| *d != dimm);
+                            scratch.drop_dimm(dimm);
                         }
                         // The faulty DIMM is gone; nothing of this event
                         // survives (any repair lines it claimed are simply
@@ -292,16 +309,18 @@ pub fn evaluate_events_with<R: Rng + ?Sized>(
         out.unrepaired_faults += 1;
         out.unrepaired_by_mode[event.mode as usize] += 1;
         for r in &event.regions {
-            scratch.live.push((r.rank.dimm_index(cfg), *r));
+            scratch.live_dimms.push(r.rank.dimm_index(cfg));
+            scratch.live_regions.push(*r);
         }
 
         // 3. ReplB: the unrepaired fault may trip the corrected-error
         //    threshold.
         if let ReplacementPolicy::AfterErrors { trigger_prob } = scenario.replacement {
             if rng.gen_bool(trigger_prob) {
-                for &dimm in &scratch.event_dimms {
+                for i in 0..scratch.event_dimms.len() {
+                    let dimm = scratch.event_dimms[i];
                     out.replacements += 1;
-                    scratch.live.retain(|(d, _)| *d != dimm);
+                    scratch.drop_dimm(dimm);
                 }
             }
         }

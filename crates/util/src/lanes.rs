@@ -1,0 +1,406 @@
+//! Bitplane lanes for the bit-sliced Monte Carlo trial kernel.
+//!
+//! A *lane word* packs one boolean per trial — bit `i` of a [`Lane`]
+//! belongs to trial `block_start + i` — so bulk bookkeeping over a block
+//! of trials collapses to word-wide boolean algebra: one XOR advances
+//! every trial in the block at once, one popcount retires all of the
+//! block's clean trials, and `trailing_zeros` walks only the set bits
+//! (the faulty trials that still need the full scalar pipeline).
+//!
+//! Two lane widths are provided (`u64`, `u128`), selected at run time by
+//! [`LaneMode`]; a `std::simd` backend is left as a feature-gated
+//! follow-up once portable SIMD stabilises. Everything here is plain
+//! integer arithmetic — zero dependencies, bit-identical on every
+//! platform.
+//!
+//! # Examples
+//!
+//! ```
+//! use relaxfault_util::lanes::{pack, popcount_reduce, transpose, Lane};
+//!
+//! // Pack per-trial predicates into one lane word …
+//! let faulty: u64 = pack(64, |trial| trial % 7 == 0);
+//! // … retire the clean trials in bulk …
+//! assert_eq!(64 - faulty.popcount(), 54);
+//! // … and walk only the faulty ones.
+//! assert!(faulty.ones().all(|i| i % 7 == 0));
+//!
+//! // Transposing a 64×64 bit matrix twice is the identity.
+//! let mut m: Vec<u64> = (0..64).map(|r| 0x9E3779B97F4A7C15u64.rotate_left(r)).collect();
+//! let orig = m.clone();
+//! transpose(&mut m);
+//! transpose(&mut m);
+//! assert_eq!(m, orig);
+//! assert_eq!(popcount_reduce(&orig), popcount_reduce(&m));
+//! ```
+
+use std::sync::OnceLock;
+
+/// Which lane width the trial kernel batches with. `Scalar` disables
+/// batching entirely (the reference path); `U64`/`U128` evaluate 64 or
+/// 128 trials per lane word. Every mode is bit-identical — the knob
+/// trades instruction mix, not results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneMode {
+    /// No batching: one trial at a time (the reference kernel).
+    Scalar,
+    /// 64 trials per lane word.
+    U64,
+    /// 128 trials per lane word.
+    U128,
+}
+
+impl LaneMode {
+    /// Every mode, in the order the CI lane matrix sweeps them.
+    pub const ALL: [LaneMode; 3] = [LaneMode::Scalar, LaneMode::U64, LaneMode::U128];
+
+    /// Parses a `--lanes` / `RF_LANES` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(LaneMode::Scalar),
+            "u64" => Some(LaneMode::U64),
+            "u128" => Some(LaneMode::U128),
+            _ => None,
+        }
+    }
+
+    /// Canonical label (round-trips through [`LaneMode::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            LaneMode::Scalar => "scalar",
+            LaneMode::U64 => "u64",
+            LaneMode::U128 => "u128",
+        }
+    }
+}
+
+static MODE: OnceLock<LaneMode> = OnceLock::new();
+
+fn mode_from_env() -> LaneMode {
+    match std::env::var("RF_LANES") {
+        Ok(v) => LaneMode::parse(&v).unwrap_or_else(|| {
+            eprintln!("warning: RF_LANES={v:?} not one of scalar|u64|u128; using u64");
+            LaneMode::U64
+        }),
+        Err(_) => LaneMode::U64,
+    }
+}
+
+/// The process-wide default lane mode: the first of `set_mode` /
+/// `RF_LANES` / `u64` to apply, resolved once. Run-level overrides
+/// (e.g. the relcheck lane matrix) bypass this global entirely.
+pub fn mode() -> LaneMode {
+    *MODE.get_or_init(mode_from_env)
+}
+
+/// Pins the process-wide default lane mode (e.g. from a `--lanes` flag).
+/// Returns `false` if the mode was already resolved to something else —
+/// callers should set it before the first simulation starts.
+pub fn set_mode(m: LaneMode) -> bool {
+    MODE.set(m).is_ok() || mode() == m
+}
+
+/// One bitplane word: a fixed-width unsigned integer holding one boolean
+/// per trial. The trait exposes exactly the operations the bit-sliced
+/// kernel needs; `u64` and `u128` implement it with single instructions.
+pub trait Lane:
+    Copy
+    + Eq
+    + std::fmt::Debug
+    + std::ops::BitAnd<Output = Self>
+    + std::ops::BitOr<Output = Self>
+    + std::ops::BitXor<Output = Self>
+    + std::ops::Not<Output = Self>
+    + std::ops::Shl<u32, Output = Self>
+    + std::ops::Shr<u32, Output = Self>
+{
+    /// Trials per lane word.
+    const BITS: u32;
+    /// The empty mask.
+    const ZERO: Self;
+    /// The full mask.
+    const ONES: Self;
+
+    /// The mask with only bit `i` set.
+    fn bit(i: u32) -> Self;
+
+    /// The mask of the lowest `n` bits (`n ≤ BITS`; `n == BITS` gives
+    /// [`Lane::ONES`]).
+    fn lsbs(n: u32) -> Self;
+
+    /// Number of set bits.
+    fn popcount(self) -> u32;
+
+    /// Index of the lowest set bit (`BITS` when empty).
+    fn trailing_zeros(self) -> u32;
+
+    /// Clears the lowest set bit (identity on the empty mask).
+    fn clear_lowest(self) -> Self;
+
+    /// Iterates the indices of set bits, ascending.
+    fn ones(self) -> Ones<Self> {
+        Ones { rest: self }
+    }
+
+    /// Lane-masked select: bit `i` of the result comes from `a` where
+    /// `mask` has bit `i` set, else from `b`.
+    fn select(mask: Self, a: Self, b: Self) -> Self {
+        (a & mask) | (b & !mask)
+    }
+}
+
+macro_rules! impl_lane {
+    ($($t:ty),*) => {$(
+        impl Lane for $t {
+            const BITS: u32 = <$t>::BITS;
+            const ZERO: Self = 0;
+            const ONES: Self = <$t>::MAX;
+
+            #[inline]
+            fn bit(i: u32) -> Self {
+                debug_assert!(i < Self::BITS);
+                1 << i
+            }
+
+            #[inline]
+            fn lsbs(n: u32) -> Self {
+                debug_assert!(n <= Self::BITS);
+                if n == Self::BITS {
+                    Self::ONES
+                } else {
+                    (1 << n) - 1
+                }
+            }
+
+            #[inline]
+            fn popcount(self) -> u32 {
+                self.count_ones()
+            }
+
+            #[inline]
+            fn trailing_zeros(self) -> u32 {
+                <$t>::trailing_zeros(self)
+            }
+
+            #[inline]
+            fn clear_lowest(self) -> Self {
+                self & self.wrapping_sub(1)
+            }
+        }
+    )*};
+}
+
+impl_lane!(u64, u128);
+
+/// Iterator over the set-bit indices of a lane word (see [`Lane::ones`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Ones<L: Lane> {
+    rest: L,
+}
+
+impl<L: Lane> Iterator for Ones<L> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.rest == L::ZERO {
+            return None;
+        }
+        let i = self.rest.trailing_zeros();
+        self.rest = self.rest.clear_lowest();
+        Some(i)
+    }
+}
+
+/// Packs per-lane predicates into one word: bit `i` of the result is
+/// `f(i)` for `i < n`, zero above (`n ≤ L::BITS`).
+#[inline]
+pub fn pack<L: Lane>(n: u32, mut f: impl FnMut(u32) -> bool) -> L {
+    debug_assert!(n <= L::BITS);
+    let mut word = L::ZERO;
+    for i in 0..n {
+        if f(i) {
+            word = word | L::bit(i);
+        }
+    }
+    word
+}
+
+/// Total set bits across a bitplane slice — the popcount-reduce the
+/// kernel uses to retire a whole block's clean trials in one step.
+pub fn popcount_reduce<L: Lane>(words: &[L]) -> u64 {
+    words.iter().map(|w| w.popcount() as u64).sum()
+}
+
+/// In-place transpose of a square bit matrix: `a` holds `L::BITS` rows of
+/// `L::BITS` bits, and afterwards bit `r` of word `c` equals what bit `c`
+/// of word `r` was. This is the AoS↔SoA pivot between "one word per
+/// trial" and "one bitplane per predicate" (Hacker's Delight 7-3, with
+/// the shifts mirrored for LSB-first bit indexing and generalised to any
+/// power-of-two lane width).
+///
+/// # Panics
+///
+/// Panics if `a.len() != L::BITS`.
+pub fn transpose<L: Lane>(a: &mut [L]) {
+    assert_eq!(a.len(), L::BITS as usize, "transpose needs a square matrix");
+    let mut j = L::BITS / 2;
+    let mut m = L::lsbs(L::BITS / 2);
+    while j != 0 {
+        let mut k = 0usize;
+        while k < L::BITS as usize {
+            let t = ((a[k] >> j) ^ a[k + j as usize]) & m;
+            a[k] = a[k] ^ (t << j);
+            a[k + j as usize] = a[k + j as usize] ^ t;
+            k = (k + j as usize + 1) & !(j as usize);
+        }
+        j >>= 1;
+        m = m ^ (m << j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng, Rng64};
+
+    fn naive_transpose<L: Lane>(a: &[L]) -> Vec<L> {
+        let n = L::BITS;
+        (0..n)
+            .map(|c| pack(n, |r| a[r as usize] & L::bit(c) != L::ZERO))
+            .collect()
+    }
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for m in LaneMode::ALL {
+            assert_eq!(LaneMode::parse(m.label()), Some(m));
+        }
+        assert_eq!(LaneMode::parse(" U64 "), Some(LaneMode::U64));
+        assert_eq!(LaneMode::parse("avx512"), None);
+    }
+
+    #[test]
+    fn bit_and_lsbs_kats() {
+        assert_eq!(<u64 as Lane>::bit(0), 1);
+        assert_eq!(<u64 as Lane>::bit(63), 1 << 63);
+        assert_eq!(<u64 as Lane>::lsbs(0), 0);
+        assert_eq!(<u64 as Lane>::lsbs(7), 0x7F);
+        assert_eq!(<u64 as Lane>::lsbs(64), u64::MAX);
+        assert_eq!(<u128 as Lane>::lsbs(128), u128::MAX);
+        assert_eq!(<u128 as Lane>::bit(127), 1u128 << 127);
+    }
+
+    #[test]
+    fn ones_iterates_set_bits_ascending() {
+        let w: u64 = (1 << 0) | (1 << 17) | (1 << 63);
+        assert_eq!(w.ones().collect::<Vec<_>>(), vec![0, 17, 63]);
+        assert_eq!(<u64 as Lane>::ZERO.ones().count(), 0);
+        let all: u128 = Lane::ONES;
+        assert_eq!(all.ones().count(), 128);
+        assert_eq!(all.ones().last(), Some(127));
+    }
+
+    #[test]
+    fn select_mixes_per_bit() {
+        let a: u64 = 0xFFFF_0000_FFFF_0000;
+        let b: u64 = 0x0000_FFFF_0000_FFFF;
+        assert_eq!(<u64 as Lane>::select(u64::MAX, a, b), a);
+        assert_eq!(<u64 as Lane>::select(0, a, b), b);
+        let mask: u64 = 0x00FF_00FF_00FF_00FF;
+        let mixed = <u64 as Lane>::select(mask, a, b);
+        assert_eq!(mixed, (a & mask) | (b & !mask));
+    }
+
+    #[test]
+    fn pack_matches_predicate() {
+        let w: u64 = pack(64, |i| i % 3 == 0);
+        for i in 0..64 {
+            assert_eq!(w & <u64 as Lane>::bit(i) != 0, i % 3 == 0);
+        }
+        // Partial pack leaves the tail clear.
+        let tail: u64 = pack(10, |_| true);
+        assert_eq!(tail, 0x3FF);
+    }
+
+    #[test]
+    fn popcount_reduce_matches_sum() {
+        let words: Vec<u64> = vec![0, u64::MAX, 0x0F0F_0F0F_0F0F_0F0F];
+        assert_eq!(popcount_reduce(&words), 96);
+        let wide: Vec<u128> = vec![u128::MAX, 1];
+        assert_eq!(popcount_reduce(&wide), 129);
+    }
+
+    #[test]
+    fn transpose_kats_u64() {
+        // Identity matrix is its own transpose.
+        let mut id: Vec<u64> = (0..64).map(|r| 1u64 << r).collect();
+        let before = id.clone();
+        transpose(&mut id);
+        assert_eq!(id, before);
+        // A single set bit moves to its mirrored coordinate.
+        let mut one = vec![0u64; 64];
+        one[3] = 1 << 41;
+        transpose(&mut one);
+        let mut expect = vec![0u64; 64];
+        expect[41] = 1 << 3;
+        assert_eq!(one, expect);
+        // Row r all-ones becomes column r.
+        let mut rows = vec![0u64; 64];
+        rows[7] = u64::MAX;
+        transpose(&mut rows);
+        assert!(rows.iter().all(|&w| w == 1 << 7));
+    }
+
+    #[test]
+    fn transpose_matches_naive_and_round_trips() {
+        let mut rng = Rng64::seed_from_u64(0x1A4E5);
+        for _ in 0..50 {
+            let m: Vec<u64> = (0..64).map(|_| rng.gen()).collect();
+            let mut fast = m.clone();
+            transpose(&mut fast);
+            assert_eq!(fast, naive_transpose(&m));
+            transpose(&mut fast);
+            assert_eq!(fast, m, "transpose must be an involution");
+        }
+    }
+
+    #[test]
+    fn transpose_matches_naive_u128() {
+        let mut rng = Rng64::seed_from_u64(0x1A4E6);
+        for _ in 0..10 {
+            let m: Vec<u128> = (0..128)
+                .map(|_| (rng.gen::<u64>() as u128) << 64 | rng.gen::<u64>() as u128)
+                .collect();
+            let mut fast = m.clone();
+            transpose(&mut fast);
+            assert_eq!(fast, naive_transpose(&m));
+            transpose(&mut fast);
+            assert_eq!(fast, m);
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_popcount() {
+        let mut rng = Rng64::seed_from_u64(9);
+        let m: Vec<u64> = (0..64).map(|_| rng.gen()).collect();
+        let mut t = m.clone();
+        transpose(&mut t);
+        assert_eq!(popcount_reduce(&m), popcount_reduce(&t));
+        // Column counts become row counts.
+        for c in 0..64u32 {
+            let col = m
+                .iter()
+                .filter(|&&w| w & <u64 as Lane>::bit(c) != 0)
+                .count() as u32;
+            assert_eq!(col, t[c as usize].popcount());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square matrix")]
+    fn transpose_rejects_non_square() {
+        let mut m = vec![0u64; 63];
+        transpose(&mut m);
+    }
+}

@@ -97,6 +97,48 @@ impl Xoshiro256StarStar {
     }
 }
 
+/// The *first* output of `Rng64::seed_from_u64(seed)` without building
+/// the generator: xoshiro256\*\*'s first result reads only `s[1]` (the
+/// second SplitMix64 expansion draw), so two mixer steps and the star-star
+/// scrambler suffice. The bit-sliced trial kernel uses this to test a
+/// whole block's zero-fault gates without constructing any generator
+/// state; `tests::first_u64_matches_full_construction` pins the identity.
+pub fn first_u64_from_seed(seed: u64) -> u64 {
+    let mut sm = SplitMix64::new(seed);
+    sm.next_u64();
+    let s1 = sm.next_u64();
+    s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9)
+}
+
+/// The integer threshold `t` such that, for any generator output `u`,
+/// `(u >> 11) < t` holds exactly when the canonical `f64` conversion of
+/// `u` (see [`FromRng`] for `f64`) is `< p`. In other words:
+/// `u64_is_below(u, unit_f64_threshold(p)) == (f64-from-u < p)` bit for
+/// bit, with no floating point on the comparison path.
+///
+/// Why this is exact: the f64 draw is `(u >> 11) · 2⁻⁵³`, a 53-bit
+/// integer scaled by a power of two — both the product and `p · 2⁵³` are
+/// computed exactly in f64 (no rounding), so the float compare is an
+/// integer compare against `⌈p · 2⁵³⌉`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn unit_f64_threshold(p: f64) -> u64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "threshold probability {p} not in [0, 1]"
+    );
+    (p * (1u64 << 53) as f64).ceil() as u64
+}
+
+/// Whether generator output `u` falls below a [`unit_f64_threshold`] —
+/// the float-free form of `f64::from_rng(..) < p`.
+#[inline]
+pub fn u64_is_below(u: u64, threshold: u64) -> bool {
+    (u >> 11) < threshold
+}
+
 impl Rng for Xoshiro256StarStar {
     fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -444,6 +486,47 @@ mod tests {
         for _ in 0..10 {
             let _ = rng.gen_range(0u64..=u64::MAX);
         }
+    }
+
+    #[test]
+    fn first_u64_matches_full_construction() {
+        for seed in (0..500u64).chain([u64::MAX, 0xDEAD_BEEF, 1 << 63]) {
+            let mut rng = Rng64::seed_from_u64(seed);
+            assert_eq!(first_u64_from_seed(seed), rng.next_u64(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unit_threshold_matches_float_compare() {
+        // The integer gate must agree with the canonical f64 compare for
+        // every (draw, probability) pair — including boundary mantissas.
+        let probs = [
+            0.0,
+            1.0,
+            0.5,
+            0.25,
+            1e-12,
+            1.0 - 1e-12,
+            0.8741,
+            f64::from_bits(0x3FE5_5555_5555_5555), // ~2/3, odd mantissa
+        ];
+        let mut rng = Rng64::seed_from_u64(0x7157);
+        for p in probs {
+            let t = unit_f64_threshold(p);
+            for _ in 0..2000 {
+                let u = rng.next_u64();
+                let f = (u >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                assert_eq!(u64_is_below(u, t), f < p, "p={p} u={u:#x}");
+            }
+            // Exact boundary draws: mantissa at, just below, just above t.
+            for m in [t.saturating_sub(1), t, t + 1] {
+                let u = (m.min((1 << 53) - 1)) << 11;
+                let f = (u >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                assert_eq!(u64_is_below(u, t), f < p, "p={p} boundary {m}");
+            }
+        }
+        assert_eq!(unit_f64_threshold(0.0), 0);
+        assert_eq!(unit_f64_threshold(1.0), 1 << 53);
     }
 
     #[test]

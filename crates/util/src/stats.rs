@@ -190,6 +190,14 @@ impl Ecdf {
         idx as f64 / self.samples.len() as f64
     }
 
+    /// The samples in ascending order (sorting in place if needed) —
+    /// the canonical form for digesting or serializing a distribution,
+    /// independent of merge order.
+    pub fn sorted_samples(&mut self) -> &[f64] {
+        self.ensure_sorted();
+        &self.samples
+    }
+
     /// The `p`-th percentile (nearest-rank method).
     ///
     /// # Panics
@@ -349,7 +357,9 @@ pub struct Changepoint {
     /// `-1` for a downward shift (an improvement).
     pub direction: i8,
     /// Relative size of the shift: the median of the shifted regime over
-    /// the series median, minus one (e.g. `+1.0` for a 2x regression).
+    /// the median it shifted away from (the series median, or the head
+    /// regime for a mid-excursion segment open), minus one (e.g. `+1.0`
+    /// for a 2x regression).
     pub shift: f64,
 }
 
@@ -370,18 +380,42 @@ pub const CUSUM_H: f64 = 5.0;
 ///
 /// After each detection the remainder of the series is re-standardized
 /// before detection continues, so a persistent shift reports exactly one
-/// changepoint instead of one per shifted point. A later return to the
-/// trend median is a regime *ending*, not a new shift away from the
-/// trend, and is not reported. The reported index is the first point of
-/// the excursion that crossed the threshold.
+/// changepoint instead of one per shifted point. The reported index is
+/// the first point of the excursion that crossed the threshold.
+///
+/// A segment can also *open* mid-excursion — the whole series starts on
+/// a regime its bulk later left (an archived pre-optimization head), or
+/// re-scanning resumes right after a spike. There is no in-segment
+/// pre-regime to anchor that shift, so the reported changepoint is the
+/// *return* to the bulk: its index is the first post-excursion point and
+/// its direction is opposite to the excursion's, with the shift measured
+/// against the head regime. Detection then continues past it, so an
+/// outlier head can never mask later shifts.
 pub fn cusum_changepoints(series: &[f64], k: f64, h: f64) -> Vec<Changepoint> {
     let mut out = Vec::new();
     let mut offset = 0;
     while let Some(mut cp) = first_changepoint(&series[offset..], k, h) {
-        // A detection at the segment start cannot split the segment
-        // further; stop rather than loop.
         if cp.index == 0 {
-            break;
+            let seg = &series[offset..];
+            let scores = mad_scores(seg);
+            let dir = f64::from(cp.direction);
+            let Some(end) = scores[1..].iter().position(|&z| dir * z <= k) else {
+                break; // the head excursion never returns to the bulk
+            };
+            let end = end + 1;
+            let head = median(&seg[..end]);
+            let regime = median(&seg[end..]);
+            out.push(Changepoint {
+                index: offset + end,
+                direction: -cp.direction,
+                shift: if head != 0.0 {
+                    regime / head - 1.0
+                } else {
+                    0.0
+                },
+            });
+            offset += end;
+            continue;
         }
         cp.index += offset;
         offset = cp.index;
@@ -618,6 +652,45 @@ mod tests {
         // Noisy but stationary: no detections.
         let noisy: Vec<f64> = (0..40).map(|i| 100.0 + ((i * 7) % 5) as f64).collect();
         assert!(cusum_changepoints(&noisy, CUSUM_K, CUSUM_H).is_empty());
+    }
+
+    #[test]
+    fn cusum_head_regime_reports_return_and_cannot_mask_later_shifts() {
+        // The series *opens* on a slower regime (an archived
+        // pre-optimization head): the drop to the bulk is reported as a
+        // downward changepoint at the return index, measured against the
+        // head.
+        let mut xs = vec![200.0, 201.0];
+        xs.extend([100.0; 9]);
+        let cps = cusum_changepoints(&xs, CUSUM_K, CUSUM_H);
+        assert_eq!(cps.len(), 1, "{cps:?}");
+        assert_eq!(cps[0].index, 2);
+        assert_eq!(cps[0].direction, -1);
+        assert!((cps[0].shift + 0.5).abs() < 0.1, "shift {}", cps[0].shift);
+
+        // And the head must not swallow a genuine regression after it:
+        // detection continues past the return boundary.
+        xs.extend([200.0, 199.0, 201.0]);
+        let cps = cusum_changepoints(&xs, CUSUM_K, CUSUM_H);
+        assert_eq!(cps.len(), 2, "{cps:?}");
+        assert_eq!((cps[1].index, cps[1].direction), (11, 1));
+        assert!((cps[1].shift - 1.0).abs() < 0.1, "shift {}", cps[1].shift);
+
+        // A 50/50 split is a noisy stationary series to the robust
+        // scale, not a head regime: no report.
+        assert!(cusum_changepoints(&[300.0, 300.0, 1.0, 1.0], CUSUM_K, CUSUM_H).is_empty());
+
+        // A majority-regression series (short clean head, long shifted
+        // bulk) is the other masked shape: the bulk *is* the median, so
+        // the old detector saw only an index-0 excursion and reported
+        // nothing. The return boundary is the regression.
+        let xs = [
+            100.0, 100.0, 100.0, 100.0, 200.0, 200.0, 200.0, 200.0, 200.0, 200.0,
+        ];
+        let cps = cusum_changepoints(&xs, CUSUM_K, CUSUM_H);
+        assert_eq!(cps.len(), 1, "{cps:?}");
+        assert_eq!((cps[0].index, cps[0].direction), (4, 1));
+        assert!((cps[0].shift - 1.0).abs() < 0.1, "shift {}", cps[0].shift);
     }
 
     #[test]

@@ -77,6 +77,15 @@ cargo run --release -q -p relaxfault-bench --bin obs_validate results/ci/relchec
 cargo run --release -q -p relaxfault-relcheck --bin relcheck -- replay "$repro" \
     || exit 3
 
+# Lane-matrix gate: the bit-sliced trial kernel must be indistinguishable
+# from the scalar path. One pinned scenario mix is digested across every
+# (lane mode, thread count) cell of {scalar,u64,u128} x {1,2,4}; all nine
+# digests must be identical bit for bit. The verdict JSON (one digest per
+# cell) is archived under results/ci/. Any divergence exits 7.
+cargo run --release -q -p relaxfault-relcheck --bin relcheck -- lane-matrix \
+    --trials 4000 --out results/ci/lane_matrix_verdict.json \
+    || { echo "lane-matrix gate: lane modes diverged" >&2; exit 7; }
+
 # Fleet checkpoint/resume determinism gate: a 1M-node fleet over 20 epochs
 # runs to completion once; the same fleet is then killed mid-epoch by the
 # RF_FLEET_CRASH_AT hook (the kill must actually fire), resumed from the
