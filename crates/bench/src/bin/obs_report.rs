@@ -5,6 +5,7 @@
 //! obs_report report [--results DIR] [--ledger PATH] [--out PATH] [--check] [--rotate]
 //! obs_report extend --series NAME --factor F --count N [--ledger PATH] [--results DIR]
 //! obs_report folded-diff <before.folded> <after.folded> [--top N]
+//! obs_report farm [--results DIR] [--check]
 //! ```
 //!
 //! * `ingest` sweeps `<results>/obs/*.json` metrics snapshots into the
@@ -24,14 +25,21 @@
 //!   detector catches a 2× regression.
 //! * `folded-diff` joins two profiler `.folded` files into a per-frame
 //!   self-time delta table, biggest movers first.
+//! * `farm` renders the figure-farm dashboard: the `farm_state` ledger
+//!   plus every job manifest under `<results>/farm/jobs/`, one row per
+//!   job (role, status, attempts, cost, repro archive), mirrored to
+//!   `<results>/farm/report.txt`. With `--check` it exits 1 when any
+//!   matrix job is failed or blocked.
 //!
 //! Exit codes: `0` clean, `1` regression found by `--check`, `2` usage
 //! or I/O error — the same contract as `obs_diff`.
 
 use relaxfault_bench::{folded, report};
+use relaxfault_farm::{FarmLedger, JobManifest, JobStatus};
 use relaxfault_util::history::Ledger;
 use relaxfault_util::json::Value;
-use relaxfault_util::persist;
+use relaxfault_util::persist::{self, Persist};
+use relaxfault_util::table::Table;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -215,6 +223,73 @@ fn extend(f: &Flags) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Renders the figure-farm dashboard from the durable farm state: the
+/// ledger's matrix digest plus one row per job manifest, diagnostics
+/// included. Mirrored to `<results>/farm/report.txt` so the dashboard
+/// survives next to the artifacts it describes.
+fn farm_report(f: &Flags) -> Result<ExitCode, String> {
+    let dir = results_dir(&f.results);
+    let farm = relaxfault_farm::farm_dir(Path::new(&dir));
+    let ledger = FarmLedger::load(&relaxfault_farm::ledger_path(Path::new(&dir)))?;
+    let jobs_dir = farm.join("jobs");
+    let mut manifests: Vec<JobManifest> = Vec::new();
+    let entries =
+        std::fs::read_dir(&jobs_dir).map_err(|e| format!("{}: {e}", jobs_dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        // Repro archives sit next to the manifests; they are relcheck
+        // cases, not manifests.
+        if !name.ends_with(".json") || name.ends_with(".repro.json") {
+            continue;
+        }
+        manifests.push(JobManifest::load(&path)?);
+    }
+    manifests.sort_by(|a, b| a.id.cmp(&b.id));
+    let mut t = Table::new(&["job", "role", "status", "attempts", "cost", "repro"]);
+    for m in &manifests {
+        t.row(&[
+            m.id.clone(),
+            m.role.as_str().into(),
+            m.status.as_str().into(),
+            m.attempts.to_string(),
+            m.cost.to_string(),
+            m.repro.clone().unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    let title = format!(
+        "Figure farm: {} manifest(s), matrix digest {:#018x}",
+        manifests.len(),
+        ledger.spec_digest
+    );
+    println!("== {title} ==");
+    print!("{}", t.render());
+    let bad: Vec<&JobManifest> = manifests
+        .iter()
+        .filter(|m| matches!(m.status, JobStatus::Failed | JobStatus::Blocked))
+        .collect();
+    for m in &bad {
+        println!(
+            "{} {}: {}",
+            m.status.as_str().to_uppercase(),
+            m.id,
+            m.reason.as_deref().unwrap_or("(no reason recorded)")
+        );
+    }
+    persist::atomic_write(
+        &farm.join("report.txt"),
+        &format!("{title}\n{}", t.render()),
+    )
+    .map_err(|e| format!("cannot write farm report: {e}"))?;
+    if f.check && !bad.is_empty() {
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn folded_diff(f: &Flags) -> Result<ExitCode, String> {
     let [before_path, after_path] = f.positional.as_slice() else {
         return Err("folded-diff needs exactly two .folded paths".into());
@@ -235,7 +310,7 @@ fn folded_diff(f: &Flags) -> Result<ExitCode, String> {
 fn run() -> Result<ExitCode, String> {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().ok_or(
-        "usage: obs_report <ingest|report|extend|folded-diff> [flags]\n\
+        "usage: obs_report <ingest|report|extend|folded-diff|farm> [flags]\n\
          see the module docs (or DESIGN.md §6.2) for the flag list",
     )?;
     let f = parse_flags(args)?;
@@ -244,6 +319,7 @@ fn run() -> Result<ExitCode, String> {
         "report" => run_report(&f),
         "extend" => extend(&f),
         "folded-diff" => folded_diff(&f),
+        "farm" => farm_report(&f),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }

@@ -8,11 +8,13 @@
 //! directory, even if each file is self-consistent. Relcheck repro cases
 //! (top-level `kind: "relcheck_repro"`, e.g. under `results/relcheck`),
 //! fleet checkpoints (`kind: "fleet_checkpoint"`, e.g. a `--ckpt-dir`),
-//! and crash dumps (`kind: "crash_dump"`, written by the panic hook and
-//! the injected-crash path) are validated against their own schemas via
-//! the strict [`ReproCase`], [`FleetCheckpoint`], and [`CrashDump`]
-//! deserializers; each kind gets its own mixed-version check, separate
-//! from the obs one. Folded profiler output (`*.folded`) must be
+//! crash dumps (`kind: "crash_dump"`, written by the panic hook and
+//! the injected-crash path), farm job manifests (`kind: "farm_job"`,
+//! under `<results>/farm/jobs/`), and farm ledgers (`kind: "farm_state"`)
+//! are validated against their own schemas via the strict [`ReproCase`],
+//! [`FleetCheckpoint`], [`CrashDump`], [`JobManifest`], and
+//! [`FarmLedger`] deserializers; each kind gets its own mixed-version
+//! check, separate from the obs one. Folded profiler output (`*.folded`) must be
 //! non-empty `frame[;frame...] count` lines. Perf-history ledgers
 //! (`*.jsonl`, e.g. `results/history/ledger.jsonl`) must strict-parse
 //! line by line (every record the `history_entry` kind with a verified
@@ -21,6 +23,7 @@
 //! all lines, and satisfy the `util::history` ledger invariants.
 //! Exits non-zero on any violation.
 
+use relaxfault_farm::{FarmLedger, JobManifest, JobStatus};
 use relaxfault_relsim::fleet::{FleetCheckpoint, FLEET_CHECKPOINT_KIND};
 use relaxfault_relsim::repro::{ReproCase, REPRO_KIND};
 use relaxfault_util::crashdump::{self, CrashDump};
@@ -62,6 +65,60 @@ fn is_fleet_checkpoint(doc: &Value) -> bool {
 /// Whether a parsed document is a crash dump.
 fn is_crash_dump(doc: &Value) -> bool {
     doc.get("kind").and_then(Value::as_str) == Some(crashdump::KIND)
+}
+
+/// Whether a parsed document is a farm job manifest.
+fn is_farm_job(doc: &Value) -> bool {
+    doc.get("kind").and_then(Value::as_str) == Some(JobManifest::KIND)
+}
+
+/// Whether a parsed document is a farm_state ledger.
+fn is_farm_state(doc: &Value) -> bool {
+    doc.get("kind").and_then(Value::as_str) == Some(FarmLedger::KIND)
+}
+
+/// Validates one farm job manifest via the strict deserializer, plus: the
+/// manifest's id must match its file stem (the farm writes
+/// `farm/jobs/<id>.json`), and a failed manifest must carry a reason.
+/// Returns the schema_version for the per-kind mixed-version check.
+fn validate_farm_job(doc: &Value, path: &std::path::Path) -> Result<u64, String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Value::as_f64)
+        .ok_or("missing schema_version")? as u64;
+    let manifest = JobManifest::from_json(doc)?;
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or_default();
+    if manifest.id != stem {
+        return Err(format!(
+            "manifest id {:?} does not match file stem {stem:?}",
+            manifest.id
+        ));
+    }
+    if manifest.status == JobStatus::Failed && manifest.reason.is_none() {
+        return Err("failed manifest carries no reason".into());
+    }
+    Ok(version)
+}
+
+/// Validates one farm_state ledger via the strict deserializer, plus: it
+/// must record at least one job, sorted by id (the binary-search upsert
+/// contract). Returns the schema_version for the mixed-version check.
+fn validate_farm_state(doc: &Value) -> Result<u64, String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Value::as_f64)
+        .ok_or("missing schema_version")? as u64;
+    let ledger = FarmLedger::from_json(doc)?;
+    if ledger.jobs.is_empty() {
+        return Err("farm_state ledger records no jobs".into());
+    }
+    if !ledger.jobs.windows(2).all(|w| w[0].id < w[1].id) {
+        return Err("farm_state jobs are not strictly sorted by id".into());
+    }
+    Ok(version)
 }
 
 /// Validates one crash dump via the strict deserializer (which checks the
@@ -265,6 +322,8 @@ fn main() {
     let mut versions: BTreeSet<u64> = BTreeSet::new();
     let mut fleet_versions: BTreeSet<u64> = BTreeSet::new();
     let mut crash_versions: BTreeSet<u64> = BTreeSet::new();
+    let mut farm_job_versions: BTreeSet<u64> = BTreeSet::new();
+    let mut farm_state_versions: BTreeSet<u64> = BTreeSet::new();
     paths.sort();
     for path in paths {
         let name = path
@@ -292,6 +351,12 @@ fn main() {
                 }),
                 Ok(doc) if is_crash_dump(&doc) => validate_crash_dump(&doc).map(|v| {
                     crash_versions.insert(v);
+                }),
+                Ok(doc) if is_farm_job(&doc) => validate_farm_job(&doc, &path).map(|v| {
+                    farm_job_versions.insert(v);
+                }),
+                Ok(doc) if is_farm_state(&doc) => validate_farm_state(&doc).map(|v| {
+                    farm_state_versions.insert(v);
                 }),
                 Ok(doc) => validate_snapshot(&doc, &path).map(|v| {
                     versions.insert(v);
@@ -326,6 +391,18 @@ fn main() {
     if crash_versions.len() > 1 {
         failed += 1;
         eprintln!("FAILED  {dir}: mixed schema_versions across crash dumps: {crash_versions:?}");
+    }
+    if farm_job_versions.len() > 1 {
+        failed += 1;
+        eprintln!(
+            "FAILED  {dir}: mixed schema_versions across farm job manifests: {farm_job_versions:?}"
+        );
+    }
+    if farm_state_versions.len() > 1 {
+        failed += 1;
+        eprintln!(
+            "FAILED  {dir}: mixed schema_versions across farm ledgers: {farm_state_versions:?}"
+        );
     }
     println!("obs_validate: {checked} artifact(s), {failed} failure(s)");
     if failed > 0 {

@@ -83,11 +83,10 @@ impl FaultyDram {
             .iter()
             .filter(|f| f.rank == loc.rank_id())
             .filter(|f| {
-                f.footprint(&self.cfg).rects.iter().any(|r| {
-                    r.banks.iter().any(|b| b == loc.bank)
-                        && r.rows.contains(loc.row)
-                        && r.colblocks.contains(loc.colblock)
-                })
+                let r = f.footprint(&self.cfg);
+                r.banks.iter().any(|b| b == loc.bank)
+                    && r.rows.contains(loc.row)
+                    && r.colblocks.contains(loc.colblock)
             })
             .map(|f| f.device)
             .collect();
@@ -248,11 +247,10 @@ impl RepairController {
         }
         // Publish in the faulty-bank table last (Figure 5).
         for region in regions {
-            for rect in region.footprint(&self.dram.cfg).rects {
-                for bank in rect.banks.iter() {
-                    self.faulty_banks
-                        .insert((region.rank.dimm_index(&self.dram.cfg), bank), true);
-                }
+            let rect = region.footprint(&self.dram.cfg);
+            for bank in rect.banks.iter() {
+                self.faulty_banks
+                    .insert((region.rank.dimm_index(&self.dram.cfg), bank), true);
             }
         }
         Ok(())

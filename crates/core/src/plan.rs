@@ -580,25 +580,24 @@ fn relax_lines_each(
 ) -> bool {
     let off = llc.offset_bits();
     for r in regions {
-        for rect in r.footprint(dram).rects {
-            let groups = rect.colblocks.divided(map.coalesce_factor());
-            for bank in rect.banks.iter() {
-                let base = map.repair_addr(&RepairLine {
-                    rank: r.rank,
-                    device: r.device,
-                    bank,
-                    row: 0,
-                    colgroup: 0,
-                });
-                let set_base = llc.set_of(base);
-                for row in rect.rows.iter() {
-                    let (ra, rs) = deltas.row(row);
-                    let (row_addr, row_set) = (base ^ ra, set_base ^ rs);
-                    for colgroup in groups.iter() {
-                        let (ca, cs) = deltas.col(colgroup as usize);
-                        if !f((row_set ^ cs) as u32, (row_addr ^ ca) >> off) {
-                            return false;
-                        }
+        let rect = r.footprint(dram);
+        let groups = rect.colblocks.divided(map.coalesce_factor());
+        for bank in rect.banks.iter() {
+            let base = map.repair_addr(&RepairLine {
+                rank: r.rank,
+                device: r.device,
+                bank,
+                row: 0,
+                colgroup: 0,
+            });
+            let set_base = llc.set_of(base);
+            for row in rect.rows.iter() {
+                let (ra, rs) = deltas.row(row);
+                let (row_addr, row_set) = (base ^ ra, set_base ^ rs);
+                for colgroup in groups.iter() {
+                    let (ca, cs) = deltas.col(colgroup as usize);
+                    if !f((row_set ^ cs) as u32, (row_addr ^ ca) >> off) {
+                        return false;
                     }
                 }
             }
@@ -685,7 +684,7 @@ impl RelaxFault {
     pub fn lines_needed(&self, regions: &[FaultRegion]) -> u64 {
         regions
             .iter()
-            .flat_map(|r| r.footprint(&self.dram).rects)
+            .map(|r| r.footprint(&self.dram))
             .map(|rect| {
                 rect.banks.len() as u64
                     * rect.rows.len()
@@ -722,20 +721,18 @@ impl RelaxFault {
         regions: &'a [FaultRegion],
     ) -> impl Iterator<Item = RepairLine> + 'a {
         regions.iter().flat_map(move |r| {
-            let rects = r.footprint(&self.dram).rects;
+            let rect = r.footprint(&self.dram);
             let rank = r.rank;
             let device = r.device;
-            rects.into_iter().flat_map(move |rect| {
-                let groups = rect.colblocks.divided(self.map.coalesce_factor());
-                rect.banks.iter().flat_map(move |bank| {
-                    rect.rows.iter().flat_map(move |row| {
-                        groups.iter().map(move |colgroup| RepairLine {
-                            rank,
-                            device,
-                            bank,
-                            row,
-                            colgroup,
-                        })
+            let groups = rect.colblocks.divided(self.map.coalesce_factor());
+            rect.banks.iter().flat_map(move |bank| {
+                rect.rows.iter().flat_map(move |row| {
+                    groups.iter().map(move |colgroup| RepairLine {
+                        rank,
+                        device,
+                        bank,
+                        row,
+                        colgroup,
                     })
                 })
             })
@@ -847,8 +844,7 @@ impl FreeFault {
     pub fn lines_needed(&self, regions: &[FaultRegion]) -> u64 {
         regions
             .iter()
-            .flat_map(|r| r.footprint(&self.dram).rects)
-            .map(|rect| rect.block_count())
+            .map(|r| r.footprint(&self.dram).block_count())
             .sum()
     }
 
@@ -909,30 +905,29 @@ fn free_blocks_each(
 ) -> bool {
     let off = llc.offset_bits();
     for r in regions {
-        for rect in r.footprint(dram).rects {
-            for bank in rect.banks.iter() {
-                let base = dram_map
-                    .encode(
-                        DramLoc {
-                            channel: r.rank.channel,
-                            dimm: r.rank.dimm,
-                            rank: r.rank.rank,
-                            bank,
-                            row: 0,
-                            colblock: 0,
-                        },
-                        0,
-                    )
-                    .0;
-                let set_base = llc.set_of(base);
-                for row in rect.rows.iter() {
-                    let (ra, rs) = deltas.row(row);
-                    let (row_addr, row_set) = (base ^ ra, set_base ^ rs);
-                    for colblock in rect.colblocks.iter() {
-                        let (ca, cs) = deltas.col(colblock as usize);
-                        if !f((row_set ^ cs) as u32, (row_addr ^ ca) >> off) {
-                            return false;
-                        }
+        let rect = r.footprint(dram);
+        for bank in rect.banks.iter() {
+            let base = dram_map
+                .encode(
+                    DramLoc {
+                        channel: r.rank.channel,
+                        dimm: r.rank.dimm,
+                        rank: r.rank.rank,
+                        bank,
+                        row: 0,
+                        colblock: 0,
+                    },
+                    0,
+                )
+                .0;
+            let set_base = llc.set_of(base);
+            for row in rect.rows.iter() {
+                let (ra, rs) = deltas.row(row);
+                let (row_addr, row_set) = (base ^ ra, set_base ^ rs);
+                for colblock in rect.colblocks.iter() {
+                    let (ca, cs) = deltas.col(colblock as usize);
+                    if !f((row_set ^ cs) as u32, (row_addr ^ ca) >> off) {
+                        return false;
                     }
                 }
             }
@@ -1474,7 +1469,8 @@ mod tests {
                 .map(|(&s, &k)| (s as u64, k))
                 .collect();
             let mut naive = Vec::new();
-            for rect in r.footprint(&d).rects {
+            {
+                let rect = r.footprint(&d);
                 for bank in rect.banks.iter() {
                     for row in rect.rows.iter() {
                         for colblock in rect.colblocks.iter() {

@@ -45,7 +45,7 @@
 //! ```
 
 use relaxfault_dram::DramConfig;
-use relaxfault_faults::{FaultRegion, Footprint};
+use relaxfault_faults::{FaultRegion, Rect};
 use relaxfault_util::rng::Rng;
 
 /// What the ECC does with the errors a fault arrival exposes.
@@ -149,21 +149,14 @@ impl EccModel {
             // Collect live regions on other devices of the same rank that
             // overlap the new fault, then look for a cross-device pair among
             // them overlapping the *same* blocks.
-            let hits: Vec<(&FaultRegion, Footprint)> = live
+            let hits: Vec<(&FaultRegion, Rect)> = live
                 .iter()
                 .filter(|l| l.rank == n.rank && l.device != n.device)
-                .filter_map(|l| {
-                    let inter = nf.intersect(&l.footprint(cfg));
-                    if inter.rects.is_empty() {
-                        None
-                    } else {
-                        Some((l, inter))
-                    }
-                })
+                .filter_map(|l| nf.intersect(&l.footprint(cfg)).map(|inter| (l, inter)))
                 .collect();
             for (i, (li, fi)) in hits.iter().enumerate() {
                 for (lj, fj) in hits.iter().skip(i + 1) {
-                    if li.device != lj.device && fi.overlaps(fj) {
+                    if li.device != lj.device && fi.intersects(fj) {
                         return true;
                     }
                 }

@@ -47,5 +47,5 @@ pub use arrivals::ArrivalCursor;
 pub use geometry::FaultGeometry;
 pub use inject::{FaultEvent, FaultModel, NodeFaults, VariationModel};
 pub use modes::{FaultMode, FitRates, Transience};
-pub use region::{BankSet, Extent, FaultRegion, Footprint, IdxSet, Rect, RegionList};
+pub use region::{BankSet, Extent, FaultRegion, IdxSet, Rect, RegionList};
 pub use sampler::FaultSampler;

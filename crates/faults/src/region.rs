@@ -1,10 +1,14 @@
 //! Structured fault footprints in device coordinates.
 //!
-//! A fault's footprint is a union of axis-aligned rectangles over
-//! `(bank, row, column-block)` within one device of one rank. Keeping the
-//! structure explicit lets the ECC model test codeword overlap between
-//! faults on different devices analytically, and lets the repair planner
-//! count/enumerate repair lines without walking millions of cells.
+//! A fault's footprint is one axis-aligned rectangle over
+//! `(bank, row, column-block)` within one device of one rank (multi-rank
+//! faults carry one region — and therefore one rectangle — per rank).
+//! Keeping the structure explicit lets the ECC model test codeword
+//! overlap between faults on different devices analytically, and lets the
+//! repair planner count/enumerate repair lines without walking millions
+//! of cells. [`Extent::footprint`] returns the [`Rect`] by value — no
+//! heap allocation — because it sits on the hot path of both the ECC
+//! arrival classifier and the planners' `lines_needed` pre-checks.
 
 use relaxfault_dram::{DramConfig, RankId};
 
@@ -192,40 +196,6 @@ impl Rect {
     }
 }
 
-/// A fault's full footprint: a union of rectangles (almost always one).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Footprint {
-    /// The rectangles.
-    pub rects: Vec<Rect>,
-}
-
-impl Footprint {
-    /// Total blocks covered (rectangles of one fault never overlap).
-    pub fn block_count(&self) -> u64 {
-        self.rects.iter().map(Rect::block_count).sum()
-    }
-
-    /// Whether two footprints share any (bank, row, colblock).
-    pub fn overlaps(&self, other: &Footprint) -> bool {
-        self.rects
-            .iter()
-            .any(|a| other.rects.iter().any(|b| a.intersects(b)))
-    }
-
-    /// Intersection as a set of rectangles.
-    pub fn intersect(&self, other: &Footprint) -> Footprint {
-        let mut rects = Vec::new();
-        for a in &self.rects {
-            for b in &other.rects {
-                if let Some(r) = a.intersect(b) {
-                    rects.push(r);
-                }
-            }
-        }
-        Footprint { rects }
-    }
-}
-
 /// The physical extent of one fault within one device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Extent {
@@ -283,13 +253,14 @@ pub enum Extent {
 }
 
 impl Extent {
-    /// The footprint in (bank, row, colblock) space.
-    pub fn footprint(&self, cfg: &DramConfig) -> Footprint {
+    /// The footprint in (bank, row, colblock) space. Every extent shape
+    /// covers exactly one rectangle, so this returns it by value.
+    pub fn footprint(&self, cfg: &DramConfig) -> Rect {
         let all_rows = IdxSet::All { domain: cfg.rows };
         let all_cols = IdxSet::All {
             domain: cfg.blocks_per_row(),
         };
-        let rect = match *self {
+        match *self {
             Extent::Bit { bank, row, col } | Extent::Word { bank, row, col } => Rect {
                 banks: BankSet::one(bank),
                 rows: IdxSet::One(row),
@@ -330,8 +301,7 @@ impl Extent {
                 rows: all_rows,
                 colblocks: all_cols,
             },
-        };
-        Footprint { rects: vec![rect] }
+        }
     }
 
     /// Number of distinct rows the extent touches per bank
@@ -517,8 +487,8 @@ impl<'a> IntoIterator for &'a RegionList {
 }
 
 impl FaultRegion {
-    /// Footprint of the region in block coordinates.
-    pub fn footprint(&self, cfg: &DramConfig) -> Footprint {
+    /// Footprint of the region in block coordinates: a single [`Rect`].
+    pub fn footprint(&self, cfg: &DramConfig) -> Rect {
         self.extent.footprint(cfg)
     }
 
@@ -615,7 +585,7 @@ impl FaultRegion {
     pub fn shares_codeword_with(&self, other: &FaultRegion, cfg: &DramConfig) -> bool {
         self.rank == other.rank
             && self.device != other.device
-            && self.footprint(cfg).overlaps(&other.footprint(cfg))
+            && self.footprint(cfg).intersects(&other.footprint(cfg))
     }
 }
 
@@ -715,8 +685,7 @@ mod tests {
     fn row_fault_footprint() {
         let f = Extent::Row { bank: 2, row: 77 }.footprint(&cfg());
         assert_eq!(f.block_count(), 256);
-        assert_eq!(f.rects.len(), 1);
-        assert!(f.rects[0].colblocks.contains(255));
+        assert!(f.colblocks.contains(255));
     }
 
     #[test]
@@ -729,7 +698,7 @@ mod tests {
         }
         .footprint(&cfg());
         assert_eq!(f.block_count(), 512);
-        assert_eq!(f.rects[0].colblocks, IdxSet::One(4)); // col 33 → block 4
+        assert_eq!(f.colblocks, IdxSet::One(4)); // col 33 → block 4
     }
 
     #[test]
@@ -751,9 +720,9 @@ mod tests {
         }
         .footprint(&c);
         let other_bank = Extent::Row { bank: 3, row: 77 }.footprint(&c);
-        assert!(row.overlaps(&col_hit));
-        assert!(!row.overlaps(&col_miss));
-        assert!(!row.overlaps(&other_bank));
+        assert!(row.intersects(&col_hit));
+        assert!(!row.intersects(&col_miss));
+        assert!(!row.intersects(&other_bank));
     }
 
     #[test]
@@ -775,8 +744,8 @@ mod tests {
             col: 456,
         }
         .footprint(&c);
-        assert!(bank.overlaps(&bit));
-        assert!(!bank.overlaps(&bit_elsewhere));
+        assert!(bank.intersects(&bit));
+        assert!(!bank.intersects(&bit_elsewhere));
         assert_eq!(bank.block_count(), 65536 * 256);
     }
 
@@ -794,10 +763,10 @@ mod tests {
         }
         .footprint(&c);
         let d = Extent::Row { bank: 0, row: 120 }.footprint(&c);
-        let ab = a.intersect(&b);
-        assert!(ab.overlaps(&d));
+        let ab = a.intersect(&b).expect("a and b overlap");
+        assert!(ab.intersects(&d));
         let d_out = Extent::Row { bank: 0, row: 400 }.footprint(&c);
-        assert!(!ab.overlaps(&d_out));
+        assert!(!ab.intersects(&d_out));
     }
 
     #[test]

@@ -153,20 +153,19 @@ impl NaiveRelax {
     fn enumerate(&self, regions: &[FaultRegion]) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
         for r in regions {
-            for rect in r.footprint(&self.dram).rects {
-                let groups = rect.colblocks.divided(self.map.coalesce_factor());
-                for bank in rect.banks.iter() {
-                    for row in rect.rows.iter() {
-                        for colgroup in groups.iter() {
-                            let line = RepairLine {
-                                rank: r.rank,
-                                device: r.device,
-                                bank,
-                                row,
-                                colgroup,
-                            };
-                            out.push((self.map.set_of(&line), self.map.key_of(&line)));
-                        }
+            let rect = r.footprint(&self.dram);
+            let groups = rect.colblocks.divided(self.map.coalesce_factor());
+            for bank in rect.banks.iter() {
+                for row in rect.rows.iter() {
+                    for colgroup in groups.iter() {
+                        let line = RepairLine {
+                            rank: r.rank,
+                            device: r.device,
+                            bank,
+                            row,
+                            colgroup,
+                        };
+                        out.push((self.map.set_of(&line), self.map.key_of(&line)));
                     }
                 }
             }
@@ -177,7 +176,7 @@ impl NaiveRelax {
     fn lines_needed(&self, regions: &[FaultRegion]) -> u64 {
         regions
             .iter()
-            .flat_map(|r| r.footprint(&self.dram).rects)
+            .map(|r| r.footprint(&self.dram))
             .map(|rect| {
                 rect.banks.len() as u64
                     * rect.rows.len()
@@ -225,26 +224,25 @@ impl NaiveFree {
         let off = self.llc.offset_bits();
         let mut out = Vec::new();
         for r in regions {
-            for rect in r.footprint(&self.dram).rects {
-                for bank in rect.banks.iter() {
-                    for row in rect.rows.iter() {
-                        for colblock in rect.colblocks.iter() {
-                            let addr = self
-                                .map
-                                .encode(
-                                    DramLoc {
-                                        channel: r.rank.channel,
-                                        dimm: r.rank.dimm,
-                                        rank: r.rank.rank,
-                                        bank,
-                                        row,
-                                        colblock,
-                                    },
-                                    0,
-                                )
-                                .0;
-                            out.push((self.llc.set_of(addr), addr >> off));
-                        }
+            let rect = r.footprint(&self.dram);
+            for bank in rect.banks.iter() {
+                for row in rect.rows.iter() {
+                    for colblock in rect.colblocks.iter() {
+                        let addr = self
+                            .map
+                            .encode(
+                                DramLoc {
+                                    channel: r.rank.channel,
+                                    dimm: r.rank.dimm,
+                                    rank: r.rank.rank,
+                                    bank,
+                                    row,
+                                    colblock,
+                                },
+                                0,
+                            )
+                            .0;
+                        out.push((self.llc.set_of(addr), addr >> off));
                     }
                 }
             }
@@ -255,8 +253,7 @@ impl NaiveFree {
     fn lines_needed(&self, regions: &[FaultRegion]) -> u64 {
         regions
             .iter()
-            .flat_map(|r| r.footprint(&self.dram).rects)
-            .map(|rect| rect.block_count())
+            .map(|r| r.footprint(&self.dram).block_count())
             .sum()
     }
 
